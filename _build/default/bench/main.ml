@@ -1,0 +1,188 @@
+(* The benchmark harness.
+
+   Two stages, both keyed by the experiment ids of DESIGN.md:
+
+   1. Bechamel micro-benchmarks — one [Test.make] per table/figure,
+      measuring the wall-clock cost of that experiment's representative
+      workload (a single protocol run at a small n), so performance
+      regressions in the simulator or protocols are visible.
+   2. The experiments themselves — each prints the rows/series the paper
+      artefact contains (Table I and the theorem/lemma validations).
+
+   Usage: main.exe [T1 F1 ... | all] [--quick|--full] [--seed=N] [--no-bench]
+   Default: every experiment, full scale (the EXPERIMENTS.md settings). *)
+
+open Bechamel
+open Toolkit
+
+let params = Ftc_core.Params.default
+
+let one_run (module P : Ftc_sim.Protocol.S) ~n ~alpha ~inputs ~adversary seed =
+  let spec =
+    {
+      (Ftc_expt.Runner.default_spec (module P) ~n ~alpha) with
+      Ftc_expt.Runner.inputs;
+      adversary;
+    }
+  in
+  ignore (Ftc_expt.Runner.run spec ~seed)
+
+let le ?(explicit = false) () = Ftc_core.Leader_election.make ~explicit params
+let ag ?(explicit = false) () = Ftc_core.Agreement.make ~explicit params
+let random_adv () = Ftc_fault.Strategy.random_crashes ()
+
+(* One representative workload per experiment id. Small n: bechamel runs
+   each thunk many times. *)
+let workloads : (string * (unit -> unit)) list =
+  [
+    ( "T1",
+      fun () ->
+        one_run (ag ()) ~n:128 ~alpha:0.5 ~inputs:(Ftc_expt.Runner.Random_bits 0.5)
+          ~adversary:random_adv 1 );
+    ( "F1",
+      fun () ->
+        one_run (le ()) ~n:128 ~alpha:0.7 ~inputs:Ftc_expt.Runner.Zeros ~adversary:random_adv 2
+    );
+    ( "F2",
+      fun () ->
+        one_run (le ()) ~n:128 ~alpha:0.4 ~inputs:Ftc_expt.Runner.Zeros ~adversary:random_adv 3
+    );
+    ( "F3",
+      fun () ->
+        one_run (le ()) ~n:128 ~alpha:1.0 ~inputs:Ftc_expt.Runner.Zeros
+          ~adversary:Ftc_fault.Strategy.none 4 );
+    ( "F4",
+      fun () ->
+        one_run (ag ()) ~n:128 ~alpha:0.7 ~inputs:(Ftc_expt.Runner.Random_bits 0.5)
+          ~adversary:random_adv 5 );
+    ( "F5",
+      fun () ->
+        one_run (ag ()) ~n:128 ~alpha:0.4 ~inputs:(Ftc_expt.Runner.Random_bits 0.5)
+          ~adversary:random_adv 6 );
+    ( "F6",
+      fun () ->
+        let rng = Ftc_rng.Rng.create 7 in
+        for _ = 1 to 100 do
+          ignore (Ftc_rng.Dist.binomial rng ~n:4096 ~p:0.01)
+        done );
+    ( "F7",
+      fun () ->
+        one_run (le ()) ~n:128 ~alpha:0.6 ~inputs:Ftc_expt.Runner.Zeros
+          ~adversary:Ftc_fault.Strategy.dormant 8 );
+    ( "F8",
+      fun () ->
+        one_run (le ()) ~n:128 ~alpha:0.5 ~inputs:Ftc_expt.Runner.Zeros
+          ~adversary:Ftc_fault.Strategy.eager 9 );
+    ( "F9",
+      fun () ->
+        let starved =
+          { params with Ftc_core.Params.candidate_coeff = 0.6; referee_coeff = 0.2 }
+        in
+        one_run (Ftc_core.Agreement.make starved) ~n:512 ~alpha:0.5
+          ~inputs:(Ftc_expt.Runner.Random_bits 0.5) ~adversary:Ftc_fault.Strategy.none 10 );
+    ( "F10",
+      fun () ->
+        one_run (le ~explicit:true ()) ~n:128 ~alpha:0.7 ~inputs:Ftc_expt.Runner.Zeros
+          ~adversary:random_adv 11 );
+    ( "F11",
+      fun () ->
+        one_run (le ()) ~n:128 ~alpha:0.5 ~inputs:Ftc_expt.Runner.Zeros
+          ~adversary:(fun () -> Ftc_fault.Strategy.targeted_min_rank ())
+          12 );
+    ( "F12",
+      fun () ->
+        one_run (Ftc_baselines.Kutten_le.make ()) ~n:512 ~alpha:1.0
+          ~inputs:Ftc_expt.Runner.Zeros ~adversary:Ftc_fault.Strategy.none 13 );
+    ( "A1",
+      fun () ->
+        let thin = { params with Ftc_core.Params.candidate_coeff = 1.0 } in
+        one_run (Ftc_core.Leader_election.make thin) ~n:128 ~alpha:0.5
+          ~inputs:Ftc_expt.Runner.Zeros ~adversary:Ftc_fault.Strategy.eager 14 );
+    ( "A2",
+      fun () ->
+        one_run (Ftc_core.Min_agreement.make params) ~n:128 ~alpha:0.6
+          ~inputs:(Ftc_expt.Runner.Random_bits 0.5) ~adversary:random_adv 15 );
+    ( "A3",
+      fun () ->
+        let eager_decide = { params with Ftc_core.Params.quiet_iterations_to_decide = 1 } in
+        one_run (Ftc_core.Leader_election.make eager_decide) ~n:128 ~alpha:0.5
+          ~inputs:Ftc_expt.Runner.Zeros
+          ~adversary:(fun () -> Ftc_fault.Strategy.targeted_min_rank ())
+          16 );
+    ( "A4",
+      fun () ->
+        let inputs = Array.make 128 1 in
+        inputs.(0) <- Ftc_core.Byzantine_probe.byzantine_input;
+        one_run
+          (Ftc_core.Byzantine_probe.make params)
+          ~n:128 ~alpha:0.8
+          ~inputs:(Ftc_expt.Runner.Exact inputs)
+          ~adversary:Ftc_fault.Strategy.none 17 );
+  ]
+
+let run_microbenches ids =
+  let tests =
+    List.filter_map
+      (fun (id, thunk) ->
+        if List.mem id ids then Some (Test.make ~name:id (Staged.stage thunk)) else None)
+      workloads
+  in
+  let grouped = Test.make_grouped ~name:"workload" ~fmt:"%s %s" tests in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~stabilize:false () in
+  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] grouped in
+  print_endline "Micro-benchmarks (ns per representative workload run, OLS fit):";
+  let results =
+    Analyze.all
+      (Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| "run" |])
+      Instance.monotonic_clock raw
+  in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols ->
+      let est = match Analyze.OLS.estimates ols with Some [ e ] -> e | _ -> Float.nan in
+      let r2 = Option.value ~default:Float.nan (Analyze.OLS.r_square ols) in
+      rows := (name, est, r2) :: !rows)
+    results;
+  let rows = List.sort compare !rows in
+  List.iter
+    (fun (name, est, r2) -> Printf.printf "  %-24s %12.0f ns/run   (R^2 = %.3f)\n" name est r2)
+    rows;
+  print_newline ()
+
+let starts_with ~prefix s =
+  String.length s >= String.length prefix && String.sub s 0 (String.length prefix) = prefix
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let flags, ids_raw = List.partition (fun a -> String.length a > 0 && a.[0] = '-') args in
+  let scale = if List.mem "--quick" flags then Ftc_expt.Def.Quick else Ftc_expt.Def.Full in
+  let seed =
+    match List.find_opt (starts_with ~prefix:"--seed=") flags with
+    | Some s -> int_of_string (String.sub s 7 (String.length s - 7))
+    | None -> 1
+  in
+  let all_ids = Ftc_expt.Registry.ids () in
+  let ids =
+    match ids_raw with
+    | [] | [ "all" ] -> all_ids
+    | ids -> List.map String.uppercase_ascii ids
+  in
+  List.iter
+    (fun id ->
+      if Ftc_expt.Registry.find id = None then begin
+        Printf.eprintf "unknown experiment %s (known: %s)\n" id (String.concat " " all_ids);
+        exit 1
+      end)
+    ids;
+  if not (List.mem "--no-bench" flags) then run_microbenches ids;
+  let ctx = { Ftc_expt.Def.scale; base_seed = seed } in
+  List.iter
+    (fun id ->
+      match Ftc_expt.Registry.find id with
+      | None -> ()
+      | Some e ->
+          let t0 = Unix.gettimeofday () in
+          print_string (e.Ftc_expt.Def.run ctx);
+          Printf.printf "[%s completed in %.1f s]\n\n%!" e.Ftc_expt.Def.id
+            (Unix.gettimeofday () -. t0))
+    ids

@@ -1,0 +1,284 @@
+(* The ftc command-line interface.
+
+   Subcommands:
+     election   — run one fault-tolerant leader election and report it
+     agreement  — run one fault-tolerant agreement and report it
+     expt       — run experiments from DESIGN.md's index (T1, F1..F12)
+     clouds     — run a protocol with tracing and print its influence-cloud
+                  decomposition (the lower-bound object)
+     list       — list experiments, protocols and adversaries *)
+
+open Cmdliner
+
+let params = Ftc_core.Params.default
+
+let adversary_of_name name =
+  match List.assoc_opt name (Ftc_fault.Strategy.all ()) with
+  | Some make -> Ok make
+  | None ->
+      Error
+        (Printf.sprintf "unknown adversary %s (known: %s)" name
+           (String.concat ", " (List.map fst (Ftc_fault.Strategy.all ()))))
+
+(* -- shared arguments -- *)
+
+let n_arg =
+  Arg.(value & opt int 1024 & info [ "n" ] ~docv:"N" ~doc:"Network size (number of nodes).")
+
+let alpha_arg =
+  Arg.(
+    value
+    & opt float 0.7
+    & info [ "a"; "alpha" ] ~docv:"ALPHA"
+        ~doc:"Guaranteed non-faulty fraction; up to $(b,(1-ALPHA)n) nodes may crash.")
+
+let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Root random seed.")
+
+let adversary_arg =
+  Arg.(
+    value
+    & opt string "random"
+    & info [ "adversary" ] ~docv:"NAME"
+        ~doc:"Crash adversary: none, dormant, eager, random, targeted-min-rank, first-send, \
+              silence-candidates.")
+
+let explicit_arg =
+  Arg.(value & flag & info [ "explicit" ] ~doc:"Run the explicit variant (everyone learns).")
+
+let trials_arg =
+  Arg.(value & opt int 1 & info [ "trials" ] ~docv:"K" ~doc:"Number of seeded repetitions.")
+
+let report_metrics (r : Ftc_sim.Engine.result) =
+  Printf.printf "  rounds: %d   messages: %s   bits: %s   dropped: %d   crashed: %d\n"
+    r.rounds_used
+    (Ftc_analysis.Table.fmt_int r.metrics.msgs_sent)
+    (Ftc_analysis.Table.fmt_int r.metrics.bits_sent)
+    r.metrics.msgs_dropped
+    (Array.fold_left (fun acc c -> if c then acc + 1 else acc) 0 r.crashed)
+
+let run_spec protocol ~n ~alpha ~inputs ~adversary ~seed ~trace =
+  let spec =
+    {
+      (Ftc_expt.Runner.default_spec protocol ~n ~alpha) with
+      Ftc_expt.Runner.inputs;
+      adversary;
+      record_trace = trace;
+    }
+  in
+  Ftc_expt.Runner.run spec ~seed
+
+(* -- election command -- *)
+
+let election n alpha seed adversary_name explicit trials =
+  match adversary_of_name adversary_name with
+  | Error e ->
+      prerr_endline e;
+      1
+  | Ok adversary ->
+      let ok = ref 0 in
+      for i = 0 to trials - 1 do
+        let o =
+          run_spec
+            (Ftc_core.Leader_election.make ~explicit params)
+            ~n ~alpha ~inputs:Ftc_expt.Runner.Zeros ~adversary ~seed:(seed + i) ~trace:false
+        in
+        let rep = Ftc_core.Properties.check_implicit_election o.result in
+        Printf.printf "seed %d: %s" (seed + i)
+          (if rep.ok then "elected a unique leader" else "FAILED");
+        (match rep.leader with
+        | Some l ->
+            Printf.printf " (node %d, %s)" l
+              (if Option.value ~default:false rep.leader_was_faulty then "faulty"
+               else "non-faulty")
+        | None -> Printf.printf " (leaders: %d, undecided: %d)" rep.live_leaders rep.live_undecided);
+        print_newline ();
+        report_metrics o.result;
+        if explicit then begin
+          let er = Ftc_core.Properties.check_explicit_election o.result in
+          Printf.printf "  explicit: %s (unaware: %d)\n"
+            (if er.ok then "everyone knows the leader" else "FAILED")
+            er.live_unaware
+        end;
+        if rep.ok then incr ok
+      done;
+      if trials > 1 then Printf.printf "success: %d/%d\n" !ok trials;
+      if !ok = trials then 0 else 1
+
+(* -- agreement command -- *)
+
+let agreement n alpha seed adversary_name explicit trials ones_prob =
+  match adversary_of_name adversary_name with
+  | Error e ->
+      prerr_endline e;
+      1
+  | Ok adversary ->
+      let ok = ref 0 in
+      for i = 0 to trials - 1 do
+        let o =
+          run_spec
+            (Ftc_core.Agreement.make ~explicit params)
+            ~n ~alpha
+            ~inputs:(Ftc_expt.Runner.Random_bits ones_prob)
+            ~adversary ~seed:(seed + i) ~trace:false
+        in
+        let rep = Ftc_core.Properties.check_implicit_agreement ~inputs:o.inputs_used o.result in
+        Printf.printf "seed %d: %s" (seed + i)
+          (if rep.ok then
+             Printf.sprintf "agreed on %s with %d deciders"
+               (match rep.value with Some v -> string_of_int v | None -> "?")
+               rep.live_deciders
+           else
+             Printf.sprintf "FAILED (values: %s)"
+               (String.concat "," (List.map string_of_int rep.distinct_values)));
+        print_newline ();
+        report_metrics o.result;
+        if explicit then begin
+          let er = Ftc_core.Properties.check_explicit_agreement ~inputs:o.inputs_used o.result in
+          Printf.printf "  explicit: %s (undecided: %d)\n"
+            (if er.ok then "everyone decided" else "FAILED")
+            er.live_undecided
+        end;
+        if rep.ok then incr ok
+      done;
+      if trials > 1 then Printf.printf "success: %d/%d\n" !ok trials;
+      if !ok = trials then 0 else 1
+
+(* -- expt command -- *)
+
+let expt ids full seed =
+  let all_ids = Ftc_expt.Registry.ids () in
+  let ids = match ids with [] -> all_ids | ids -> List.map String.uppercase_ascii ids in
+  let bad = List.filter (fun id -> Ftc_expt.Registry.find id = None) ids in
+  if bad <> [] then begin
+    Printf.eprintf "unknown experiments: %s (known: %s)\n" (String.concat " " bad)
+      (String.concat " " all_ids);
+    1
+  end
+  else begin
+    let scale = if full then Ftc_expt.Def.Full else Ftc_expt.Def.Quick in
+    let ctx = { Ftc_expt.Def.scale; base_seed = seed } in
+    List.iter
+      (fun id ->
+        match Ftc_expt.Registry.find id with
+        | Some e -> print_string (e.Ftc_expt.Def.run ctx)
+        | None -> ())
+      ids;
+    0
+  end
+
+(* -- clouds command -- *)
+
+let clouds n alpha seed adversary_name scale_factor =
+  match adversary_of_name adversary_name with
+  | Error e ->
+      prerr_endline e;
+      1
+  | Ok adversary ->
+      let starved =
+        {
+          params with
+          Ftc_core.Params.candidate_coeff = params.Ftc_core.Params.candidate_coeff *. scale_factor;
+          referee_coeff = params.Ftc_core.Params.referee_coeff *. scale_factor;
+        }
+      in
+      let o =
+        run_spec
+          (Ftc_core.Agreement.make starved)
+          ~n ~alpha
+          ~inputs:(Ftc_expt.Runner.Random_bits 0.5)
+          ~adversary ~seed ~trace:true
+      in
+      (match o.result.trace with
+      | None -> prerr_endline "no trace recorded"
+      | Some trace ->
+          let infl = Ftc_analysis.Influence.of_trace ~n trace in
+          let decided =
+            Array.map
+              (fun d -> match d with Ftc_sim.Decision.Agreed _ -> true | _ -> false)
+              o.result.decisions
+          in
+          let deciding = Ftc_analysis.Influence.deciding_clouds infl ~decided in
+          Printf.printf "initiators: %d   influence clouds: %d   deciding clouds: %d\n"
+            (List.length infl.initiators) (List.length infl.clouds) (List.length deciding);
+          Printf.printf "pairwise-disjoint clouds: %d   disjoint deciding clouds: %d\n"
+            (Ftc_analysis.Influence.disjoint_cloud_count infl)
+            (Ftc_analysis.Influence.disjoint_cloud_count
+               { infl with Ftc_analysis.Influence.clouds = deciding });
+          List.iteri
+            (fun i c ->
+              if i < 10 then
+                Printf.printf "  cloud %d: initiator %d, %d members\n" i
+                  c.Ftc_analysis.Influence.initiator
+                  (List.length c.Ftc_analysis.Influence.members))
+            infl.clouds;
+          report_metrics o.result;
+          let rep = Ftc_core.Properties.check_implicit_agreement ~inputs:o.inputs_used o.result in
+          Printf.printf "agreement: %s\n" (if rep.ok then "ok" else "FAILED"));
+      0
+
+(* -- list command -- *)
+
+let list_all () =
+  print_endline "Experiments (see DESIGN.md):";
+  List.iter
+    (fun (e : Ftc_expt.Def.t) -> Printf.printf "  %-4s %s\n" e.id e.title)
+    Ftc_expt.Registry.all;
+  print_endline "\nAdversaries:";
+  List.iter (fun (name, _) -> Printf.printf "  %s\n" name) (Ftc_fault.Strategy.all ());
+  print_endline "\nProtocols: ft-leader-election[-explicit], ft-agreement[-explicit],";
+  print_endline "  floodset, rotating-coordinator, tree-agreement, push-gossip,";
+  print_endline "  kutten-leader-election, amp-agreement";
+  0
+
+(* -- command wiring -- *)
+
+let election_cmd =
+  let doc = "Run fault-tolerant implicit leader election (paper Sec. IV-A)." in
+  Cmd.v
+    (Cmd.info "election" ~doc)
+    Term.(
+      const election $ n_arg $ alpha_arg $ seed_arg $ adversary_arg $ explicit_arg $ trials_arg)
+
+let agreement_cmd =
+  let doc = "Run fault-tolerant implicit agreement (paper Sec. V-A)." in
+  let ones =
+    Arg.(
+      value
+      & opt float 0.5
+      & info [ "ones-prob" ] ~docv:"P" ~doc:"Probability that a node's input bit is 1.")
+  in
+  Cmd.v
+    (Cmd.info "agreement" ~doc)
+    Term.(
+      const agreement $ n_arg $ alpha_arg $ seed_arg $ adversary_arg $ explicit_arg $ trials_arg
+      $ ones)
+
+let expt_cmd =
+  let doc = "Run experiments by id (default: all, quick scale)." in
+  let ids = Arg.(value & pos_all string [] & info [] ~docv:"ID") in
+  let full = Arg.(value & flag & info [ "full" ] ~doc:"EXPERIMENTS.md scale.") in
+  Cmd.v (Cmd.info "expt" ~doc) Term.(const expt $ ids $ full $ seed_arg)
+
+let clouds_cmd =
+  let doc = "Trace a run and print its influence-cloud decomposition (Thm 4.2/5.2)." in
+  let scale =
+    Arg.(
+      value
+      & opt float 1.0
+      & info [ "starve" ] ~docv:"S"
+          ~doc:"Scale both sampling constants by $(docv) to starve the protocol of messages.")
+  in
+  Cmd.v
+    (Cmd.info "clouds" ~doc)
+    Term.(const clouds $ n_arg $ alpha_arg $ seed_arg $ adversary_arg $ scale)
+
+let list_cmd =
+  Cmd.v (Cmd.info "list" ~doc:"List experiments, protocols and adversaries.")
+    Term.(const list_all $ const ())
+
+let main =
+  let doc = "fault-tolerant leader election and agreement (Kumar & Molla, PODC'21/TPDS'23)" in
+  Cmd.group (Cmd.info "ftc" ~version:"1.0.0" ~doc)
+    [ election_cmd; agreement_cmd; expt_cmd; clouds_cmd; list_cmd ]
+
+let () = exit (Cmd.eval' main)

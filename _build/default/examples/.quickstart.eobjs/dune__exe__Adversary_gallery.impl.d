@@ -1,0 +1,1 @@
+examples/adversary_gallery.ml: Array Ftc_analysis Ftc_core Ftc_fault Ftc_rng Ftc_sim List Printf

@@ -1,0 +1,1 @@
+examples/permissionless_committee.ml: Array Ftc_analysis Ftc_baselines Ftc_core Ftc_fault Ftc_rng Ftc_sim Printf

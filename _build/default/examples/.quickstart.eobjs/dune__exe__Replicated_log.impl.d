@@ -1,0 +1,1 @@
+examples/replicated_log.ml: Array Ftc_analysis Ftc_core Ftc_fault Ftc_rng Ftc_sim Printf

@@ -1,0 +1,1 @@
+examples/sensor_network.ml: Array Ftc_analysis Ftc_core Ftc_fault Ftc_sim List Printf

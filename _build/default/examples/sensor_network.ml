@@ -1,0 +1,56 @@
+(* A crash-prone sensor field electing a coordinator, epoch after epoch.
+
+   The paper's motivating scenario for *explicit* leader election: sensor
+   networks [6] need every node to know the coordinator (it is where
+   readings are sent), sensors die unpredictably (battery), and radio
+   messages are the dominant energy cost — so the protocol's message
+   complexity is the battery budget.
+
+   Each epoch runs the explicit fault-tolerant election. Between epochs
+   more sensors have died, so alpha decreases; the run shows how message
+   cost grows as the live fraction shrinks (Theorem 4.1's alpha
+   dependence) while the election keeps succeeding, far past the n/2
+   tolerance of classical protocols.
+
+   Run with: dune exec examples/sensor_network.exe *)
+
+let n = 600
+let params = Ftc_core.Params.default
+
+let run_epoch ~epoch ~alpha ~seed =
+  let (module P) = Ftc_core.Leader_election.make ~explicit:true params in
+  let module E = Ftc_sim.Engine.Make (P) in
+  let result =
+    E.run
+      {
+        (Ftc_sim.Engine.default_config ~n ~alpha ~seed) with
+        (* Sensors die mid-transmission: each faulty sensor crashes at a
+           random time and a random half of its in-flight packets are
+           lost. *)
+        adversary = Ftc_fault.Strategy.random_crashes ~drop_prob:0.5 ();
+      }
+  in
+  let report = Ftc_core.Properties.check_explicit_election result in
+  let dead = Array.fold_left (fun acc c -> if c then acc + 1 else acc) 0 result.crashed in
+  Printf.printf "epoch %d  alpha=%.2f  dead=%3d  " epoch alpha dead;
+  (match (report.ok, report.base.leader) with
+  | true, Some leader ->
+      Printf.printf "coordinator: node %-4d  known by all %d survivors  " leader (n - dead)
+  | _ ->
+      Printf.printf "ELECTION FAILED (leaders=%d unaware=%d)  " report.base.live_leaders
+        report.live_unaware);
+  Printf.printf "radio cost: %s msgs, %d rounds\n"
+    (Ftc_analysis.Table.fmt_int result.metrics.msgs_sent)
+    result.rounds_used
+
+let () =
+  Printf.printf "Sensor field: %d nodes, coordinator re-elected each epoch.\n\n" n;
+  List.iteri
+    (fun i alpha -> run_epoch ~epoch:(i + 1) ~alpha ~seed:(100 + i))
+    [ 0.95; 0.8; 0.65; 0.5; 0.35 ];
+  print_newline ();
+  Printf.printf
+    "Note: at alpha = 0.35, %d of %d sensors may fail — twice past the n/2 - 1\n\
+     barrier of Gilbert-Kowalski'10 — and the election still succeeds w.h.p.\n"
+    (Ftc_sim.Engine.max_faulty ~n ~alpha:0.35)
+    n

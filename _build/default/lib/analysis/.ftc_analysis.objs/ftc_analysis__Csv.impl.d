@@ -1,0 +1,1 @@
+lib/analysis/csv.ml: Buffer Fun List String

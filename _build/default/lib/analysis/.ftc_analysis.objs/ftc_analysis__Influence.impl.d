@@ -1,0 +1,1 @@
+lib/analysis/influence.ml: Array Ftc_sim Hashtbl Int List Set

@@ -1,0 +1,1 @@
+lib/analysis/influence.mli: Ftc_sim

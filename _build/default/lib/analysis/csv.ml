@@ -1,0 +1,24 @@
+let escape field =
+  let needs_quote =
+    String.exists (fun c -> c = ',' || c = '"' || c = '\n' || c = '\r') field
+  in
+  if not needs_quote then field
+  else begin
+    let buf = Buffer.create (String.length field + 2) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string buf "\"\"" else Buffer.add_char buf c)
+      field;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+  end
+
+let write ~path ~headers ~rows =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      let line cells = String.concat "," (List.map escape cells) ^ "\n" in
+      output_string oc (line headers);
+      List.iter (fun r -> output_string oc (line r)) rows)

@@ -1,0 +1,7 @@
+(** Minimal CSV export, so experiment series can be re-plotted outside
+    the harness. *)
+
+val write : path:string -> headers:string list -> rows:string list list -> unit
+(** Quotes fields containing commas, quotes, or newlines. *)
+
+val escape : string -> string

@@ -1,0 +1,30 @@
+type t = { exponent : float; log_const : float; r2 : float }
+
+let power_law pairs =
+  let k = List.length pairs in
+  if k < 2 then invalid_arg "Fit.power_law: need at least 2 points";
+  List.iter
+    (fun (x, y) -> if x <= 0. || y <= 0. then invalid_arg "Fit.power_law: non-positive data")
+    pairs;
+  let logs = List.map (fun (x, y) -> (Float.log x, Float.log y)) pairs in
+  let kf = float_of_int k in
+  let sx = List.fold_left (fun a (x, _) -> a +. x) 0. logs in
+  let sy = List.fold_left (fun a (_, y) -> a +. y) 0. logs in
+  let sxx = List.fold_left (fun a (x, _) -> a +. (x *. x)) 0. logs in
+  let sxy = List.fold_left (fun a (x, y) -> a +. (x *. y)) 0. logs in
+  let denom = (kf *. sxx) -. (sx *. sx) in
+  if Float.abs denom < 1e-12 then invalid_arg "Fit.power_law: degenerate x values";
+  let b = ((kf *. sxy) -. (sx *. sy)) /. denom in
+  let a = (sy -. (b *. sx)) /. kf in
+  let ybar = sy /. kf in
+  let ss_tot = List.fold_left (fun acc (_, y) -> acc +. ((y -. ybar) ** 2.)) 0. logs in
+  let ss_res =
+    List.fold_left (fun acc (x, y) -> acc +. ((y -. (a +. (b *. x))) ** 2.)) 0. logs
+  in
+  let r2 = if ss_tot < 1e-12 then 1. else 1. -. (ss_res /. ss_tot) in
+  { exponent = b; log_const = a; r2 }
+
+let power_law_divided_polylog ?(log_power = 2.5) pairs =
+  power_law (List.map (fun (x, y) -> (x, y /. (Float.log x ** log_power))) pairs)
+
+let predict t x = Float.exp (t.log_const +. (t.exponent *. Float.log x))

@@ -1,0 +1,23 @@
+(** Power-law fitting for the scaling experiments.
+
+    The paper's bounds have the form [y = a * x^b * polylog]; the
+    experiments validate the exponent [b] (0.5 in n for messages, -5/2 or
+    -3/2 in alpha, ...). A least-squares line in log-log space recovers it:
+    [log y = log a + b log x]. *)
+
+type t = {
+  exponent : float;  (** Fitted [b]. *)
+  log_const : float;  (** Fitted [log a]. *)
+  r2 : float;  (** Coefficient of determination in log space. *)
+}
+
+val power_law : (float * float) list -> t
+(** [power_law pairs] fits [(x, y)] samples; all values must be positive.
+    @raise Invalid_argument with fewer than 2 points or non-positive data. *)
+
+val power_law_divided_polylog : ?log_power:float -> (float * float) list -> t
+(** Fit after dividing [y] by [(ln x)^log_power] (default 2.5): removes
+    the polylog factor the paper's Õ hides, sharpening the exponent in n. *)
+
+val predict : t -> float -> float
+(** [predict fit x] evaluates the fitted law at [x]. *)

@@ -1,0 +1,43 @@
+(** The combinatorial objects of the lower-bound proofs (Sections IV-B
+    and V-B): communication graphs, initiators, and influence clouds.
+
+    Definitions, from the paper. The {e communication graph} C^r has an
+    edge u -> v iff u sent v a message (that was delivered) in some round
+    r' <= r. A node is an {e initiator} if it sends its first message
+    before receiving any. Node u {e influences} w if there is a
+    time-respecting directed path from u to w. The {e influence cloud} of
+    an initiator u is the ordered set of nodes it influences.
+
+    The proofs show that an algorithm sending o(sqrt(n)/alpha^(3/2))
+    messages leaves, with constant probability, at least two influence
+    clouds that never intersect — and two disjoint clouds elect/decide
+    independently, so they err with constant probability. Experiment F9
+    computes these objects on traces of message-starved protocol variants
+    and watches exactly that happen. *)
+
+type cloud = {
+  initiator : int;
+  members : int list;  (** In order of joining (the paper's C_u^r). *)
+}
+
+type t = {
+  initiators : int list;
+  clouds : cloud list;  (** One per initiator. *)
+  edges : (int * int) list;  (** Distinct delivered (src, dst) pairs. *)
+}
+
+val of_trace : n:int -> Ftc_sim.Trace.t -> t
+(** Builds clouds by chronological replay, so membership respects message
+    timing: a node joins u's cloud when it first receives a message from
+    a node already in the cloud. *)
+
+val disjoint_cloud_count : t -> int
+(** Size of the largest family of pairwise-disjoint influence clouds —
+    the proofs need at least 2 (computed greedily from smallest cloud
+    up, which is exact for the disjoint/overlap structure we test). *)
+
+val deciding_clouds : t -> decided:bool array -> cloud list
+(** Clouds containing at least one node with a decision — the "deciding
+    trees" of Lemma 9. *)
+
+val clouds_disjoint : cloud -> cloud -> bool

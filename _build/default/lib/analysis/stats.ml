@@ -1,0 +1,67 @@
+type summary = {
+  count : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  median : float;
+  p10 : float;
+  p90 : float;
+}
+
+let mean xs =
+  match xs with
+  | [] -> invalid_arg "Stats.mean: empty"
+  | _ -> List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs)
+
+let quantile sorted q =
+  let n = Array.length sorted in
+  if n = 0 then invalid_arg "Stats.quantile: empty";
+  if n = 1 then sorted.(0)
+  else begin
+    let pos = q *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.floor pos) in
+    let hi = min (n - 1) (lo + 1) in
+    let frac = pos -. float_of_int lo in
+    (sorted.(lo) *. (1. -. frac)) +. (sorted.(hi) *. frac)
+  end
+
+let summarize xs =
+  match xs with
+  | [] -> invalid_arg "Stats.summarize: empty"
+  | _ ->
+      let a = Array.of_list xs in
+      Array.sort compare a;
+      let n = Array.length a in
+      let m = mean xs in
+      let var =
+        if n < 2 then 0.
+        else List.fold_left (fun acc x -> acc +. ((x -. m) ** 2.)) 0. xs /. float_of_int (n - 1)
+      in
+      {
+        count = n;
+        mean = m;
+        stddev = sqrt var;
+        min = a.(0);
+        max = a.(n - 1);
+        median = quantile a 0.5;
+        p10 = quantile a 0.1;
+        p90 = quantile a 0.9;
+      }
+
+let of_ints xs = summarize (List.map float_of_int xs)
+
+let wilson_interval ~successes ~trials =
+  if trials <= 0 then invalid_arg "Stats.wilson_interval: trials must be positive";
+  let z = 1.96 in
+  let nf = float_of_int trials in
+  let p = float_of_int successes /. nf in
+  let z2 = z *. z in
+  let denom = 1. +. (z2 /. nf) in
+  let centre = p +. (z2 /. (2. *. nf)) in
+  let half = z *. sqrt ((p *. (1. -. p) /. nf) +. (z2 /. (4. *. nf *. nf))) in
+  (Float.max 0. ((centre -. half) /. denom), Float.min 1. ((centre +. half) /. denom))
+
+let pp_summary ppf s =
+  Format.fprintf ppf "n=%d mean=%.2f sd=%.2f med=%.2f [%.2f, %.2f]" s.count s.mean s.stddev
+    s.median s.min s.max

@@ -1,0 +1,29 @@
+(** Descriptive statistics over experiment samples. *)
+
+type summary = {
+  count : int;
+  mean : float;
+  stddev : float;  (** Sample standard deviation (n - 1 denominator). *)
+  min : float;
+  max : float;
+  median : float;
+  p10 : float;
+  p90 : float;
+}
+
+val summarize : float list -> summary
+(** @raise Invalid_argument on an empty list. *)
+
+val of_ints : int list -> summary
+
+val mean : float list -> float
+
+val quantile : float array -> float -> float
+(** [quantile sorted q] with linear interpolation; [sorted] ascending. *)
+
+val wilson_interval : successes:int -> trials:int -> float * float
+(** 95% Wilson score interval for a Bernoulli proportion — the right
+    interval for success probabilities near 0 or 1, which is where all
+    our w.h.p. measurements live. *)
+
+val pp_summary : Format.formatter -> summary -> unit

@@ -1,0 +1,59 @@
+type align = Left | Right
+
+let widths headers rows =
+  let ncols =
+    List.fold_left (fun acc r -> max acc (List.length r)) (List.length headers) rows
+  in
+  let w = Array.make ncols 0 in
+  let feed row = List.iteri (fun i cell -> w.(i) <- max w.(i) (String.length cell)) row in
+  feed headers;
+  List.iter feed rows;
+  w
+
+let pad align width s =
+  let gap = width - String.length s in
+  if gap <= 0 then s
+  else
+    match align with
+    | Left -> s ^ String.make gap ' '
+    | Right -> String.make gap ' ' ^ s
+
+let render ?aligns ~headers ~rows () =
+  let w = widths headers rows in
+  let ncols = Array.length w in
+  let align_of i =
+    match aligns with
+    | None -> Right
+    | Some l -> ( match List.nth_opt l i with Some a -> a | None -> Right)
+  in
+  let line ch =
+    "+" ^ String.concat "+" (Array.to_list (Array.map (fun c -> String.make (c + 2) ch) w)) ^ "+"
+  in
+  let cells row =
+    let padded =
+      List.init ncols (fun i ->
+          let cell = Option.value ~default:"" (List.nth_opt row i) in
+          " " ^ pad (align_of i) w.(i) cell ^ " ")
+    in
+    "|" ^ String.concat "|" padded ^ "|"
+  in
+  String.concat "\n"
+    ((line '-' :: cells headers :: line '=' :: List.map cells rows) @ [ line '-' ])
+
+let render_markdown ~headers ~rows =
+  let row cells = "| " ^ String.concat " | " cells ^ " |" in
+  let sep = "|" ^ String.concat "|" (List.map (fun _ -> "---") headers) ^ "|" in
+  String.concat "\n" (row headers :: sep :: List.map row rows)
+
+let fmt_float ?(digits = 2) v = Printf.sprintf "%.*f" digits v
+
+let fmt_int v =
+  let s = string_of_int (abs v) in
+  let len = String.length s in
+  let buf = Buffer.create (len + 4) in
+  String.iteri
+    (fun i c ->
+      if i > 0 && (len - i) mod 3 = 0 then Buffer.add_char buf '_';
+      Buffer.add_char buf c)
+    s;
+  (if v < 0 then "-" else "") ^ Buffer.contents buf

@@ -1,0 +1,15 @@
+(** Plain-text table rendering for the experiment reports. *)
+
+type align = Left | Right
+
+val render :
+  ?aligns:align list -> headers:string list -> rows:string list list -> unit -> string
+(** Box-drawn ASCII table; columns sized to contents. Missing cells render
+    empty; [aligns] defaults to Right for every column. *)
+
+val render_markdown : headers:string list -> rows:string list list -> string
+(** GitHub-flavoured markdown table (for EXPERIMENTS.md). *)
+
+val fmt_float : ?digits:int -> float -> string
+val fmt_int : int -> string
+(** Thousands-separated integer, e.g. ["1_234_567"]. *)

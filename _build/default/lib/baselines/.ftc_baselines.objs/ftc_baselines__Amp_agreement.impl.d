@@ -1,0 +1,1 @@
+lib/baselines/amp_agreement.ml: Ftc_core Ftc_rng Ftc_sim List

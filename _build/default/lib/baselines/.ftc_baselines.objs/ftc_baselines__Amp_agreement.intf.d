@@ -1,0 +1,1 @@
+lib/baselines/amp_agreement.mli: Ftc_core Ftc_sim

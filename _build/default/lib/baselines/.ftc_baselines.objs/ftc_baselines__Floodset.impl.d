@@ -1,0 +1,1 @@
+lib/baselines/floodset.ml: Ftc_sim Int List Set

@@ -1,0 +1,1 @@
+lib/baselines/kutten_le.ml: Ftc_core Ftc_rng Ftc_sim Fun List

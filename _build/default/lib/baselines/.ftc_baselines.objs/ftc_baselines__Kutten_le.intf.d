@@ -1,0 +1,1 @@
+lib/baselines/kutten_le.mli: Ftc_core Ftc_sim

@@ -1,0 +1,1 @@
+lib/baselines/rotating.ml: Ftc_sim Fun List

@@ -1,0 +1,1 @@
+lib/baselines/rotating.mli: Ftc_sim

@@ -1,0 +1,1 @@
+lib/baselines/tree_agreement.ml: Ftc_sim Fun List

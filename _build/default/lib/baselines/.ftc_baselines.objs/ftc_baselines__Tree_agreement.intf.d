@@ -1,0 +1,1 @@
+lib/baselines/tree_agreement.mli: Ftc_sim

@@ -1,0 +1,16 @@
+(** Fault-free sublinear implicit agreement, after Augustine, Molla &
+    Pandurangan, "Sublinear message bounds for randomized agreement"
+    (PODC 2018) — reference [23] of the paper, which introduced implicit
+    agreement.
+
+    One candidate/referee round-trip: candidates send their input bit to
+    ~2 sqrt(n ln n) random referees; each referee replies with the
+    minimum bit it heard; candidates decide the minimum of their own bit
+    and all replies. Any two candidates share a referee w.h.p., so every
+    candidate sees 0 if any candidate holds 0 — a non-empty set of nodes
+    decides one common input value (implicit agreement).
+
+    O(1) rounds, O(sqrt(n) log^(3/2) n) messages, no crash tolerance:
+    the alpha = 1 yardstick for experiment F12. *)
+
+val make : ?params:Ftc_core.Params.t -> unit -> (module Ftc_sim.Protocol.S)

@@ -1,0 +1,14 @@
+(** FloodSet: the classical deterministic crash-fault consensus
+    (Pease–Shostak–Lamport lineage; see Lynch, ch. 6).
+
+    Every node floods its value to everyone; whenever its running minimum
+    drops it refloods; after [f + 1] rounds at least one round was free of
+    crashes, so all live nodes share the same minimum and decide it.
+
+    Flooding only on change keeps the message count at O(n^2) instead of
+    O(n^2 f) without affecting correctness. This is the quadratic
+    yardstick of Table I: always correct, tolerance up to n - 1, but a
+    factor ~n^{3/2} more messages than the paper's protocol and Theta(f)
+    rounds instead of O(log n / alpha). *)
+
+val make : unit -> (module Ftc_sim.Protocol.S)

@@ -1,0 +1,51 @@
+module Protocol = Ftc_sim.Protocol
+module Decision = Ftc_sim.Decision
+module Observation = Ftc_sim.Observation
+module Congest = Ftc_sim.Congest
+
+type msg = Push of int
+
+type state = { mutable value : int; mutable decision : Decision.t }
+
+module Make (C : sig
+  val fanout : int
+end) : Protocol.S with type msg = msg = struct
+  type nonrec state = state
+  type nonrec msg = msg
+
+  let name = "push-gossip"
+  let knowledge = `KT0
+  let msg_bits ~n:_ (Push _) = Congest.tag_bits + 1
+
+  let gossip_rounds ~n =
+    let rec log2 acc v = if v <= 1 then acc else log2 (acc + 1) (v / 2) in
+    (2 * log2 0 n) + 4
+
+  let max_rounds ~n ~alpha:_ = gossip_rounds ~n + 1
+
+  let init (ctx : Protocol.ctx) = { value = ctx.input; decision = Decision.Undecided }
+
+  let step (ctx : Protocol.ctx) st ~round ~inbox =
+    List.iter
+      (fun { Protocol.payload = Push v; _ } -> if v < st.value then st.value <- v)
+      inbox;
+    let actions =
+      if round < gossip_rounds ~n:ctx.n then
+        List.init C.fanout (fun _ ->
+            { Protocol.dest = Protocol.Fresh_port; payload = Push st.value })
+      else []
+    in
+    if round = max_rounds ~n:ctx.n ~alpha:ctx.alpha - 1 then
+      st.decision <- Decision.Agreed st.value;
+    (st, actions)
+
+  let decide st = st.decision
+
+  let observe st =
+    { Observation.bystander with has_decided = st.decision <> Decision.Undecided }
+end
+
+let make ?(fanout = 2) () =
+  (module Make (struct
+    let fanout = fanout
+  end) : Protocol.S)

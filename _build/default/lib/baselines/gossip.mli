@@ -1,0 +1,17 @@
+(** Push-gossip agreement — the Chlebus–Kowalski [SPAA'09] stand-in.
+
+    CK'09 ("locally scalable randomized consensus") reaches explicit
+    agreement in expected O(log f) rounds with expected O(n log n)
+    messages against linear crash fractions. This stand-in keeps the
+    complexity shape with the simplest mechanism in that family: for
+    Theta(log n) rounds every live node pushes its running minimum to a
+    constant number of fresh uniformly random peers, then decides the
+    minimum it holds.
+
+    Messages Theta(n log n), rounds Theta(log n), KT0. Unlike CK'09 the
+    guarantee is only probabilistic in a crash-free suffix — a value whose
+    holders all crash mid-epidemic can leave the network split; the T1
+    experiment measures that failure rate (see DESIGN.md substitutions). *)
+
+val make : ?fanout:int -> unit -> (module Ftc_sim.Protocol.S)
+(** [fanout] peers contacted per round (default 2). *)

@@ -1,0 +1,21 @@
+(** Fault-free sublinear implicit leader election, after Kutten,
+    Pandurangan, Peleg, Robinson & Trehan, "Sublinear bounds for
+    randomized leader election" (TCS 2015) — reference [21] of the paper
+    and the origin of its candidate/referee structure.
+
+    Each node self-selects as a candidate with probability ~6 ln n / n
+    (Theta(log n) candidates), draws a rank, and sends it to
+    ~2 sqrt(n ln n) random referees. Each referee replies with the
+    smallest rank it heard; a candidate whose every reply equals its own
+    rank is the leader. Any two candidates share a referee w.h.p.
+    (birthday bound), so the winner is unique.
+
+    O(1) rounds and O(sqrt(n) log^(3/2) n) messages — the fault-free
+    yardstick for the "surprising fact" of Section I-A: with constant
+    alpha, the paper's crash-tolerant protocol matches this bound up to a
+    polylog factor (experiment F12). No crash tolerance: one crashed
+    candidate can leave the network leaderless. *)
+
+val make : ?params:Ftc_core.Params.t -> unit -> (module Ftc_sim.Protocol.S)
+(** Constants are shared with the core protocol's {!Ftc_core.Params} at
+    alpha = 1. *)

@@ -1,0 +1,48 @@
+module Protocol = Ftc_sim.Protocol
+module Decision = Ftc_sim.Decision
+module Observation = Ftc_sim.Observation
+module Congest = Ftc_sim.Congest
+
+type msg = Adopt of int
+
+type state = { self : int; mutable value : int; mutable decision : Decision.t }
+
+module P : Protocol.S with type msg = msg = struct
+  type nonrec state = state
+  type nonrec msg = msg
+
+  let name = "rotating-coordinator"
+  let knowledge = `KT1
+  let msg_bits ~n:_ (Adopt _) = Congest.tag_bits + 1
+
+  let phases ~n ~alpha = Ftc_sim.Engine.max_faulty ~n ~alpha + 1
+  let max_rounds ~n ~alpha = phases ~n ~alpha + 1
+
+  let init (ctx : Protocol.ctx) =
+    let self = match ctx.self with Some s -> s | None -> invalid_arg "rotating: needs KT1" in
+    { self; value = ctx.input; decision = Decision.Undecided }
+
+  let step (ctx : Protocol.ctx) st ~round ~inbox =
+    List.iter (fun { Protocol.payload = Adopt v; _ } -> st.value <- v) inbox;
+    let actions =
+      if round < phases ~n:ctx.n ~alpha:ctx.alpha && round = st.self then
+        List.filter_map
+          (fun d -> if d = st.self then None else Some { Protocol.dest = Protocol.Node d; payload = Adopt st.value })
+          (List.init ctx.n Fun.id)
+      else []
+    in
+    if round = max_rounds ~n:ctx.n ~alpha:ctx.alpha - 1 then
+      st.decision <- Decision.Agreed st.value;
+    (st, actions)
+
+  let decide st = st.decision
+
+  let observe st =
+    {
+      Observation.role = Observation.Coordinator;
+      rank = Some st.self;
+      has_decided = st.decision <> Decision.Undecided;
+    }
+end
+
+let make () = (module P : Protocol.S)

@@ -1,0 +1,15 @@
+(** Rotating-coordinator consensus (the synchronous crash-fault classic
+    behind the deterministic rows of Table I, e.g. Chlebus–Kowalski–
+    Strojnowski's O(f)-time, Omega~(n)-message regime).
+
+    KT1 model: in phase p (one round) the node with identifier p, if
+    alive, broadcasts its current value; every receiver adopts it. After
+    f + 1 phases at least one coordinator was non-faulty for its whole
+    phase, and every later (possibly crashing) coordinator re-broadcasts
+    that adopted value, so partial deliveries cannot reintroduce
+    disagreement.
+
+    Messages O(n f), rounds f + 2, tolerance up to n - 1: time and
+    messages both linear in f where the paper pays only polylog. *)
+
+val make : unit -> (module Ftc_sim.Protocol.S)

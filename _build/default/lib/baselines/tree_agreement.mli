@@ -1,0 +1,21 @@
+(** Tree-aggregation agreement — the Gilbert–Kowalski [SODA'10] stand-in.
+
+    GK'10 achieves explicit agreement with O(n) messages (KT1, known
+    neighbours) and O(log n) rounds, tolerating up to n/2 - 1 crashes, via
+    a 30-page epoch/checkpointing construction. Reproducing that machinery
+    verbatim is out of scope; this module implements a protocol with the
+    same *complexity shape*, as recorded in DESIGN.md's substitution list:
+
+    - values are min-aggregated up a static binary tree over the node
+      identifiers, every node sending to both its parent and grandparent
+      so a single crash on the path cannot lose a subtree;
+    - the root then broadcasts the aggregate; if a node has seen no
+      broadcast by the time its tree depth is scheduled, it broadcasts its
+      own aggregate as a backup root (depth level by depth level).
+
+    Messages O(n) plus O(n) per backup level actually triggered; rounds
+    O(log n). Unlike GK'10 this stand-in can disagree when both ancestors
+    of a subtree crash in the same window — the T1 experiment measures
+    that failure rate instead of assuming it away. *)
+
+val make : unit -> (module Ftc_sim.Protocol.S)

@@ -1,0 +1,1 @@
+lib/core/agreement.ml: Ftc_rng Ftc_sim Fun Int List Params Set

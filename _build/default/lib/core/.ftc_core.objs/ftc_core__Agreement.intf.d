@@ -1,0 +1,1 @@
+lib/core/agreement.mli: Ftc_sim Params

@@ -1,0 +1,1 @@
+lib/core/byzantine_probe.ml: Ftc_rng Ftc_sim Fun List Params

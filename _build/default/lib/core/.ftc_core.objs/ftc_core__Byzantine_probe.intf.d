@@ -1,0 +1,1 @@
+lib/core/byzantine_probe.mli: Ftc_sim Params

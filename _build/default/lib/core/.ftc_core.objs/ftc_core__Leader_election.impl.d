@@ -1,0 +1,1 @@
+lib/core/leader_election.ml: Ftc_rng Ftc_sim Fun Int List Params Set

@@ -1,0 +1,1 @@
+lib/core/leader_election.mli: Ftc_sim Params

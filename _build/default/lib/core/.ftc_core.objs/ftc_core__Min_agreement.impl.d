@@ -1,0 +1,1 @@
+lib/core/min_agreement.ml: Ftc_rng Ftc_sim Fun List Params

@@ -1,0 +1,1 @@
+lib/core/min_agreement.mli: Ftc_sim Params

@@ -1,0 +1,1 @@
+lib/core/properties.ml: Array Ftc_sim Hashtbl List

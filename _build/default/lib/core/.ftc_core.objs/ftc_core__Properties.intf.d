@@ -1,0 +1,1 @@
+lib/core/properties.mli: Ftc_sim

@@ -1,0 +1,32 @@
+(** Fault-tolerant implicit (binary) agreement (Section V-A of the paper).
+
+    Structure as in {!Leader_election}: a random committee of
+    ~6 ln n / alpha candidates, each wired to ~2 sqrt(n ln n / alpha)
+    referees; Lemmas 2 and 3 give a non-faulty candidate and a common
+    non-faulty referee per candidate pair w.h.p.
+
+    The candidates are biased towards 0:
+
+    + {b Step 0} — a candidate with input 0 sends 0 to its referees and
+      decides 0; a candidate with input 1 sends 1 (merely to register as a
+      candidate) and waits.
+    + {b Step 1} (iterated) — a candidate receiving 0 that has not yet
+      decided 0 forwards 0 to its referees once, and decides 0.
+    + {b Step 2} (iterated) — a referee holding 0 that has not yet
+      forwarded it sends 0 to its candidates once.
+
+    After O(log n / alpha) two-round iterations every live candidate that
+    could ever hear a 0 has heard it (at most one crash can stall the
+    propagation per iteration); candidates that never saw a 0 decide 1.
+    Each candidate and each referee forwards 0 at most once and all
+    messages are single-bit values, giving the
+    O(sqrt(n) log^(3/2) n / alpha^(3/2))-bit bound of Theorem 5.1.
+
+    With [explicit = true], decided candidates broadcast the agreed value
+    to all n-1 ports in the final round — the O(n log n / alpha)-message
+    extension of Section V-A — and every node decides. *)
+
+val make : ?explicit:bool -> Params.t -> (module Ftc_sim.Protocol.S)
+
+val calendar_rounds : Params.t -> n:int -> alpha:float -> int
+(** Rounds of the implicit calendar ([max_rounds]; +2 in explicit mode). *)

@@ -1,0 +1,21 @@
+(** A Byzantine probe for the paper's open question 3.
+
+    The paper closes asking "whether a sub-linear message bound agreement
+    protocol is possible in the presence of Byzantine node failure". This
+    module demonstrates why the question is open: the crash-fault
+    agreement protocol of Section V-A relies on every received 0 being
+    *somebody's input*, so a single equivocating node that forges a 0
+    breaks validity network-wide at sublinear cost to the attacker.
+
+    The probe protocol behaves exactly like {!Agreement} for honest nodes
+    (inputs 0/1). A node whose input is {!byzantine_input} plays the
+    attacker: it always joins the committee and injects a forged 0.
+    Experiment A4 measures the validity-violation probability as a
+    function of the number of attackers — it jumps to ~1 with a single
+    Byzantine node, confirming that crash-tolerance of the sampling
+    overlay does not extend to Byzantine tolerance for free. *)
+
+val byzantine_input : int
+(** Input value marking a node as a Byzantine attacker (2). *)
+
+val make : Params.t -> (module Ftc_sim.Protocol.S)

@@ -1,0 +1,50 @@
+(** Fault-tolerant implicit leader election (Section IV-A of the paper).
+
+    Every node draws a random rank from [1, n^4] (its identity) and
+    self-selects as a *candidate* with probability ~6 ln n / (alpha n).
+    Each candidate samples ~2 sqrt(n ln n / alpha) *referee* nodes through
+    fresh random ports; candidates never talk to each other directly — all
+    communication is relayed by referees, and Lemma 3 guarantees every pair
+    of candidates shares a non-faulty referee w.h.p.
+
+    The protocol then runs O(log n / alpha) iterations of four rounds:
+
+    + {b A} (candidate → referees): propose the minimum not-yet-retired
+      rank from the locally known rank list; proposing one's own rank
+      marks the node as leader.
+    + {b B} (referee → its candidates): relay the {e maximum} proposal
+      received, flagged as owner-proposed when the proposer proposed its
+      own rank. Maximum, because a larger proposal means the proposer has
+      already discarded smaller, crashed ranks.
+    + {b C} (candidate → referees): on an owner-proposed maximum, adopt it
+      as the (confirmed) leader and echo support; on seeing one's own rank
+      as the maximum, broadcast an owner confirmation; otherwise support
+      the maximum if known.
+    + {b D} (referee → its candidates): relay the maximum confirmation.
+
+    A candidate whose proposed rank produces no confirmation for a full
+    iteration retires that rank as crashed and moves to the next minimum
+    (the paper's Step 4 timeout). Confirmed-leader adoption is monotone in
+    the rank, which resolves transient split beliefs caused by partially
+    lost confirmations: the largest confirmation that reaches a shared
+    non-faulty referee wins.
+
+    Reconstruction note: the IEEE supplemental pseudocode is not publicly
+    available; this implementation follows the prose of Section IV-A.
+    Where the prose is ambiguous we chose the reading that preserves the
+    stated bounds and noted it in comments. The protocol is Monte Carlo —
+    its w.h.p. failure probability is measured, not assumed, by the F7 and
+    F11 experiments.
+
+    With [explicit = true] the elected leader broadcasts its rank to all
+    [n - 1] ports after the implicit phase, and every node decides
+    [Follower rank] — the O(n log n / alpha)-message extension described
+    at the end of Section IV-A. *)
+
+val make : ?explicit:bool -> Params.t -> (module Ftc_sim.Protocol.S)
+(** [make params] builds the protocol as a first-class module, ready for
+    [Ftc_sim.Engine.Make]. *)
+
+val calendar_rounds : Params.t -> n:int -> alpha:float -> int
+(** Total rounds of the implicit calendar (preprocessing + iterations);
+    [max_rounds] of the protocol, plus 2 more in explicit mode. *)

@@ -1,0 +1,28 @@
+(** Multi-valued implicit agreement — an extension of the paper's binary
+    protocol (Section V-A) to arbitrary bounded integer inputs.
+
+    The binary protocol is a special case of minimum-propagation: "0
+    spreads, 1 stays silent" is exactly "the smaller value spreads". This
+    module generalises it: inputs are integers in [0, n^4] (so a value
+    fits the CONGEST budget like a rank), candidates register with random
+    referees carrying their input, and both candidates and referees
+    re-forward their running minimum whenever it strictly improves.
+
+    Guarantees carry over from Lemmas 2 and 3: with a non-faulty
+    candidate in the committee and a common non-faulty referee per
+    candidate pair, all live candidates converge to the same minimum of
+    the candidates' inputs within O(log n / alpha) iterations, and that
+    value is some node's input (validity).
+
+    Cost: a node may forward once per strict improvement of its running
+    minimum. With k distinct candidate input values this multiplies the
+    binary protocol's O(sqrt(n) log^(3/2) n / alpha^(3/2)) bound by at
+    most min(k, |C|); for uniformly random inputs the expected number of
+    record improvements is harmonic, i.e. an O(log log-ish) factor in
+    practice. The messages are value-sized, so bits carry an extra
+    O(log n) as in Remark 1. This is an extension beyond the paper,
+    ablated in experiment A2. *)
+
+val make : Params.t -> (module Ftc_sim.Protocol.S)
+(** Node inputs are clamped to [0, n^4]. Candidates decide the committee
+    minimum; non-candidates stay undecided (implicit agreement). *)

@@ -1,0 +1,42 @@
+type t = {
+  candidate_coeff : float;
+  referee_coeff : float;
+  iteration_coeff : float;
+  iteration_slack : int;
+  rank_power : int;
+  quiet_iterations_to_decide : int;
+}
+
+let default =
+  {
+    candidate_coeff = 6.;
+    referee_coeff = 2.;
+    iteration_coeff = 12.;
+    iteration_slack = 4;
+    rank_power = 4;
+    quiet_iterations_to_decide = 2;
+  }
+
+let ln n = Float.log (float_of_int (max 2 n))
+
+let candidate_prob t ~n ~alpha =
+  let p = t.candidate_coeff *. ln n /. (alpha *. float_of_int n) in
+  Float.min 1. (Float.max 0. p)
+
+let referee_count t ~n ~alpha =
+  let k = t.referee_coeff *. sqrt (float_of_int n *. ln n /. alpha) in
+  min (n - 1) (max 1 (int_of_float (ceil k)))
+
+let iterations t ~n ~alpha =
+  int_of_float (ceil (t.iteration_coeff *. ln n /. alpha)) + t.iteration_slack
+
+let rank_bound t ~n =
+  let rec pow acc i = if i = 0 then acc else pow (acc * n) (i - 1) in
+  if float_of_int n ** float_of_int t.rank_power >= float_of_int (max_int / 2) then
+    max_int / 2
+  else max n (pow 1 t.rank_power)
+
+let preprocessing_rounds t ~n ~alpha =
+  int_of_float (ceil (2. *. t.candidate_coeff *. ln n /. alpha)) + 2
+
+let expected_candidates t ~n ~alpha = t.candidate_coeff *. ln n /. alpha

@@ -1,0 +1,50 @@
+(** Protocol parameters and the quantities derived from them.
+
+    The paper fixes concrete constants in its analysis: each node becomes a
+    candidate with probability [6 ln n / (alpha n)] (Lemma 1), each
+    candidate samples [2 (n ln n / alpha)^(1/2)] referees (Lemma 3), ranks
+    are drawn from [1, n^4] (footnote 4), and the iterative phase runs for
+    O(log n / alpha) iterations — enough that the crashed prefix of
+    candidate ranks (at most |C| <= 12 ln n / alpha w.h.p.) is exhausted.
+
+    All constants live here as one record so the ablation experiments
+    (Figure F8) can scale them and watch the guarantees degrade. *)
+
+type t = {
+  candidate_coeff : float;
+      (** [c] in candidate probability [c ln n / (alpha n)]; paper: 6. *)
+  referee_coeff : float;
+      (** [c] in referee sample size [c (n ln n / alpha)^(1/2)]; paper: 2. *)
+  iteration_coeff : float;
+      (** [c] in iteration count [c ln n / alpha]; 12 matches the w.h.p.
+          upper bound on the number of candidates, so there is an
+          iteration to spare for every possible candidate crash. *)
+  iteration_slack : int;  (** Additive iterations beyond the coefficient. *)
+  rank_power : int;  (** Ranks are uniform on [1, n^rank_power]; paper: 4. *)
+  quiet_iterations_to_decide : int;
+      (** A candidate with a confirmed leader view that hears nothing for
+          this many full iterations decides early (the run then stops on
+          quiescence). Pure optimisation; never weakens safety because
+          deciding does not halt a node. *)
+}
+
+val default : t
+
+val candidate_prob : t -> n:int -> alpha:float -> float
+(** Self-selection probability, clamped to [0, 1]. *)
+
+val referee_count : t -> n:int -> alpha:float -> int
+(** Referee sample size per candidate, clamped to [n - 1]. *)
+
+val iterations : t -> n:int -> alpha:float -> int
+
+val rank_bound : t -> n:int -> int
+(** Upper end of the rank range; capped to stay within [max_int]. *)
+
+val preprocessing_rounds : t -> n:int -> alpha:float -> int
+(** Rounds reserved for referees to forward rank lists, one rank per edge
+    per round: the w.h.p. upper bound on the candidate count, since a
+    referee serves at most |C| candidates and relays at most |C| ranks. *)
+
+val expected_candidates : t -> n:int -> alpha:float -> float
+(** The mean candidate-set size [c ln n / alpha] (for tests and reports). *)

@@ -1,0 +1,115 @@
+module Decision = Ftc_sim.Decision
+module Engine = Ftc_sim.Engine
+
+type election_report = {
+  ok : bool;
+  live_leaders : int;
+  live_undecided : int;
+  leader : int option;
+  leader_was_faulty : bool option;
+  crashed_leaders : int;
+}
+
+let check_implicit_election (r : Engine.result) =
+  let n = Array.length r.decisions in
+  let live_leaders = ref 0 and live_undecided = ref 0 and crashed_leaders = ref 0 in
+  let leader = ref None in
+  for i = 0 to n - 1 do
+    match r.decisions.(i) with
+    | Decision.Elected ->
+        if r.crashed.(i) then incr crashed_leaders
+        else begin
+          incr live_leaders;
+          leader := Some i
+        end
+    | Decision.Undecided -> if not r.crashed.(i) then incr live_undecided
+    | Decision.Not_elected | Decision.Follower _ | Decision.Agreed _ -> ()
+  done;
+  let ok = !live_leaders = 1 && !live_undecided = 0 in
+  {
+    ok;
+    live_leaders = !live_leaders;
+    live_undecided = !live_undecided;
+    leader = (if !live_leaders = 1 then !leader else None);
+    leader_was_faulty =
+      (match (!live_leaders, !leader) with 1, Some l -> Some r.faulty.(l) | _ -> None);
+    crashed_leaders = !crashed_leaders;
+  }
+
+type explicit_election_report = {
+  base : election_report;
+  ok : bool;
+  live_unaware : int;
+  distinct_named_ranks : int;
+}
+
+let check_explicit_election (r : Engine.result) =
+  let base = check_implicit_election r in
+  let n = Array.length r.decisions in
+  let live_unaware = ref 0 in
+  let named = Hashtbl.create 4 in
+  for i = 0 to n - 1 do
+    if not r.crashed.(i) then begin
+      match r.decisions.(i) with
+      | Decision.Follower rank -> Hashtbl.replace named rank ()
+      | Decision.Not_elected | Decision.Undecided -> incr live_unaware
+      | Decision.Elected | Decision.Agreed _ -> ()
+    end
+  done;
+  let distinct = Hashtbl.length named in
+  {
+    base;
+    ok = base.ok && !live_unaware = 0 && distinct <= 1;
+    live_unaware = !live_unaware;
+    distinct_named_ranks = distinct;
+  }
+
+type agreement_report = {
+  ok : bool;
+  live_deciders : int;
+  live_undecided : int;
+  distinct_values : int list;
+  value : int option;
+  valid : bool;
+}
+
+let agreement_common ~inputs (r : Engine.result) =
+  let n = Array.length r.decisions in
+  let live_deciders = ref 0 and live_undecided = ref 0 in
+  let values = Hashtbl.create 4 in
+  for i = 0 to n - 1 do
+    if not r.crashed.(i) then begin
+      match r.decisions.(i) with
+      | Decision.Agreed v ->
+          incr live_deciders;
+          Hashtbl.replace values v ()
+      | Decision.Undecided -> incr live_undecided
+      | Decision.Elected | Decision.Not_elected | Decision.Follower _ -> ()
+    end
+  done;
+  let distinct = List.sort compare (Hashtbl.fold (fun v () acc -> v :: acc) values []) in
+  let value = match distinct with [ v ] -> Some v | [] | _ :: _ :: _ -> None in
+  let valid = match value with None -> false | Some v -> Array.exists (fun x -> x = v) inputs in
+  (!live_deciders, !live_undecided, distinct, value, valid)
+
+let check_implicit_agreement ~inputs (r : Engine.result) =
+  let live_deciders, live_undecided, distinct_values, value, valid = agreement_common ~inputs r in
+  {
+    ok = live_deciders > 0 && List.length distinct_values = 1 && valid;
+    live_deciders;
+    live_undecided;
+    distinct_values;
+    value;
+    valid;
+  }
+
+let check_explicit_agreement ~inputs (r : Engine.result) =
+  let live_deciders, live_undecided, distinct_values, value, valid = agreement_common ~inputs r in
+  {
+    ok = live_deciders > 0 && live_undecided = 0 && List.length distinct_values = 1 && valid;
+    live_deciders;
+    live_undecided;
+    distinct_values;
+    value;
+    valid;
+  }

@@ -1,0 +1,54 @@
+(** Post-run correctness checkers for the two problems.
+
+    These implement Definitions 1 and 2 of the paper, with the standard
+    crash-fault convention that only nodes alive at the end of the run are
+    held to the specification (a node that crashed is faulty by
+    definition; its last recorded output is reported but not judged).
+
+    The protocols are Monte Carlo, so the checkers return verdicts rather
+    than raising: the experiments aggregate them into empirical success
+    probabilities, which is exactly what the paper's w.h.p. statements
+    predict. *)
+
+type election_report = {
+  ok : bool;  (** Exactly one live leader and no live undecided node. *)
+  live_leaders : int;
+  live_undecided : int;
+  leader : int option;  (** The unique live leader's index, when [ok]. *)
+  leader_was_faulty : bool option;
+      (** When a unique live leader exists: was it in the faulty set?
+          Footnote 3 of the paper: the elected leader is guaranteed
+          non-faulty only with probability >= alpha. *)
+  crashed_leaders : int;
+      (** Crashed nodes whose final state still said Elected; informative
+          only. *)
+}
+
+val check_implicit_election : Ftc_sim.Engine.result -> election_report
+
+type explicit_election_report = {
+  base : election_report;
+  ok : bool;  (** [base.ok], every live non-leader knows a leader rank,
+                  and all of them name the same rank. *)
+  live_unaware : int;  (** Live nodes that never learned the leader. *)
+  distinct_named_ranks : int;
+}
+
+val check_explicit_election : Ftc_sim.Engine.result -> explicit_election_report
+
+type agreement_report = {
+  ok : bool;
+      (** Some live node decided, all live deciders agree, and the common
+          value is the input of some node (validity). *)
+  live_deciders : int;
+  live_undecided : int;
+  distinct_values : int list;  (** Distinct values decided by live nodes. *)
+  value : int option;  (** The common value, when consensus held. *)
+  valid : bool;  (** The common value was somebody's input. *)
+}
+
+val check_implicit_agreement : inputs:int array -> Ftc_sim.Engine.result -> agreement_report
+
+val check_explicit_agreement : inputs:int array -> Ftc_sim.Engine.result -> agreement_report
+(** As {!check_implicit_agreement}, but additionally every live node must
+    have decided. *)

@@ -1,0 +1,1 @@
+lib/expt/ablations.ml: Array Def Ftc_analysis Ftc_core Ftc_fault Ftc_rng List Printf Runner String

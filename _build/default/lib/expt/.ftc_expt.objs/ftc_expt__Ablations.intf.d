@@ -1,0 +1,1 @@
+lib/expt/ablations.mli: Def

@@ -1,0 +1,1 @@
+lib/expt/byzantine.ml: Array Def Ftc_analysis Ftc_core Ftc_sim List Printf Runner String

@@ -1,0 +1,1 @@
+lib/expt/byzantine.mli: Def

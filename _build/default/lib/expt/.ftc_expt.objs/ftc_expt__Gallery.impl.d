@@ -1,0 +1,1 @@
+lib/expt/gallery.ml: Def Ftc_analysis Ftc_baselines Ftc_core Ftc_fault List Printf Runner String

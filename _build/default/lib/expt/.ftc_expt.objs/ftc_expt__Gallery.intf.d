@@ -1,0 +1,1 @@
+lib/expt/gallery.mli: Def

@@ -1,0 +1,1 @@
+lib/expt/lemmas.ml: Array Def Float Ftc_analysis Ftc_core Ftc_fault Ftc_rng Ftc_sim Fun Hashtbl List Printf Runner String

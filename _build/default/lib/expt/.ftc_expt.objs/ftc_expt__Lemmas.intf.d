@@ -1,0 +1,1 @@
+lib/expt/lemmas.mli: Def

@@ -1,0 +1,1 @@
+lib/expt/lower_bound.mli: Def

@@ -1,0 +1,1 @@
+lib/expt/registry.ml: Ablations Byzantine Def Gallery Lemmas List Lower_bound Scaling String Table1

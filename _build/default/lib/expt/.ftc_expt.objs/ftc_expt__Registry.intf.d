@@ -1,0 +1,1 @@
+lib/expt/registry.mli: Def

@@ -1,0 +1,1 @@
+lib/expt/runner.ml: Array Ftc_analysis Ftc_fault Ftc_rng Ftc_sim List Printf

@@ -1,0 +1,1 @@
+lib/expt/runner.mli: Ftc_analysis Ftc_sim

@@ -1,0 +1,1 @@
+lib/expt/scaling.ml: Def Float Ftc_analysis Ftc_core Ftc_fault List Printf Runner String

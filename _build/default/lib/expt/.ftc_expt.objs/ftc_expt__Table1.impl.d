@@ -1,0 +1,1 @@
+lib/expt/table1.ml: Def Ftc_analysis Ftc_baselines Ftc_core Ftc_fault Ftc_sim List Printf Runner String

@@ -1,0 +1,21 @@
+(** Ablation experiments for the design constants and extensions.
+
+    A1 — candidate-probability constant (Lemma 1/2): shrink the paper's
+    coefficient 6 in [6 ln n / (alpha n)] and watch the election die when
+    the committee stops containing a non-faulty candidate, while the
+    message bill shrinks. Together with F8 (referee constant) this covers
+    the two sampling knobs of the algorithm.
+
+    A2 — the multi-valued extension: cost of {!Ftc_core.Min_agreement}
+    as the number of distinct input values grows, against the binary
+    protocol's baseline cost (the improvement-chain factor).
+
+    A3 — the early-decision optimisation: the quiet-iterations threshold
+    before a settled candidate fixes its output. Lower thresholds stop
+    runs sooner; the ablation verifies success probability does not pay
+    for it (deciding never halts a node, so safety is expected to hold
+    at every setting). *)
+
+val a1 : Def.t
+val a2 : Def.t
+val a3 : Def.t

@@ -1,0 +1,73 @@
+module Table = Ftc_analysis.Table
+module Decision = Ftc_sim.Decision
+
+let a4 =
+  {
+    Def.id = "A4";
+    title = "Byzantine probe: one forged 0 breaks validity (open question 3)";
+    paper = "Sec. VI open question 3: sublinear agreement under Byzantine faults";
+    run =
+      (fun ctx ->
+        let n = match ctx.scale with Def.Quick -> 512 | Def.Full -> 1024 in
+        let alpha = 0.8 in
+        let trials = Def.trials ctx ~quick:10 ~full:25 in
+        let attacker_counts = [ 0; 1; 2; 8 ] in
+        let rows =
+          List.map
+            (fun b ->
+              let violated = ref 0 and decided_zero_total = ref 0 and msgs = ref 0 in
+              List.iter
+                (fun seed ->
+                  (* Honest nodes all hold 1; attackers are marked by the
+                     sentinel input. *)
+                  let inputs = Array.make n 1 in
+                  for i = 0 to b - 1 do
+                    inputs.(i) <- Ftc_core.Byzantine_probe.byzantine_input
+                  done;
+                  let o =
+                    Runner.run
+                      {
+                        (Runner.default_spec
+                           (Ftc_core.Byzantine_probe.make Ftc_core.Params.default)
+                           ~n ~alpha)
+                        with
+                        inputs = Runner.Exact inputs;
+                      }
+                      ~seed
+                  in
+                  msgs := !msgs + o.result.Ftc_sim.Engine.metrics.Ftc_sim.Metrics.msgs_sent;
+                  let honest_zero = ref 0 in
+                  Array.iteri
+                    (fun i d ->
+                      if
+                        inputs.(i) <> Ftc_core.Byzantine_probe.byzantine_input
+                        && (not o.result.Ftc_sim.Engine.crashed.(i))
+                        && Decision.equal d (Decision.Agreed 0)
+                      then incr honest_zero)
+                    o.result.Ftc_sim.Engine.decisions;
+                  decided_zero_total := !decided_zero_total + !honest_zero;
+                  if !honest_zero > 0 then incr violated)
+                (Runner.seeds ~base:ctx.base_seed ~count:trials);
+              [
+                string_of_int b;
+                Printf.sprintf "%d/%d" !violated trials;
+                string_of_int (!decided_zero_total / trials);
+                Table.fmt_int (!msgs / trials);
+              ])
+            attacker_counts
+        in
+        Def.section "A4" "Byzantine probe (open question 3)"
+          (String.concat "\n"
+             [
+               Printf.sprintf
+                 "n = %d, alpha = %.2f, all honest inputs = 1, b attackers forge a 0.\n\
+                  Validity is violated whenever any live honest node decides 0: the\n\
+                  crash-fault machinery offers no Byzantine protection, so the\n\
+                  violation rate jumps to ~1 at b = 1 while the attack stays\n\
+                  sublinear in cost."
+                 n alpha;
+               Table.render
+                 ~headers:[ "attackers"; "validity violated"; "honest 0-deciders"; "messages" ]
+                 ~rows ();
+             ]));
+  }

@@ -1,0 +1,9 @@
+(** Experiment A4: the Byzantine probe (the paper's open question 3).
+
+    All honest inputs are 1; [b] attackers forge a 0 through the normal
+    committee machinery. Any honest node deciding 0 violates validity.
+    The crash-fault protocol should collapse at b = 1 — evidence that
+    sublinear *Byzantine* agreement needs genuinely new techniques, which
+    is exactly why the paper leaves it open. *)
+
+val a4 : Def.t

@@ -1,0 +1,12 @@
+type scale = Quick | Full
+
+type ctx = { scale : scale; base_seed : int }
+
+type t = { id : string; title : string; paper : string; run : ctx -> string }
+
+let trials ctx ~quick ~full = match ctx.scale with Quick -> quick | Full -> full
+
+let section id title body =
+  let header = Printf.sprintf "== %s: %s ==" id title in
+  let bar = String.make (String.length header) '=' in
+  String.concat "\n" [ bar; header; bar; body; "" ]

@@ -1,0 +1,19 @@
+(** Experiment definitions: one value of type {!t} per table/figure of
+    DESIGN.md's experiment index. *)
+
+type scale =
+  | Quick  (** Small n, few trials — smoke-check the shapes in seconds. *)
+  | Full  (** The sizes and trial counts used for EXPERIMENTS.md. *)
+
+type ctx = { scale : scale; base_seed : int }
+
+type t = {
+  id : string;  (** e.g. "T1", "F9"; stable, used by the CLI and bench. *)
+  title : string;
+  paper : string;  (** The paper artefact this reproduces. *)
+  run : ctx -> string;  (** Produces the printable report. *)
+}
+
+val trials : ctx -> quick:int -> full:int -> int
+val section : string -> string -> string -> string
+(** [section id title body] formats a report block. *)

@@ -1,0 +1,133 @@
+module Stats = Ftc_analysis.Stats
+module Table = Ftc_analysis.Table
+module Params = Ftc_core.Params
+
+let params = Params.default
+
+let f11 =
+  {
+    Def.id = "F11";
+    title = "adversary gallery: correctness under every crash strategy";
+    paper = "Section II model: static selection, adaptive timing, arbitrary drops";
+    run =
+      (fun ctx ->
+        let n = match ctx.scale with Def.Quick -> 256 | Def.Full -> 1024 in
+        let alpha = 0.5 in
+        let trials = Def.trials ctx ~quick:8 ~full:20 in
+        let rows = ref [] in
+        List.iter
+          (fun (adv_name, adv) ->
+            let le_spec =
+              {
+                (Runner.default_spec (Ftc_core.Leader_election.make params) ~n ~alpha) with
+                adversary = adv;
+              }
+            in
+            let le =
+              Runner.aggregate
+                ~ok:(fun o -> (Ftc_core.Properties.check_implicit_election o.result).ok)
+                (Runner.run_many le_spec ~seeds:(Runner.seeds ~base:ctx.base_seed ~count:trials))
+            in
+            let ag_spec =
+              {
+                (Runner.default_spec (Ftc_core.Agreement.make params) ~n ~alpha) with
+                inputs = Runner.Random_bits 0.5;
+                adversary = adv;
+              }
+            in
+            let ag =
+              Runner.aggregate
+                ~ok:(fun o ->
+                  (Ftc_core.Properties.check_implicit_agreement ~inputs:o.inputs_used o.result)
+                    .ok)
+                (Runner.run_many ag_spec
+                   ~seeds:(Runner.seeds ~base:(ctx.base_seed + 3) ~count:trials))
+            in
+            rows :=
+              [
+                adv_name;
+                Printf.sprintf "%d/%d" le.Runner.successes le.Runner.trials;
+                Table.fmt_int (int_of_float le.Runner.msgs.Stats.mean);
+                Printf.sprintf "%d/%d" ag.Runner.successes ag.Runner.trials;
+                Table.fmt_int (int_of_float ag.Runner.msgs.Stats.mean);
+              ]
+              :: !rows)
+          (Ftc_fault.Strategy.all ());
+        Def.section "F11" "adversary gallery"
+          (String.concat "\n"
+             [
+               Printf.sprintf "n = %d, alpha = %.2f: up to half the network is faulty." n alpha;
+               Table.render
+                 ~aligns:[ Table.Left ]
+                 ~headers:[ "adversary"; "LE ok"; "LE msgs"; "AGR ok"; "AGR msgs" ]
+                 ~rows:(List.rev !rows) ();
+             ]));
+  }
+
+let f12 =
+  {
+    Def.id = "F12";
+    title = "fault-free comparison: matching Kutten et al. / Augustine et al.";
+    paper = "Sec. I-A: at constant alpha the bounds match the fault-free ones";
+    run =
+      (fun ctx ->
+        let ns =
+          match ctx.scale with
+          | Def.Quick -> [ 512; 2048 ]
+          | Def.Full -> [ 1024; 4096; 16384 ]
+        in
+        let trials = Def.trials ctx ~quick:5 ~full:10 in
+        let rows = ref [] in
+        List.iter
+          (fun n ->
+            let measure label protocol ok inputs =
+              let spec =
+                { (Runner.default_spec protocol ~n ~alpha:1.0) with inputs }
+              in
+              let agg =
+                Runner.aggregate ~ok
+                  (Runner.run_many spec ~seeds:(Runner.seeds ~base:ctx.base_seed ~count:trials))
+              in
+              [
+                string_of_int n;
+                label;
+                Table.fmt_int (int_of_float agg.Runner.msgs.Stats.mean);
+                Table.fmt_float ~digits:1 agg.Runner.rounds.Stats.mean;
+                Printf.sprintf "%d/%d" agg.Runner.successes agg.Runner.trials;
+              ]
+            in
+            let le_ok (o : Runner.outcome) =
+              (Ftc_core.Properties.check_implicit_election o.result).ok
+            in
+            let ag_ok (o : Runner.outcome) =
+              (Ftc_core.Properties.check_implicit_agreement ~inputs:o.inputs_used o.result).ok
+            in
+            rows :=
+              measure "this paper LE (alpha=1)" (Ftc_core.Leader_election.make params) le_ok
+                Runner.Zeros
+              :: !rows;
+            rows :=
+              measure "Kutten et al. LE" (Ftc_baselines.Kutten_le.make ()) le_ok Runner.Zeros
+              :: !rows;
+            rows :=
+              measure "this paper AGR (alpha=1)" (Ftc_core.Agreement.make params) ag_ok
+                (Runner.Random_bits 0.5)
+              :: !rows;
+            rows :=
+              measure "Augustine et al. AGR" (Ftc_baselines.Amp_agreement.make ()) ag_ok
+                (Runner.Random_bits 0.5)
+              :: !rows)
+          ns;
+        Def.section "F12" "fault-free yardsticks (alpha = 1)"
+          (String.concat "\n"
+             [
+               "Same sublinear Õ(sqrt n) message shape expected for the crash-\n\
+                tolerant protocols at alpha = 1 and their fault-free ancestors;\n\
+                the fault-tolerant versions pay an extra polylog for the iterated\n\
+                confirmation machinery.";
+               Table.render
+                 ~aligns:[ Table.Right; Table.Left ]
+                 ~headers:[ "n"; "protocol"; "messages"; "rounds"; "ok" ]
+                 ~rows:(List.rev !rows) ();
+             ]));
+  }

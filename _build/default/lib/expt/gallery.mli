@@ -1,0 +1,14 @@
+(** Experiments F11 and F12.
+
+    F11 — robustness gallery: both core protocols under every adversary
+    strategy, including the paper's worst case (the minimum-rank candidate
+    crashing every iteration). The model claims w.h.p. correctness against
+    *any* static-selection crash adversary, so every row must be near 1.
+
+    F12 — the "surprising fact" of Section I-A: at alpha = 1 the
+    fault-tolerant protocols match the fault-free sublinear bounds of
+    Kutten et al. [21] (leader election) and Augustine et al. [23]
+    (agreement) up to polylog factors. *)
+
+val f11 : Def.t
+val f12 : Def.t

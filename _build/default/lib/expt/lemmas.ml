@@ -1,0 +1,228 @@
+module Stats = Ftc_analysis.Stats
+module Table = Ftc_analysis.Table
+module Params = Ftc_core.Params
+module Rng = Ftc_rng.Rng
+module Dist = Ftc_rng.Dist
+
+let params = Params.default
+
+(* F6: Lemma 1 — candidate count concentration, sampled directly from the
+   selection distribution (no engine needed). *)
+let f6 =
+  {
+    Def.id = "F6";
+    title = "Lemma 1: candidate-set size concentration";
+    paper = "Lemma 1: |C| in [2 ln n / alpha, 12 ln n / alpha] w.h.p.";
+    run =
+      (fun ctx ->
+        let trials = Def.trials ctx ~quick:200 ~full:2000 in
+        let grid =
+          match ctx.scale with
+          | Def.Quick -> [ (1024, 0.5); (4096, 0.8) ]
+          | Def.Full -> [ (1024, 0.3); (1024, 0.7); (4096, 0.5); (16384, 0.8); (65536, 0.5) ]
+        in
+        let rows =
+          List.map
+            (fun (n, alpha) ->
+              let p = Params.candidate_prob params ~n ~alpha in
+              let lo = 2. *. Float.log (float_of_int n) /. alpha in
+              let hi = 12. *. Float.log (float_of_int n) /. alpha in
+              let rng = Rng.create (ctx.base_seed + n) in
+              let sizes =
+                List.init trials (fun _ -> float_of_int (Dist.binomial rng ~n ~p))
+              in
+              let inside =
+                List.length (List.filter (fun s -> s >= lo && s <= hi) sizes)
+              in
+              let s = Stats.summarize sizes in
+              [
+                string_of_int n;
+                Table.fmt_float ~digits:2 alpha;
+                Table.fmt_float ~digits:1 (Params.expected_candidates params ~n ~alpha);
+                Table.fmt_float ~digits:1 s.Stats.mean;
+                Table.fmt_float ~digits:1 s.Stats.min;
+                Table.fmt_float ~digits:1 s.Stats.max;
+                Printf.sprintf "[%.0f, %.0f]" lo hi;
+                Printf.sprintf "%d/%d" inside trials;
+              ])
+            grid
+        in
+        Def.section "F6" "candidate-set size concentration (Lemma 1)"
+          (Table.render
+             ~headers:[ "n"; "alpha"; "E|C|"; "mean"; "min"; "max"; "whp band"; "inside" ]
+             ~rows ()));
+  }
+
+(* F7: Lemma 2 / Thm 4.1 — elected leader quality. *)
+let f7 =
+  {
+    Def.id = "F7";
+    title = "leader quality: P(non-faulty leader) >= alpha";
+    paper = "Thm 4.1: elected leader non-faulty with probability >= alpha";
+    run =
+      (fun ctx ->
+        let n = match ctx.scale with Def.Quick -> 256 | Def.Full -> 512 in
+        let trials = Def.trials ctx ~quick:20 ~full:50 in
+        let alphas = [ 0.4; 0.6; 0.8 ] in
+        let adversaries =
+          [
+            ("dormant (worst for quality)", Ftc_fault.Strategy.dormant);
+            ("eager (all crash at once)", Ftc_fault.Strategy.eager);
+          ]
+        in
+        let rows = ref [] in
+        List.iter
+          (fun alpha ->
+            List.iter
+              (fun (adv_name, adv) ->
+                let spec =
+                  {
+                    (Runner.default_spec (Ftc_core.Leader_election.make params) ~n ~alpha) with
+                    adversary = adv;
+                  }
+                in
+                let outcomes =
+                  Runner.run_many spec ~seeds:(Runner.seeds ~base:ctx.base_seed ~count:trials)
+                in
+                let elected = ref 0 and non_faulty = ref 0 and ok = ref 0 in
+                List.iter
+                  (fun (o : Runner.outcome) ->
+                    let rep = Ftc_core.Properties.check_implicit_election o.result in
+                    if rep.ok then incr ok;
+                    match rep.leader_was_faulty with
+                    | Some f ->
+                        incr elected;
+                        if not f then incr non_faulty
+                    | None -> ())
+                  outcomes;
+                let rate =
+                  if !elected = 0 then 0.
+                  else float_of_int !non_faulty /. float_of_int !elected
+                in
+                let lo, hi =
+                  if !elected = 0 then (0., 0.)
+                  else Stats.wilson_interval ~successes:!non_faulty ~trials:!elected
+                in
+                rows :=
+                  [
+                    Table.fmt_float ~digits:2 alpha;
+                    adv_name;
+                    Printf.sprintf "%d/%d" !ok trials;
+                    Table.fmt_float ~digits:2 rate;
+                    Printf.sprintf "[%.2f, %.2f]" lo hi;
+                    (if rate >= alpha -. 0.12 then "holds" else "VIOLATED");
+                  ]
+                  :: !rows)
+              adversaries)
+          alphas;
+        Def.section "F7" "leader quality (Lemma 2 / Theorem 4.1)"
+          (String.concat "\n"
+             [
+               Printf.sprintf
+                 "n = %d. With a dormant adversary faulty nodes campaign normally,\n\
+                  so P(non-faulty leader) should sit near alpha; crashing adversaries\n\
+                  only remove faulty candidates and push it towards 1." n;
+               Table.render
+                 ~aligns:[ Table.Right; Table.Left ]
+                 ~headers:
+                   [ "alpha"; "adversary"; "election ok"; "P(good leader)"; "95% CI"; ">= alpha?" ]
+                 ~rows:(List.rev !rows) ();
+             ]));
+  }
+
+(* F8: Lemma 3 — pairwise common non-faulty referees, plus the ablation on
+   the sampling constant. Sampling is simulated directly, then the ablated
+   constant is run through the full protocol. *)
+let pair_coverage rng ~n ~alpha ~coeff =
+  let cand_count =
+    max 2 (int_of_float (Float.round (Params.expected_candidates params ~n ~alpha)))
+  in
+  let k =
+    let raw =
+      coeff *. sqrt (float_of_int n *. Float.log (float_of_int n) /. alpha)
+    in
+    min (n - 1) (max 1 (int_of_float (ceil raw)))
+  in
+  let f = Ftc_sim.Engine.max_faulty ~n ~alpha in
+  let faulty = Array.make n false in
+  Array.iter (fun v -> faulty.(v) <- true) (Dist.sample_without_replacement rng ~n ~k:f);
+  let sets =
+    Array.init cand_count (fun _ ->
+        let s = Dist.sample_without_replacement rng ~n ~k in
+        let tbl = Hashtbl.create k in
+        Array.iter (fun v -> if not faulty.(v) then Hashtbl.replace tbl v ()) s;
+        tbl)
+  in
+  let covered = ref true in
+  Array.iteri
+    (fun i si ->
+      for j = i + 1 to cand_count - 1 do
+        if !covered then begin
+          let sj = sets.(j) in
+          let small, large =
+            if Hashtbl.length si <= Hashtbl.length sj then (si, sj) else (sj, si)
+          in
+          let common = Hashtbl.fold (fun v () acc -> acc || Hashtbl.mem large v) small false in
+          if not common then covered := false
+        end
+      done)
+    sets;
+  !covered
+
+let f8 =
+  {
+    Def.id = "F8";
+    title = "Lemma 3: common non-faulty referees (+ constant ablation)";
+    paper = "Lemma 3: any candidate pair shares a non-faulty referee w.h.p.";
+    run =
+      (fun ctx ->
+        let n = match ctx.scale with Def.Quick -> 1024 | Def.Full -> 4096 in
+        let alpha = 0.5 in
+        let trials = Def.trials ctx ~quick:40 ~full:100 in
+        let proto_trials = Def.trials ctx ~quick:8 ~full:25 in
+        let coeffs = [ 0.25; 0.5; 1.0; 2.0 ] in
+        let rng = Rng.create ctx.base_seed in
+        let rows =
+          List.map
+            (fun coeff ->
+              let covered =
+                List.length
+                  (List.filter Fun.id
+                     (List.init trials (fun _ -> pair_coverage rng ~n ~alpha ~coeff)))
+              in
+              (* The same constant, through the full leader election. *)
+              let abl_params = { params with Params.referee_coeff = coeff } in
+              let spec =
+                {
+                  (Runner.default_spec (Ftc_core.Leader_election.make abl_params)
+                     ~n:(n / 4) ~alpha) with
+                  adversary = (fun () -> Ftc_fault.Strategy.random_crashes ());
+                }
+              in
+              let agg =
+                Runner.aggregate
+                  ~ok:(fun o -> (Ftc_core.Properties.check_implicit_election o.result).ok)
+                  (Runner.run_many spec
+                     ~seeds:(Runner.seeds ~base:(ctx.base_seed + 31) ~count:proto_trials))
+              in
+              [
+                Table.fmt_float ~digits:2 coeff;
+                Printf.sprintf "%d/%d" covered trials;
+                Printf.sprintf "%d/%d" agg.Runner.successes agg.Runner.trials;
+                Table.fmt_int (int_of_float agg.Runner.msgs.Stats.mean);
+              ])
+            coeffs
+        in
+        Def.section "F8" "referee overlap (Lemma 3) and sampling-constant ablation"
+          (String.concat "\n"
+             [
+               Printf.sprintf
+                 "sampling check at n = %d, alpha = %.2f; election at n = %d (paper's\n\
+                  constant is coeff = 2.0; below it, pairs lose their common referee\n\
+                  and the election's success degrades while messages shrink)."
+                 n alpha (n / 4);
+               Table.render
+                 ~headers:[ "referee coeff"; "pairs covered"; "election ok"; "election msgs" ]
+                 ~rows ();
+             ]));
+  }

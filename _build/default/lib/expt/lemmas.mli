@@ -1,0 +1,14 @@
+(** Experiments F6–F8: the concentration lemmas the algorithms stand on.
+
+    F6 — Lemma 1: the candidate set has size Theta(log n / alpha), within
+    [2 ln n / alpha, 12 ln n / alpha] w.h.p.
+    F7 — Lemma 2 / Theorem 4.1: the elected leader is non-faulty with
+    probability at least alpha (and always, under an adversary that
+    crashes faulty nodes early).
+    F8 — Lemma 3: every pair of candidates shares a non-faulty referee
+    w.h.p. at the paper's sample size 2 sqrt(n ln n / alpha) — and the
+    guarantee degrades when the sampling constant shrinks (ablation). *)
+
+val f6 : Def.t
+val f7 : Def.t
+val f8 : Def.t

@@ -1,0 +1,18 @@
+(** Experiment F9: the lower bounds, watched happening.
+
+    Theorems 4.2 and 5.2 prove that any algorithm sending
+    o(sqrt(n) / alpha^(3/2)) messages fails with constant probability,
+    because with too few messages the communication graph decomposes into
+    at least two disjoint influence clouds that decide independently.
+
+    We starve the paper's own protocols of messages by scaling both
+    sampling constants (candidate probability and referee sample size) by
+    a factor s << 1, record traces, and measure: the message count, the
+    success probability, and — via [Ftc_analysis.Influence] — the number
+    of pairwise-disjoint *deciding* influence clouds. The reproduction
+    succeeds if runs below the Omega(sqrt(n)/alpha^(3/2)) threshold fail
+    at a constant rate, with >= 2 disjoint deciding clouds in the failing
+    executions, while the full-constant protocol (far above the
+    threshold) succeeds. *)
+
+val f9 : Def.t

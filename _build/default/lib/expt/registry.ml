@@ -1,0 +1,25 @@
+let all =
+  [
+    Table1.t1;
+    Scaling.f1;
+    Scaling.f2;
+    Scaling.f3;
+    Scaling.f4;
+    Scaling.f5;
+    Lemmas.f6;
+    Lemmas.f7;
+    Lemmas.f8;
+    Lower_bound.f9;
+    Scaling.f10;
+    Gallery.f11;
+    Gallery.f12;
+    Ablations.a1;
+    Ablations.a2;
+    Ablations.a3;
+    Byzantine.a4;
+  ]
+
+let find id =
+  List.find_opt (fun e -> String.lowercase_ascii e.Def.id = String.lowercase_ascii id) all
+
+let ids () = List.map (fun e -> e.Def.id) all

@@ -1,0 +1,5 @@
+(** All experiments of DESIGN.md's index, addressable by id. *)
+
+val all : Def.t list
+val find : string -> Def.t option
+val ids : unit -> string list

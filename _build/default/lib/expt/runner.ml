@@ -1,0 +1,93 @@
+module Engine = Ftc_sim.Engine
+module Rng = Ftc_rng.Rng
+module Dist = Ftc_rng.Dist
+
+type input_gen = Zeros | All_ones | Random_bits of float | Exact of int array
+
+type spec = {
+  protocol : (module Ftc_sim.Protocol.S);
+  n : int;
+  alpha : float;
+  inputs : input_gen;
+  adversary : unit -> Ftc_sim.Adversary.t;
+  congest : bool;
+  record_trace : bool;
+}
+
+let default_spec protocol ~n ~alpha =
+  {
+    protocol;
+    n;
+    alpha;
+    inputs = Zeros;
+    adversary = Ftc_fault.Strategy.none;
+    congest = true;
+    record_trace = false;
+  }
+
+type outcome = { result : Engine.result; inputs_used : int array; seed : int }
+
+let materialize_inputs spec ~seed =
+  match spec.inputs with
+  | Zeros -> Array.make spec.n 0
+  | All_ones -> Array.make spec.n 1
+  | Exact a -> a
+  | Random_bits p ->
+      (* A distinct stream from the engine's seed, so inputs do not
+         correlate with node coins. *)
+      let rng = Rng.create (seed lxor 0x5bd1e995) in
+      Array.init spec.n (fun _ -> if Dist.bernoulli rng p then 1 else 0)
+
+let run spec ~seed =
+  let (module P : Ftc_sim.Protocol.S) = spec.protocol in
+  let module E = Engine.Make (P) in
+  let inputs = materialize_inputs spec ~seed in
+  let cfg =
+    {
+      Engine.n = spec.n;
+      alpha = spec.alpha;
+      seed;
+      inputs = Some inputs;
+      adversary = spec.adversary ();
+      congest_limit = (if spec.congest then Some (Ftc_sim.Congest.default_limit ~n:spec.n) else None);
+      record_trace = spec.record_trace;
+      max_rounds_override = None;
+    }
+  in
+  let result = E.run cfg in
+  (match result.errors with
+  | [] -> ()
+  | e :: _ ->
+      failwith
+        (Printf.sprintf "model violation in %s (n=%d alpha=%.2f seed=%d): %s" P.name spec.n
+           spec.alpha seed e));
+  { result; inputs_used = inputs; seed }
+
+let run_many spec ~seeds = List.map (fun seed -> run spec ~seed) seeds
+
+type aggregate = {
+  trials : int;
+  successes : int;
+  success_rate : float;
+  msgs : Ftc_analysis.Stats.summary;
+  bits : Ftc_analysis.Stats.summary;
+  rounds : Ftc_analysis.Stats.summary;
+}
+
+let aggregate ~ok outcomes =
+  let trials = List.length outcomes in
+  if trials = 0 then invalid_arg "Runner.aggregate: no outcomes";
+  let successes = List.length (List.filter ok outcomes) in
+  let msgs = List.map (fun o -> float_of_int o.result.Engine.metrics.msgs_sent) outcomes in
+  let bits = List.map (fun o -> float_of_int o.result.Engine.metrics.bits_sent) outcomes in
+  let rounds = List.map (fun o -> float_of_int o.result.Engine.rounds_used) outcomes in
+  {
+    trials;
+    successes;
+    success_rate = float_of_int successes /. float_of_int trials;
+    msgs = Ftc_analysis.Stats.summarize msgs;
+    bits = Ftc_analysis.Stats.summarize bits;
+    rounds = Ftc_analysis.Stats.summarize rounds;
+  }
+
+let seeds ~base ~count = List.init count (fun i -> base + (1009 * i))

@@ -1,0 +1,47 @@
+(** Shared driver for the experiments: runs a protocol (as a first-class
+    module) over many seeds and aggregates results. *)
+
+type input_gen =
+  | Zeros
+  | All_ones
+  | Random_bits of float  (** Each input is 1 with this probability. *)
+  | Exact of int array
+
+type spec = {
+  protocol : (module Ftc_sim.Protocol.S);
+  n : int;
+  alpha : float;
+  inputs : input_gen;
+  adversary : unit -> Ftc_sim.Adversary.t;
+  congest : bool;  (** false = LOCAL (no per-edge bit budget). *)
+  record_trace : bool;
+}
+
+val default_spec : (module Ftc_sim.Protocol.S) -> n:int -> alpha:float -> spec
+(** Zero inputs, no adversary, CONGEST on, no trace. *)
+
+type outcome = {
+  result : Ftc_sim.Engine.result;
+  inputs_used : int array;
+  seed : int;
+}
+
+val run : spec -> seed:int -> outcome
+(** Input generation is seeded by [seed], so an outcome is reproducible
+    from [(spec, seed)] alone. Raises [Failure] if the engine reports
+    model violations — experiments must be model-clean. *)
+
+val run_many : spec -> seeds:int list -> outcome list
+
+type aggregate = {
+  trials : int;
+  successes : int;
+  success_rate : float;
+  msgs : Ftc_analysis.Stats.summary;
+  bits : Ftc_analysis.Stats.summary;
+  rounds : Ftc_analysis.Stats.summary;
+}
+
+val aggregate : ok:(outcome -> bool) -> outcome list -> aggregate
+
+val seeds : base:int -> count:int -> int list

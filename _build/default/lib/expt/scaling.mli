@@ -1,0 +1,15 @@
+(** Scaling experiments F1–F5 and F10: the message/round bounds of
+    Theorems 4.1 and 5.1 and of the explicit extensions, validated as
+    fitted power-law exponents over sweeps in n and alpha. *)
+
+val f1 : Def.t  (** LE messages vs n — exponent ~ 1/2 (Thm 4.1). *)
+
+val f2 : Def.t  (** LE messages vs alpha — exponent ~ -5/2 (Thm 4.1). *)
+
+val f3 : Def.t  (** LE and agreement rounds — O(log n / alpha). *)
+
+val f4 : Def.t  (** Agreement message bits vs n — exponent ~ 1/2 (Thm 5.1). *)
+
+val f5 : Def.t  (** Agreement messages vs alpha — exponent ~ -3/2 (Thm 5.1). *)
+
+val f10 : Def.t  (** Explicit extensions — Theta(n log n / alpha) messages. *)

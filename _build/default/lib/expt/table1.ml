@@ -1,0 +1,123 @@
+module Stats = Ftc_analysis.Stats
+module Table = Ftc_analysis.Table
+module Params = Ftc_core.Params
+
+type contender = {
+  label : string;
+  model : string;
+  paper_row : string;  (** The complexity Table I claims for this protocol. *)
+  protocol : (module Ftc_sim.Protocol.S);
+  check : Runner.outcome -> bool;
+}
+
+let implicit_ok (o : Runner.outcome) =
+  (Ftc_core.Properties.check_implicit_agreement ~inputs:o.inputs_used o.result).ok
+
+let explicit_ok (o : Runner.outcome) =
+  (Ftc_core.Properties.check_explicit_agreement ~inputs:o.inputs_used o.result).ok
+
+let contenders () =
+  let params = Params.default in
+  [
+    {
+      label = "this paper (implicit)";
+      model = "KT0";
+      paper_row = "O~(sqrt n / a^1.5) msgs, O(log n / a) rounds, f <= n - log^2 n";
+      protocol = Ftc_core.Agreement.make params;
+      check = implicit_ok;
+    };
+    {
+      label = "this paper (explicit)";
+      model = "KT0";
+      paper_row = "O(n log n / a) msgs, O(log n / a) rounds";
+      protocol = Ftc_core.Agreement.make ~explicit:true params;
+      check = explicit_ok;
+    };
+    {
+      label = "Gilbert-Kowalski'10*";
+      model = "KT1";
+      paper_row = "O(n) msgs, O(log n) rounds, f < n/2";
+      protocol = Ftc_baselines.Tree_agreement.make ();
+      check = explicit_ok;
+    };
+    {
+      label = "Chlebus-Kowalski'09*";
+      model = "KT0";
+      paper_row = "O(n log n) expected msgs, O(log n) expected rounds";
+      protocol = Ftc_baselines.Gossip.make ();
+      check = explicit_ok;
+    };
+    {
+      label = "rotating coordinator";
+      model = "KT1";
+      paper_row = "O(n f) msgs, O(f) rounds (deterministic)";
+      protocol = Ftc_baselines.Rotating.make ();
+      check = explicit_ok;
+    };
+    {
+      label = "FloodSet";
+      model = "KT0";
+      paper_row = "O(n^2) msgs, O(f) rounds (deterministic)";
+      protocol = Ftc_baselines.Floodset.make ();
+      check = explicit_ok;
+    };
+  ]
+
+let t1 =
+  {
+    Def.id = "T1";
+    title = "Table I: agreement protocol comparison";
+    paper = "Table I of the paper";
+    run =
+      (fun ctx ->
+        let n = match ctx.scale with Def.Quick -> 512 | Def.Full -> 1024 in
+        let alphas = match ctx.scale with Def.Quick -> [ 0.9; 0.5 ] | Def.Full -> [ 0.9; 0.7; 0.5; 0.3 ] in
+        let trials = Def.trials ctx ~quick:5 ~full:10 in
+        let rows = ref [] in
+        List.iter
+          (fun alpha ->
+            List.iter
+              (fun c ->
+                let spec =
+                  {
+                    (Runner.default_spec c.protocol ~n ~alpha) with
+                    inputs = Runner.Random_bits 0.5;
+                    adversary = (fun () -> Ftc_fault.Strategy.random_crashes ());
+                  }
+                in
+                let agg =
+                  Runner.aggregate ~ok:c.check
+                    (Runner.run_many spec ~seeds:(Runner.seeds ~base:ctx.base_seed ~count:trials))
+                in
+                rows :=
+                  [
+                    c.label;
+                    c.model;
+                    Table.fmt_float ~digits:2 alpha;
+                    string_of_int (Ftc_sim.Engine.max_faulty ~n ~alpha);
+                    Table.fmt_int (int_of_float agg.Runner.msgs.Stats.mean);
+                    Table.fmt_int (int_of_float agg.Runner.bits.Stats.mean);
+                    Table.fmt_float ~digits:1 agg.Runner.rounds.Stats.mean;
+                    Printf.sprintf "%d/%d" agg.Runner.successes agg.Runner.trials;
+                  ]
+                  :: !rows)
+              (contenders ()))
+          alphas;
+        let claims =
+          List.map (fun c -> Printf.sprintf "  %-24s %s" c.label c.paper_row) (contenders ())
+        in
+        Def.section "T1" "agreement comparison (empirical Table I)"
+          (String.concat "\n"
+             ([
+                Printf.sprintf
+                  "n = %d, random half-and-half inputs, random crashes; f = max faulty." n;
+                "* = shape-faithful stand-in, see DESIGN.md substitutions.";
+                Table.render
+                  ~aligns:[ Table.Left; Table.Left ]
+                  ~headers:[ "protocol"; "model"; "alpha"; "f"; "messages"; "bits"; "rounds"; "ok" ]
+                  ~rows:(List.rev !rows) ();
+                "";
+                "Paper's asymptotic rows for reference:";
+              ]
+             @ claims)));
+  }

@@ -1,0 +1,7 @@
+(** Experiment T1: the empirical counterpart of the paper's Table I —
+    "comparison with the best known agreement protocols in the same
+    model". Every protocol runs on the same workloads; the table reports
+    measured messages, bits, rounds, and success rate per tolerated
+    crash fraction. *)
+
+val t1 : Def.t

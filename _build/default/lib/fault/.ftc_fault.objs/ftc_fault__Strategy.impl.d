@@ -1,0 +1,1 @@
+lib/fault/strategy.ml: Array Ftc_rng Ftc_sim List

@@ -1,0 +1,1 @@
+lib/fault/strategy.mli: Ftc_sim

@@ -1,0 +1,127 @@
+module Adversary = Ftc_sim.Adversary
+module Observation = Ftc_sim.Observation
+module Rng = Ftc_rng.Rng
+module Dist = Ftc_rng.Dist
+
+let uniform_faulty rng ~n ~f = Array.to_list (Dist.sample_without_replacement rng ~n ~k:f)
+
+let none () = Adversary.none
+
+let dormant () =
+  {
+    Adversary.name = "dormant";
+    pick_faulty = uniform_faulty;
+    decide_crashes = (fun _ _ -> []);
+  }
+
+let eager () =
+  {
+    Adversary.name = "eager";
+    pick_faulty = uniform_faulty;
+    decide_crashes =
+      (fun _ view ->
+        if view.Adversary.round = 0 then
+          List.map
+            (fun nv -> (nv.Adversary.node, Adversary.Drop_all))
+            view.Adversary.alive_faulty
+        else []);
+  }
+
+let random_crashes ?(drop_prob = 0.5) ?(horizon = 256) () =
+  (* Crash rounds are drawn lazily, one geometric-free way: each alive
+     faulty node crashes this round with probability 1/horizon, giving a
+     near-uniform crash time over the first [horizon] rounds. *)
+  let per_round_prob = 1. /. float_of_int (max 1 horizon) in
+  {
+    Adversary.name = "random";
+    pick_faulty = uniform_faulty;
+    decide_crashes =
+      (fun rng view ->
+        List.filter_map
+          (fun nv ->
+            if Dist.bernoulli rng per_round_prob then
+              Some (nv.Adversary.node, Adversary.Drop_random drop_prob)
+            else None)
+          view.Adversary.alive_faulty);
+  }
+
+let targeted_min_rank ?(period = 4) () =
+  {
+    Adversary.name = "targeted-min-rank";
+    pick_faulty = uniform_faulty;
+    decide_crashes =
+      (fun _ view ->
+        if view.Adversary.round mod period <> 0 then []
+        else begin
+          (* Find the alive faulty candidate with the smallest rank; kill
+             it mid-send so only part of the committee hears from it. *)
+          let best = ref None in
+          List.iter
+            (fun nv ->
+              let obs = nv.Adversary.observation in
+              match (obs.Observation.role, obs.Observation.rank) with
+              | Observation.Candidate, Some rank -> (
+                  match !best with
+                  | Some (_, best_rank) when best_rank <= rank -> ()
+                  | _ -> best := Some (nv.Adversary.node, rank))
+              | _ -> ())
+            view.Adversary.alive_faulty;
+          match !best with
+          | None -> []
+          | Some (node, _) -> [ (node, Adversary.Drop_random 0.5) ]
+        end);
+  }
+
+let first_send ?(budget_per_round = 3) () =
+  {
+    Adversary.name = "first-send";
+    pick_faulty = uniform_faulty;
+    decide_crashes =
+      (fun _ view ->
+        let taken = ref 0 in
+        List.filter_map
+          (fun nv ->
+            if !taken < budget_per_round && nv.Adversary.pending <> [] then begin
+              incr taken;
+              Some (nv.Adversary.node, Adversary.Drop_random 0.5)
+            end
+            else None)
+          view.Adversary.alive_faulty);
+  }
+
+let silence_candidates () =
+  {
+    Adversary.name = "silence-candidates";
+    pick_faulty = uniform_faulty;
+    decide_crashes =
+      (fun _ view ->
+        List.filter_map
+          (fun nv ->
+            match nv.Adversary.observation.Observation.role with
+            | Observation.Candidate -> Some (nv.Adversary.node, Adversary.Drop_all)
+            | Observation.Referee | Observation.Bystander | Observation.Coordinator -> None)
+          view.Adversary.alive_faulty);
+  }
+
+let scheduled plan () =
+  let nodes = List.sort_uniq compare (List.map (fun (v, _, _) -> v) plan) in
+  {
+    Adversary.name = "scheduled";
+    pick_faulty = (fun _ ~n:_ ~f:_ -> nodes);
+    decide_crashes =
+      (fun _ view ->
+        List.filter_map
+          (fun (v, r, rule) -> if r = view.Adversary.round then Some (v, rule) else None)
+          plan);
+  }
+
+let all () =
+  [
+    ("none", none);
+    ("dormant", dormant);
+    ("eager", eager);
+    ("random", (fun () -> random_crashes ()));
+    ("targeted-min-rank", (fun () -> targeted_min_rank ()));
+    ("first-send", (fun () -> first_send ()));
+    ("silence-candidates", silence_candidates);
+  ]

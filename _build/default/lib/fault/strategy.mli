@@ -1,0 +1,55 @@
+(** A gallery of crash adversaries.
+
+    All of them are *static in selection* (the faulty set is fixed before
+    the run, uniformly at random unless stated otherwise) and differ in how
+    adaptively they time the crashes — the paper's model allows full
+    adaptivity of timing and of which final-round messages are lost.
+
+    Every constructor returns a fresh value; adversaries carry per-run
+    mutable state inside closures, so never reuse one value across runs. *)
+
+val none : unit -> Ftc_sim.Adversary.t
+(** No faults (the fault-free alpha = 1 baselines). *)
+
+val dormant : unit -> Ftc_sim.Adversary.t
+(** Faulty set is chosen but nobody ever crashes. Exercises the paper's
+    footnote 3: faulty nodes may execute correctly until after the
+    election, so the leader is non-faulty only with probability alpha. *)
+
+val eager : unit -> Ftc_sim.Adversary.t
+(** Every faulty node crashes in round 0 losing all messages — the
+    strongest non-adaptive schedule; tests that protocols tolerate a
+    network that is effectively only [alpha n] nodes from the start. *)
+
+val random_crashes : ?drop_prob:float -> ?horizon:int -> unit -> Ftc_sim.Adversary.t
+(** Each faulty node crashes at a round chosen uniformly in
+    [0, horizon) (default: the run's natural length via a large window),
+    losing each of its final messages independently with [drop_prob]
+    (default 0.5). *)
+
+val targeted_min_rank : ?period:int -> unit -> Ftc_sim.Adversary.t
+(** The paper's worst case for the leader-election analysis: at the start
+    of each [period]-round window (default 4, one protocol iteration),
+    crash the alive faulty *candidate* with the minimum rank, losing a
+    random half of its pending messages — so its proposal reaches only
+    part of the committee. One crash per window makes the "a single node
+    may crash in each iteration" schedule of Section IV-A concrete. *)
+
+val first_send : ?budget_per_round:int -> unit -> Ftc_sim.Adversary.t
+(** Crash a faulty node in the first round it attempts to send, losing a
+    random half of those messages (at most [budget_per_round] crashes per
+    round, default 3). Targets initiators, the object of Lemma 4. *)
+
+val silence_candidates : unit -> Ftc_sim.Adversary.t
+(** Crash every faulty node that becomes a candidate as soon as its role
+    is visible, losing everything it was about to send. Stresses Lemma 2:
+    the candidate set must still contain a non-faulty node w.h.p. *)
+
+val scheduled :
+  (int * int * Ftc_sim.Adversary.drop_rule) list -> unit -> Ftc_sim.Adversary.t
+(** [scheduled plan ()] crashes node [v] at round [r] with rule [rule] for
+    every [(v, r, rule)] in [plan]; the faulty set is exactly the planned
+    nodes. Deterministic; for unit tests. *)
+
+val all : unit -> (string * (unit -> Ftc_sim.Adversary.t)) list
+(** Every named strategy above (except [scheduled]), for sweep drivers. *)

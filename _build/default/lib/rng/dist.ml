@@ -1,0 +1,70 @@
+let bernoulli rng p =
+  if p <= 0. then false
+  else if p >= 1. then true
+  else Rng.float rng < p
+
+let geometric rng p =
+  if p <= 0. || p > 1. then invalid_arg "Dist.geometric: p must be in (0, 1]";
+  if p >= 1. then 0
+  else begin
+    (* Inversion: floor(ln U / ln (1-p)) with U uniform on (0,1). *)
+    let u = 1. -. Rng.float rng in
+    int_of_float (Float.log u /. Float.log1p (-.p))
+  end
+
+let binomial rng ~n ~p =
+  if n < 0 then invalid_arg "Dist.binomial: negative n";
+  if p <= 0. then 0
+  else if p >= 1. then n
+  else begin
+    (* Count successes by jumping over the geometric gaps between them. *)
+    let rec count pos acc =
+      let pos = pos + geometric rng p in
+      if pos >= n then acc else count (pos + 1) (acc + 1)
+    in
+    count 0 0
+  end
+
+let bernoulli_indices rng ~n ~p =
+  if p <= 0. || n <= 0 then []
+  else if p >= 1. then List.init n Fun.id
+  else begin
+    let rec collect pos acc =
+      let pos = pos + geometric rng p in
+      if pos >= n then List.rev acc else collect (pos + 1) (pos :: acc)
+    in
+    collect 0 []
+  end
+
+let sample_without_replacement rng ~n ~k =
+  if k < 0 || k > n then invalid_arg "Dist.sample_without_replacement";
+  (* Floyd's algorithm: for j = n-k .. n-1, insert a uniform element of
+     [0..j], replacing collisions with j itself. Produces a uniform
+     k-subset using exactly k draws. *)
+  let seen = Hashtbl.create (2 * k) in
+  let out = Array.make k 0 in
+  let idx = ref 0 in
+  for j = n - k to n - 1 do
+    let r = Rng.int rng (j + 1) in
+    let pick = if Hashtbl.mem seen r then j else r in
+    Hashtbl.replace seen pick ();
+    out.(!idx) <- pick;
+    incr idx
+  done;
+  out
+
+let shuffle rng a =
+  for i = Array.length a - 1 downto 1 do
+    let j = Rng.int rng (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let choose rng a =
+  if Array.length a = 0 then invalid_arg "Dist.choose: empty array";
+  a.(Rng.int rng (Array.length a))
+
+let exponential rng lambda =
+  if lambda <= 0. then invalid_arg "Dist.exponential: lambda must be positive";
+  -.Float.log (1. -. Rng.float rng) /. lambda

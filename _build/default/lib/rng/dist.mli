@@ -1,0 +1,43 @@
+(** Random distributions and sampling routines used by the protocols.
+
+    The paper's algorithms are "simple, lightweight (based on sampling
+    only)": nodes flip Bernoulli coins to self-select as candidates, draw
+    ranks uniformly from [1, n^4], and sample referee sets uniformly without
+    replacement. This module provides those primitives exactly, plus the
+    sub-sampling tricks (geometric skipping, Floyd's algorithm) that keep
+    the simulator's running time proportional to the number of successes
+    rather than the number of coins. *)
+
+val bernoulli : Rng.t -> float -> bool
+(** [bernoulli rng p] is [true] with probability [p] (clamped to [0,1]). *)
+
+val geometric : Rng.t -> float -> int
+(** [geometric rng p] is the number of failures before the first success in
+    independent Bernoulli([p]) trials; support 0, 1, 2, ...
+    @raise Invalid_argument if [p <= 0.] or [p > 1.]. *)
+
+val binomial : Rng.t -> n:int -> p:float -> int
+(** [binomial rng ~n ~p] counts successes in [n] Bernoulli([p]) trials.
+    Runs in O(np + 1) expected time via geometric skipping. *)
+
+val bernoulli_indices : Rng.t -> n:int -> p:float -> int list
+(** [bernoulli_indices rng ~n ~p] returns, in increasing order, the indices
+    [i] of [0..n-1] whose independent Bernoulli([p]) coin came up heads.
+    Expected cost O(np + 1): this is how the harness selects candidate
+    nodes without touching each of the [n] nodes. *)
+
+val sample_without_replacement : Rng.t -> n:int -> k:int -> int array
+(** [sample_without_replacement rng ~n ~k] is a uniform random [k]-subset
+    of [0..n-1], in arbitrary order, by Floyd's algorithm (O(k) expected).
+    @raise Invalid_argument if [k < 0] or [k > n]. *)
+
+val shuffle : Rng.t -> 'a array -> unit
+(** [shuffle rng a] permutes [a] uniformly in place (Fisher–Yates). *)
+
+val choose : Rng.t -> 'a array -> 'a
+(** [choose rng a] is a uniform element of [a].
+    @raise Invalid_argument on an empty array. *)
+
+val exponential : Rng.t -> float -> float
+(** [exponential rng lambda] draws from Exp([lambda]); used by workload
+    generators. @raise Invalid_argument if [lambda <= 0.]. *)

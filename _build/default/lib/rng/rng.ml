@@ -1,0 +1,41 @@
+type t = Xoshiro.t
+
+let create seed = Xoshiro.of_seed (Splitmix.mix (Int64.of_int seed))
+
+let bits64 t = Xoshiro.next t
+
+let split t =
+  (* Derive the child seed through an extra SplitMix64 round so the child
+     state is not a linear function of the parent's raw output. *)
+  Xoshiro.of_seed (Splitmix.mix (Xoshiro.next t))
+
+let split_n t n = Array.init n (fun _ -> split t)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  if bound land (bound - 1) = 0 then
+    (* Power of two: take low bits, which are well distributed in
+       xoshiro256++. *)
+    Int64.to_int (Int64.logand (bits64 t) (Int64.of_int (bound - 1)))
+  else begin
+    (* Rejection sampling on 62 bits to avoid modulo bias. *)
+    let mask = (1 lsl 62) - 1 in
+    let limit = mask / bound * bound in
+    let rec draw () =
+      let v = Int64.to_int (bits64 t) land mask in
+      if v < limit then v mod bound else draw ()
+    in
+    draw ()
+  end
+
+let int_in t lo hi =
+  if hi < lo then invalid_arg "Rng.int_in: empty range";
+  lo + int t (hi - lo + 1)
+
+let float t =
+  (* 53 high bits, the mantissa width of a double. *)
+  Int64.to_float (Int64.shift_right_logical (bits64 t) 11) *. 0x1.0p-53
+
+let bool t = Int64.logand (bits64 t) 1L = 1L
+
+let copy = Xoshiro.copy

@@ -1,0 +1,46 @@
+(** Splittable deterministic random source.
+
+    Every node of the simulated network, the adversary, and the experiment
+    harness each own an [Rng.t]. All of them descend from a single root seed
+    via {!split}, so an entire simulation — including every private coin of
+    every node — is a pure function of that one integer. This is what makes
+    failures replayable: re-running with the same seed reproduces the exact
+    execution, message for message.
+
+    The generator is xoshiro256++ ({!Xoshiro}); splitting derives child
+    seeds through the SplitMix64 mixer ({!Splitmix}), which keeps parent and
+    child streams statistically independent. *)
+
+type t
+(** A mutable stream of pseudo-random values. *)
+
+val create : int -> t
+(** [create seed] is a fresh generator determined by [seed]. *)
+
+val split : t -> t
+(** [split t] draws from [t] and returns a new generator whose future
+    output is independent of [t]'s. Splitting [n] times yields [n]
+    pairwise-independent streams. *)
+
+val split_n : t -> int -> t array
+(** [split_n t n] is [n] independent children of [t]. *)
+
+val bits64 : t -> int64
+(** [bits64 t] is 64 uniform random bits. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform on [0, bound-1]. Uses rejection sampling, so
+    the distribution is exact. @raise Invalid_argument if [bound <= 0]. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in t lo hi] is uniform on the inclusive range [lo, hi].
+    @raise Invalid_argument if [hi < lo]. *)
+
+val float : t -> float
+(** [float t] is uniform on [0, 1) with 53 bits of precision. *)
+
+val bool : t -> bool
+(** [bool t] is a fair coin. *)
+
+val copy : t -> t
+(** [copy t] replays [t]'s future independently; for tests. *)

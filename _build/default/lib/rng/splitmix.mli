@@ -1,0 +1,22 @@
+(** SplitMix64 pseudo-random number generator.
+
+    A tiny, fast, well-distributed 64-bit generator (Steele, Lea & Flood,
+    OOPSLA 2014). It is used here for two jobs: seeding {!Xoshiro} states
+    and deriving statistically independent child generators in {!Rng.split}.
+    SplitMix64 passes BigCrush when used as a plain stream, and its output
+    function is a strong 64-bit mixer, which makes distinct seeds yield
+    unrelated streams. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int64 -> t
+(** [create seed] makes a generator whose stream is a pure function of
+    [seed]. Distinct seeds give unrelated streams. *)
+
+val next : t -> int64
+(** [next t] advances the state and returns the next 64-bit output. *)
+
+val mix : int64 -> int64
+(** [mix x] is the stateless SplitMix64 finalizer: a bijective 64-bit
+    mixing function. Useful for hashing small integers into seeds. *)

@@ -1,0 +1,19 @@
+(** xoshiro256++ pseudo-random number generator.
+
+    Blackman & Vigna's 256-bit-state generator: fast, equidistributed in
+    four dimensions, passes all known statistical test batteries. This is
+    the workhorse generator behind {!Rng}. *)
+
+type t
+(** Mutable generator state (256 bits). *)
+
+val of_seed : int64 -> t
+(** [of_seed s] initialises the four state words from a {!Splitmix}
+    stream seeded with [s], as recommended by the xoshiro authors.
+    The resulting state is never all-zero. *)
+
+val next : t -> int64
+(** [next t] advances the state and returns the next 64-bit output. *)
+
+val copy : t -> t
+(** [copy t] is an independent snapshot that replays [t]'s future. *)

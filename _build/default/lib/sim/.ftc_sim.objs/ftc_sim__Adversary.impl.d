@@ -1,0 +1,1 @@
+lib/sim/adversary.ml: Ftc_rng Observation

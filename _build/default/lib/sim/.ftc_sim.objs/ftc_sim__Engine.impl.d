@@ -1,0 +1,1 @@
+lib/sim/engine.ml: Adversary Array Congest Decision Format Ftc_rng Hashtbl List Metrics Observation Option Protocol Trace

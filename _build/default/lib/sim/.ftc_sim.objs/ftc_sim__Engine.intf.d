@@ -1,0 +1,1 @@
+lib/sim/engine.mli: Adversary Decision Metrics Observation Protocol Trace

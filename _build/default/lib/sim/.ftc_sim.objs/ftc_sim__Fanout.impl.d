@@ -1,0 +1,1 @@
+lib/sim/fanout.ml: List Protocol

@@ -1,0 +1,1 @@
+lib/sim/observation.ml: Format

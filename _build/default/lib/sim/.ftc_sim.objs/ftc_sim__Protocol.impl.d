@@ -1,0 +1,1 @@
+lib/sim/protocol.ml: Decision Ftc_rng Observation

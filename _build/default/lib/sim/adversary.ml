@@ -1,0 +1,25 @@
+type drop_rule = Drop_all | Drop_none | Drop_random of float | Keep_prefix of int
+
+type outgoing = { dst : int; bits : int }
+
+type node_view = { node : int; observation : Observation.t; pending : outgoing list }
+
+type round_view = {
+  round : int;
+  n : int;
+  alive_faulty : node_view list;
+  all_observations : Observation.t array;
+}
+
+type t = {
+  name : string;
+  pick_faulty : Ftc_rng.Rng.t -> n:int -> f:int -> int list;
+  decide_crashes : Ftc_rng.Rng.t -> round_view -> (int * drop_rule) list;
+}
+
+let none =
+  {
+    name = "none";
+    pick_faulty = (fun _ ~n:_ ~f:_ -> []);
+    decide_crashes = (fun _ _ -> []);
+  }

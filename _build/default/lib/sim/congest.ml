@@ -1,0 +1,22 @@
+let bits_for v =
+  if v < 0 then invalid_arg "Congest.bits_for: negative value";
+  let rec go acc v = if v = 0 then acc else go (acc + 1) (v lsr 1) in
+  max 1 (go 0 v)
+
+let log2_ceil n =
+  if n <= 1 then 1
+  else begin
+    let rec go acc v = if v >= n then acc else go (acc + 1) (v * 2) in
+    go 0 1
+  end
+
+let rank_bits ~n = 4 * log2_ceil n
+
+let id_bits ~n = log2_ceil n
+
+let tag_bits = 4
+
+(* A tagged ⟨ID, rank⟩ pair is tag + id + rank = 4 + ceil(log2 n) +
+   4*ceil(log2 n) bits; doubling that leaves slack for per-message framing
+   without permitting any super-logarithmic batching. *)
+let default_limit ~n = 2 * (tag_bits + id_bits ~n + rank_bits ~n)

@@ -1,0 +1,26 @@
+(** Message-size accounting for the CONGEST model.
+
+    In the paper's CONGEST model a node may push O(log n) bits through an
+    edge per round. The engine does not serialise payloads; instead each
+    protocol declares the bit size of every message via [msg_bits], built
+    from the helpers below, and the engine checks the per-edge-per-round
+    total against {!default_limit}. Lower bounds in the paper hold even in
+    LOCAL (unbounded messages), which the engine models as "no limit". *)
+
+val bits_for : int -> int
+(** [bits_for v] is the number of bits needed to write the non-negative
+    integer [v] (at least 1). *)
+
+val rank_bits : n:int -> int
+(** Size of a rank drawn from [1, n^4]: [4 * ceil(log2 n)] bits. *)
+
+val id_bits : n:int -> int
+(** Size of a node identifier in [0, n): [ceil(log2 n)] bits. *)
+
+val tag_bits : int
+(** Fixed overhead we charge every message for its constructor tag. *)
+
+val default_limit : n:int -> int
+(** Per-edge per-round budget: comfortably O(log n), large enough for a
+    tagged ⟨ID, rank⟩ pair — the largest message any protocol here sends —
+    and small enough to catch a protocol that batches. *)

@@ -1,0 +1,16 @@
+type t = Undecided | Elected | Not_elected | Follower of int | Agreed of int
+
+let equal a b =
+  match (a, b) with
+  | Undecided, Undecided | Elected, Elected | Not_elected, Not_elected -> true
+  | Follower x, Follower y | Agreed x, Agreed y -> x = y
+  | (Undecided | Elected | Not_elected | Follower _ | Agreed _), _ -> false
+
+let to_string = function
+  | Undecided -> "undecided"
+  | Elected -> "elected"
+  | Not_elected -> "not-elected"
+  | Follower r -> Printf.sprintf "follower(%d)" r
+  | Agreed v -> Printf.sprintf "agreed(%d)" v
+
+let pp ppf d = Format.pp_print_string ppf (to_string d)

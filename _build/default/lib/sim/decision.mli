@@ -1,0 +1,18 @@
+(** Terminal outputs of a protocol node.
+
+    Both problems in the paper are *implicit*: only a non-empty subset of
+    nodes needs to decide, and [Undecided] (the paper's ⊥ state) is a legal
+    final output for the rest. *)
+
+type t =
+  | Undecided  (** The ⊥ state: the node never produced an output. *)
+  | Elected  (** Leader election: this node is the leader. *)
+  | Not_elected  (** Leader election: this node is not the leader. *)
+  | Follower of int
+      (** Explicit leader election: not the leader, and knows the leader's
+          identity (its rank). *)
+  | Agreed of int  (** Agreement: the node decided this value. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,324 @@
+module Rng = Ftc_rng.Rng
+
+type config = {
+  n : int;
+  alpha : float;
+  seed : int;
+  inputs : int array option;
+  adversary : Adversary.t;
+  congest_limit : int option;
+  record_trace : bool;
+  max_rounds_override : int option;
+}
+
+type result = {
+  decisions : Decision.t array;
+  observations : Observation.t array;
+  faulty : bool array;
+  crashed : bool array;
+  crash_round : int array;
+  rounds_used : int;
+  metrics : Metrics.t;
+  trace : Trace.t option;
+  errors : string list;
+}
+
+let default_config ~n ~alpha ~seed =
+  {
+    n;
+    alpha;
+    seed;
+    inputs = None;
+    adversary = Adversary.none;
+    congest_limit = Some (Congest.default_limit ~n);
+    record_trace = false;
+    max_rounds_override = None;
+  }
+
+let max_faulty ~n ~alpha =
+  let non_faulty = int_of_float (ceil (alpha *. float_of_int n)) in
+  max 0 (n - min n non_faulty)
+
+(* Per-node lazy port table. Ports are dense small integers; the peer
+   behind each used port is recorded both ways so that the same peer is
+   always seen behind the same local port, as a fixed hidden permutation
+   would guarantee. *)
+type ports = {
+  peer_of_port : (int, int) Hashtbl.t;
+  port_of_peer : (int, int) Hashtbl.t;
+  mutable next_port : int;
+  mutable complement : int list;
+      (** Once most peers are known, the unknown ones in a pre-shuffled
+          order; consumed by [fresh_peer]. Empty = not built yet. *)
+}
+
+let ports_create () =
+  {
+    peer_of_port = Hashtbl.create 8;
+    port_of_peer = Hashtbl.create 8;
+    next_port = 0;
+    complement = [];
+  }
+
+(* The port leading from [node] to [peer], opening it if needed. *)
+let port_to ports peer =
+  match Hashtbl.find_opt ports.port_of_peer peer with
+  | Some p -> p
+  | None ->
+      let p = ports.next_port in
+      ports.next_port <- p + 1;
+      Hashtbl.replace ports.peer_of_port p peer;
+      Hashtbl.replace ports.port_of_peer peer p;
+      p
+
+(* Opening a fresh port reveals a uniform node among those not already
+   behind a used port (and not self). Rejection sampling is O(1) expected
+   while used ports are a minority; past n/2 we build the complement once,
+   shuffled, and consume it — a uniformly shuffled complement yields
+   exactly uniform sampling without replacement, and keeps broadcast-to-
+   all linear instead of quadratic. Entries that became known through a
+   received message meanwhile are skipped on pop. *)
+let fresh_peer wiring_rng ports ~n ~self =
+  let used = Hashtbl.length ports.port_of_peer in
+  if used >= n - 1 then None
+  else if used < n / 2 && ports.complement = [] then begin
+    let rec draw () =
+      let peer = Rng.int wiring_rng n in
+      if peer = self || Hashtbl.mem ports.port_of_peer peer then draw () else peer
+    in
+    Some (draw ())
+  end
+  else begin
+    if ports.complement = [] then begin
+      let remaining = ref [] in
+      for peer = n - 1 downto 0 do
+        if peer <> self && not (Hashtbl.mem ports.port_of_peer peer) then
+          remaining := peer :: !remaining
+      done;
+      let arr = Array.of_list !remaining in
+      Ftc_rng.Dist.shuffle wiring_rng arr;
+      ports.complement <- Array.to_list arr
+    end;
+    let rec pop () =
+      match ports.complement with
+      | [] -> None
+      | peer :: rest ->
+          ports.complement <- rest;
+          if Hashtbl.mem ports.port_of_peer peer then pop () else Some peer
+    in
+    pop ()
+  end
+
+type 'msg send = {
+  src : int;
+  dst : int;
+  bits : int;
+  payload : 'msg;
+  mutable dropped : bool;
+}
+
+module Make (P : Protocol.S) = struct
+  let run config =
+    let n = config.n in
+    if n < 2 then invalid_arg "Engine.run: need at least 2 nodes";
+    let root = Rng.create config.seed in
+    let node_rngs = Rng.split_n root n in
+    let wiring_rng = Rng.split root in
+    let adv_rng = Rng.split root in
+    let errors = ref [] in
+    let error fmt = Format.kasprintf (fun s -> errors := s :: !errors) fmt in
+    let inputs =
+      match config.inputs with
+      | Some a ->
+          if Array.length a <> n then invalid_arg "Engine.run: inputs length <> n";
+          a
+      | None -> Array.make n 0
+    in
+    let ctxs =
+      Array.init n (fun i ->
+          {
+            Protocol.n;
+            alpha = config.alpha;
+            input = inputs.(i);
+            rng = node_rngs.(i);
+            self = (match P.knowledge with `KT1 -> Some i | `KT0 -> None);
+          })
+    in
+    let states = Array.init n (fun i -> P.init ctxs.(i)) in
+    let ports = Array.init n (fun _ -> ports_create ()) in
+    (* Faulty set. *)
+    let f_budget = max_faulty ~n ~alpha:config.alpha in
+    let faulty = Array.make n false in
+    let chosen = config.adversary.Adversary.pick_faulty adv_rng ~n ~f:f_budget in
+    let chosen_count = ref 0 in
+    List.iter
+      (fun v ->
+        if v < 0 || v >= n then error "adversary picked out-of-range faulty node %d" v
+        else if faulty.(v) then error "adversary picked faulty node %d twice" v
+        else begin
+          faulty.(v) <- true;
+          incr chosen_count
+        end)
+      chosen;
+    if !chosen_count > f_budget then
+      error "adversary picked %d faulty nodes, budget is %d" !chosen_count f_budget;
+    let crashed = Array.make n false in
+    let crash_round = Array.make n (-1) in
+    let alive i = not crashed.(i) in
+    let metrics = Metrics.create () in
+    let trace = if config.record_trace then Some (Trace.create ()) else None in
+    let trace_add e = match trace with Some t -> Trace.add t e | None -> () in
+    let inboxes : P.msg Protocol.incoming list array = Array.make n [] in
+    let max_rounds =
+      match config.max_rounds_override with
+      | Some r -> r
+      | None -> P.max_rounds ~n ~alpha:config.alpha
+    in
+    let congest_key src dst = (src * n) + dst in
+
+    let resolve_dest src dest =
+      match dest with
+      | Protocol.Fresh_port -> (
+          (* Register the new port on the sender side so the protocol can
+             re-use it: fresh ports are numbered consecutively from the
+             sender's current port count, and the peer's later replies
+             arrive through the same binding. Exhaustion (all n-1 peers
+             already known) silently drops the send — the only way it can
+             happen is a broadcast over-approximating its fresh count. *)
+          match fresh_peer wiring_rng ports.(src) ~n ~self:src with
+          | None -> None
+          | Some peer ->
+              let _port = port_to ports.(src) peer in
+              Some peer)
+      | Protocol.Port p -> (
+          match Hashtbl.find_opt ports.(src).peer_of_port p with
+          | Some peer -> Some peer
+          | None ->
+              error "node %d sent through unknown port %d" src p;
+              None)
+      | Protocol.Node d ->
+          if P.knowledge = `KT0 then begin
+            error "KT0 protocol %s used Node addressing" P.name;
+            None
+          end
+          else if d < 0 || d >= n || d = src then begin
+            error "node %d sent to invalid node %d" src d;
+            None
+          end
+          else Some d
+    in
+
+    let round = ref 0 in
+    let finished = ref false in
+    while (not !finished) && !round < max_rounds do
+      let r = !round in
+      (* 1. Step every live node on its inbox; collect sends. *)
+      let sends : P.msg send list ref = ref [] in
+      let sends_by_node = Array.make n [] in
+      for i = 0 to n - 1 do
+        if alive i then begin
+          let inbox = List.rev inboxes.(i) in
+          inboxes.(i) <- [];
+          let state', actions = P.step ctxs.(i) states.(i) ~round:r ~inbox in
+          states.(i) <- state';
+          let resolved =
+            List.filter_map
+              (fun { Protocol.dest; payload } ->
+                match resolve_dest i dest with
+                | None -> None
+                | Some dst ->
+                    Some { src = i; dst; bits = P.msg_bits ~n payload; payload; dropped = false })
+              actions
+          in
+          sends_by_node.(i) <- resolved;
+          sends := List.rev_append resolved !sends
+        end
+        else inboxes.(i) <- []
+      done;
+      let sends = List.rev !sends in
+      (* 2. CONGEST accounting: flag each (edge, round) over budget once. *)
+      (match config.congest_limit with
+      | None -> ()
+      | Some limit ->
+          let edge_bits = Hashtbl.create 64 in
+          List.iter
+            (fun s ->
+              let key = congest_key s.src s.dst in
+              let prev = Option.value ~default:0 (Hashtbl.find_opt edge_bits key) in
+              let total = prev + s.bits in
+              if prev <= limit && total > limit then Metrics.record_violation metrics;
+              Hashtbl.replace edge_bits key total)
+            sends);
+      (* 3. Adversary decides this round's crashes. *)
+      let all_observations = Array.map P.observe states in
+      let alive_faulty =
+        let acc = ref [] in
+        for i = n - 1 downto 0 do
+          if faulty.(i) && alive i then
+            acc :=
+              {
+                Adversary.node = i;
+                observation = all_observations.(i);
+                pending =
+                  List.map (fun s -> { Adversary.dst = s.dst; bits = s.bits }) sends_by_node.(i);
+              }
+              :: !acc
+        done;
+        !acc
+      in
+      let view = { Adversary.round = r; n; alive_faulty; all_observations } in
+      let crash_orders = config.adversary.Adversary.decide_crashes adv_rng view in
+      List.iter
+        (fun (v, rule) ->
+          if v < 0 || v >= n then error "adversary crashed out-of-range node %d" v
+          else if not faulty.(v) then error "adversary crashed non-faulty node %d" v
+          else if crashed.(v) then error "adversary crashed node %d twice" v
+          else begin
+            crashed.(v) <- true;
+            crash_round.(v) <- r;
+            trace_add (Trace.Crash { round = r; node = v });
+            let mine = sends_by_node.(v) in
+            (match rule with
+            | Adversary.Drop_all -> List.iter (fun s -> s.dropped <- true) mine
+            | Adversary.Drop_none -> ()
+            | Adversary.Drop_random p ->
+                List.iter (fun s -> if Ftc_rng.Dist.bernoulli adv_rng p then s.dropped <- true) mine
+            | Adversary.Keep_prefix k ->
+                List.iteri (fun idx s -> if idx >= k then s.dropped <- true) mine)
+          end)
+        crash_orders;
+      (* 4. Count, trace, and deliver. *)
+      List.iter
+        (fun s ->
+          let delivered = not s.dropped in
+          Metrics.record_send metrics ~round:r ~bits:s.bits ~delivered;
+          trace_add (Trace.Send { round = r; src = s.src; dst = s.dst; bits = s.bits; delivered });
+          if delivered then begin
+            let from_port = port_to ports.(s.dst) s.src in
+            inboxes.(s.dst) <-
+              { Protocol.from_port; payload = s.payload } :: inboxes.(s.dst)
+          end)
+        sends;
+      (* 5. Early stop: network quiescent and every live node has decided. *)
+      if sends = [] then begin
+        let all_decided = ref true in
+        for i = 0 to n - 1 do
+          if alive i && P.decide states.(i) = Decision.Undecided then all_decided := false
+        done;
+        if !all_decided then finished := true
+      end;
+      incr round
+    done;
+    Metrics.finish metrics ~rounds:!round;
+    {
+      decisions = Array.map P.decide states;
+      observations = Array.map P.observe states;
+      faulty;
+      crashed;
+      crash_round;
+      rounds_used = !round;
+      metrics;
+      trace;
+      errors = List.rev !errors;
+    }
+end

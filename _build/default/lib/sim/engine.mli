@@ -1,0 +1,56 @@
+(** The synchronous round engine.
+
+    Executes one protocol over a complete network of [n] nodes under a
+    crash adversary, per the model of Section II of the paper:
+
+    - rounds are synchronous; messages sent in round [r] arrive in round
+      [r + 1];
+    - the network is anonymous (KT0): the hidden port wiring is a uniformly
+      random permutation, realised lazily (see {!Protocol});
+    - a faulty node crashes in the round of the adversary's choosing, an
+      adversary-chosen subset of its messages for that round is lost, and
+      the node halts for ever after;
+    - message and bit complexity are counted at send time (a lost message
+      was still sent);
+    - the per-edge-per-round CONGEST budget is checked when [congest_limit]
+      is [Some]; [None] models LOCAL.
+
+    The whole execution — every node's coins, the wiring, the adversary's
+    coins — is a deterministic function of [config.seed]. *)
+
+type config = {
+  n : int;
+  alpha : float;  (** At least [alpha * n] nodes stay non-faulty. *)
+  seed : int;
+  inputs : int array option;  (** Per-node inputs (agreement); default 0. *)
+  adversary : Adversary.t;
+  congest_limit : int option;  (** Per-edge per-round bits; [None] = LOCAL. *)
+  record_trace : bool;
+  max_rounds_override : int option;
+}
+
+type result = {
+  decisions : Decision.t array;  (** Final output of every node. *)
+  observations : Observation.t array;  (** Final observation of every node. *)
+  faulty : bool array;  (** The adversary's chosen faulty set. *)
+  crashed : bool array;  (** Nodes that actually crashed. *)
+  crash_round : int array;  (** Round of crash, or -1. *)
+  rounds_used : int;
+  metrics : Metrics.t;
+  trace : Trace.t option;
+  errors : string list;
+      (** Model violations (KT0 protocol used [Node] addressing, unknown
+          port, adversary crashed a non-faulty node, ...). Empty in any
+          correct setup; tests assert so. *)
+}
+
+val default_config : n:int -> alpha:float -> seed:int -> config
+(** CONGEST limit at {!Congest.default_limit}, no trace, no adversary. *)
+
+val max_faulty : n:int -> alpha:float -> int
+(** [n - ceil(alpha * n)]: the largest faulty set leaving [alpha n]
+    non-faulty nodes. *)
+
+module Make (P : Protocol.S) : sig
+  val run : config -> result
+end

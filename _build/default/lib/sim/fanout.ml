@@ -1,0 +1,5 @@
+let broadcast ~n ~known_ports payload =
+  let known = List.rev_map (fun p -> { Protocol.dest = Protocol.Port p; payload }) known_ports in
+  let fresh = n - 1 - List.length known_ports in
+  List.rev_append known
+    (List.init (max 0 fresh) (fun _ -> { Protocol.dest = Protocol.Fresh_port; payload }))

@@ -1,0 +1,10 @@
+(** Broadcast helper for KT0 protocols.
+
+    Reaching all [n - 1] neighbours from an anonymous node means sending
+    through every already-known port plus a fresh port for each remaining
+    unknown peer. The engine never wires a fresh port to an already-known
+    peer, so the coverage is exact and duplicate-free. *)
+
+val broadcast : n:int -> known_ports:int list -> 'm -> 'm Protocol.action list
+(** [broadcast ~n ~known_ports payload] is the action list delivering
+    [payload] to every other node exactly once. *)

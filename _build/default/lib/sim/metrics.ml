@@ -1,0 +1,44 @@
+type t = {
+  mutable msgs_sent : int;
+  mutable msgs_dropped : int;
+  mutable bits_sent : int;
+  mutable rounds_used : int;
+  mutable congest_violations : int;
+  mutable per_round_msgs : int array;
+}
+
+let create () =
+  {
+    msgs_sent = 0;
+    msgs_dropped = 0;
+    bits_sent = 0;
+    rounds_used = 0;
+    congest_violations = 0;
+    per_round_msgs = Array.make 64 0;
+  }
+
+let ensure_round t round =
+  let len = Array.length t.per_round_msgs in
+  if round >= len then begin
+    let bigger = Array.make (max (2 * len) (round + 1)) 0 in
+    Array.blit t.per_round_msgs 0 bigger 0 len;
+    t.per_round_msgs <- bigger
+  end
+
+let record_send t ~round ~bits ~delivered =
+  t.msgs_sent <- t.msgs_sent + 1;
+  t.bits_sent <- t.bits_sent + bits;
+  if not delivered then t.msgs_dropped <- t.msgs_dropped + 1;
+  ensure_round t round;
+  t.per_round_msgs.(round) <- t.per_round_msgs.(round) + 1
+
+let record_violation t = t.congest_violations <- t.congest_violations + 1
+
+let finish t ~rounds =
+  t.rounds_used <- rounds;
+  if rounds < Array.length t.per_round_msgs then
+    t.per_round_msgs <- Array.sub t.per_round_msgs 0 rounds
+
+let pp ppf t =
+  Format.fprintf ppf "msgs=%d (dropped %d), bits=%d, rounds=%d, congest_violations=%d"
+    t.msgs_sent t.msgs_dropped t.bits_sent t.rounds_used t.congest_violations

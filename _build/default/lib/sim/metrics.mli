@@ -1,0 +1,23 @@
+(** Complexity counters for a run.
+
+    Message complexity in the paper is "the total number of messages sent
+    by all the nodes throughout the execution", so a message lost to a
+    crash still counts as sent. Bits are counted separately because the
+    paper states the agreement bound in message *bits* (Theorem 5.1) and
+    Remark 1 notes the O(log n) factor between the two. *)
+
+type t = {
+  mutable msgs_sent : int;  (** Messages sent (delivered or lost). *)
+  mutable msgs_dropped : int;  (** Messages lost to crashes. *)
+  mutable bits_sent : int;  (** Total payload bits sent. *)
+  mutable rounds_used : int;  (** Rounds actually executed. *)
+  mutable congest_violations : int;
+      (** Count of (edge, round) pairs whose traffic exceeded the budget. *)
+  mutable per_round_msgs : int array;  (** Messages sent in each round. *)
+}
+
+val create : unit -> t
+val record_send : t -> round:int -> bits:int -> delivered:bool -> unit
+val record_violation : t -> unit
+val finish : t -> rounds:int -> unit
+val pp : Format.formatter -> t -> unit

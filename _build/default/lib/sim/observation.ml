@@ -1,0 +1,16 @@
+type role = Candidate | Referee | Bystander | Coordinator
+
+type t = { role : role; rank : int option; has_decided : bool }
+
+let bystander = { role = Bystander; rank = None; has_decided = false }
+
+let role_to_string = function
+  | Candidate -> "candidate"
+  | Referee -> "referee"
+  | Bystander -> "bystander"
+  | Coordinator -> "coordinator"
+
+let pp ppf t =
+  Format.fprintf ppf "{role=%s; rank=%s; decided=%b}" (role_to_string t.role)
+    (match t.rank with None -> "-" | Some r -> string_of_int r)
+    t.has_decided

@@ -1,0 +1,30 @@
+type dest = Fresh_port | Port of int | Node of int
+
+type 'msg action = { dest : dest; payload : 'msg }
+
+type 'msg incoming = { from_port : int; payload : 'msg }
+
+type ctx = {
+  n : int;
+  alpha : float;
+  input : int;
+  rng : Ftc_rng.Rng.t;
+  self : int option;
+}
+
+module type S = sig
+  type state
+  type msg
+
+  val name : string
+  val knowledge : [ `KT0 | `KT1 ]
+  val msg_bits : n:int -> msg -> int
+  val max_rounds : n:int -> alpha:float -> int
+  val init : ctx -> state
+
+  val step :
+    ctx -> state -> round:int -> inbox:msg incoming list -> state * msg action list
+
+  val decide : state -> Decision.t
+  val observe : state -> Observation.t
+end

@@ -1,0 +1,69 @@
+(** The interface a distributed algorithm presents to the round engine.
+
+    A protocol is a state machine replicated at every node. Each round the
+    engine hands every live node its inbox (messages sent to it in the
+    previous round) and collects its outgoing messages. Addressing reflects
+    the paper's KT0 anonymity:
+
+    - [Fresh_port] — "open a uniformly random port I have never used".
+      Because the hidden port wiring is a uniformly random permutation, the
+      peer behind a fresh port is a uniformly random node among those not
+      already behind one of this node's used ports. This is exactly the
+      primitive the paper's sampling steps need.
+    - [Port p] — re-send through a known port: one previously opened with
+      [Fresh_port], or the reply port attached to a received message.
+    - [Node id] — KT1 addressing by identifier, allowed only for protocols
+      that declare [`KT1] knowledge (used by baselines such as
+      Gilbert–Kowalski which assume known neighbours).
+
+    Deciding ([decide]) does not halt a node: in the implicit problems a
+    node may fix its output early and keep relaying. A node stops acting
+    only when it crashes or the run ends. *)
+
+type dest =
+  | Fresh_port  (** Open and send through a new uniformly random port. *)
+  | Port of int  (** Send through an already-known port. *)
+  | Node of int  (** KT1 only: send to the node with this identifier. *)
+
+type 'msg action = { dest : dest; payload : 'msg }
+
+type 'msg incoming = {
+  from_port : int;
+      (** The receiver-side port the message arrived on; replying through
+          it reaches the sender. Stable: the same peer always appears
+          behind the same local port. *)
+  payload : 'msg;
+}
+
+type ctx = {
+  n : int;  (** Network size; known to all nodes (port count). *)
+  alpha : float;  (** Guaranteed non-faulty fraction; known to all nodes. *)
+  input : int;  (** This node's input value (agreement); 0 otherwise. *)
+  rng : Ftc_rng.Rng.t;  (** This node's private coin. *)
+  self : int option;  (** The node's own identifier — [Some] only in KT1. *)
+}
+
+module type S = sig
+  type state
+  type msg
+
+  val name : string
+  val knowledge : [ `KT0 | `KT1 ]
+
+  val msg_bits : n:int -> msg -> int
+  (** Bit size charged against the CONGEST budget. *)
+
+  val max_rounds : n:int -> alpha:float -> int
+  (** Upper bound on the rounds the protocol needs; the engine stops there
+      (or earlier, on quiescence with every live node decided). *)
+
+  val init : ctx -> state
+
+  val step :
+    ctx -> state -> round:int -> inbox:msg incoming list -> state * msg action list
+  (** One synchronous round. [inbox] holds messages sent to this node in
+      round [round - 1]; returned actions are sent in round [round]. *)
+
+  val decide : state -> Decision.t
+  val observe : state -> Observation.t
+end

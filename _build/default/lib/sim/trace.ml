@@ -1,0 +1,21 @@
+type event =
+  | Send of { round : int; src : int; dst : int; bits : int; delivered : bool }
+  | Crash of { round : int; node : int }
+
+type t = { mutable rev_events : event list; mutable len : int }
+
+let create () = { rev_events = []; len = 0 }
+
+let add t e =
+  t.rev_events <- e :: t.rev_events;
+  t.len <- t.len + 1
+
+let events t = List.rev t.rev_events
+
+let length t = t.len
+
+let pp_event ppf = function
+  | Send { round; src; dst; bits; delivered } ->
+      Format.fprintf ppf "r%d: %d -> %d (%d bits%s)" round src dst bits
+        (if delivered then "" else ", lost")
+  | Crash { round; node } -> Format.fprintf ppf "r%d: crash %d" round node

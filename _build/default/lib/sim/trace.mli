@@ -1,0 +1,21 @@
+(** Execution traces, for the lower-bound analyses.
+
+    The lower-bound proofs of the paper (Theorems 4.2 and 5.2) reason about
+    the *communication graph* of an execution — who sent to whom, and the
+    "influence clouds" reachable from initiator nodes. Recording a trace
+    lets [Ftc_analysis.Influence] compute those objects from real runs. *)
+
+type event =
+  | Send of { round : int; src : int; dst : int; bits : int; delivered : bool }
+  | Crash of { round : int; node : int }
+
+type t
+(** An append-only event log. *)
+
+val create : unit -> t
+val add : t -> event -> unit
+val events : t -> event list
+(** Events in chronological order. *)
+
+val length : t -> int
+val pp_event : Format.formatter -> event -> unit

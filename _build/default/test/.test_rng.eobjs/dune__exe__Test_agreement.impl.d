@@ -1,0 +1,1 @@
+test/test_agreement.ml: Alcotest Array Ftc_core Ftc_fault Ftc_rng Ftc_sim List Printf QCheck QCheck_alcotest

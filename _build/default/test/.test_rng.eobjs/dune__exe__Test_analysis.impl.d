@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Astring Filename Float Ftc_analysis Ftc_sim List QCheck QCheck_alcotest String Sys

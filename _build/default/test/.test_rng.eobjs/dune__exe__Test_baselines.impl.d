@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Array Ftc_baselines Ftc_core Ftc_fault Ftc_rng Ftc_sim Printf

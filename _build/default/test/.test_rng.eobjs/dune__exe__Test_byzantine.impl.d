@@ -1,0 +1,1 @@
+test/test_byzantine.ml: Alcotest Array Ftc_core Ftc_rng Ftc_sim Printf

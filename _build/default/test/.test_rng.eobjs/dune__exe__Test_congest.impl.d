@@ -1,0 +1,1 @@
+test/test_congest.ml: Alcotest Ftc_sim List Printf

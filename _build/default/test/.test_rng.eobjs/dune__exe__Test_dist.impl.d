@@ -1,0 +1,1 @@
+test/test_dist.ml: Alcotest Array Float Ftc_rng Fun Hashtbl List Printf QCheck QCheck_alcotest

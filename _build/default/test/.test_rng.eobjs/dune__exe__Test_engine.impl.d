@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Array Ftc_core Ftc_fault Ftc_sim Fun List Printf QCheck QCheck_alcotest String

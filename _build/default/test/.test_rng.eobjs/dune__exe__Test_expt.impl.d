@@ -1,0 +1,1 @@
+test/test_expt.ml: Alcotest Array Astring Ftc_analysis Ftc_core Ftc_expt Ftc_fault List

@@ -1,0 +1,1 @@
+test/test_fault.ml: Alcotest Array Ftc_fault Ftc_rng Ftc_sim List Printf

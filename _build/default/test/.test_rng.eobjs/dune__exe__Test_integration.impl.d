@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Ftc_baselines Ftc_core Ftc_fault Ftc_rng Ftc_sim List Printf

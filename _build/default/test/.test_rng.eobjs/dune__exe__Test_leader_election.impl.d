@@ -1,0 +1,1 @@
+test/test_leader_election.ml: Alcotest Array Ftc_core Ftc_fault Ftc_sim List Printf QCheck QCheck_alcotest

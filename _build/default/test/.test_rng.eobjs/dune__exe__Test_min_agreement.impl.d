@@ -1,0 +1,1 @@
+test/test_min_agreement.ml: Alcotest Array Float Ftc_core Ftc_fault Ftc_rng Ftc_sim List Printf QCheck QCheck_alcotest

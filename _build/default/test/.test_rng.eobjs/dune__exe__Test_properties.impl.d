@@ -1,0 +1,1 @@
+test/test_properties.ml: Alcotest Array Ftc_core Ftc_sim

@@ -1,0 +1,1 @@
+test/test_rng.ml: Alcotest Array Float Ftc_rng Hashtbl Int64 List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_sim_units.ml: Alcotest Array Astring Format Ftc_sim List Printf

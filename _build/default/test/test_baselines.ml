@@ -1,0 +1,224 @@
+(* Tests for the baseline protocols: correctness and their characteristic
+   complexity shapes (FloodSet quadratic, tree linear, rotating O(nf),
+   gossip O(n log n), Kutten/AMP sublinear one-shot). *)
+
+module Engine = Ftc_sim.Engine
+module Decision = Ftc_sim.Decision
+module Props = Ftc_core.Properties
+module Rng = Ftc_rng.Rng
+
+let run (module P : Ftc_sim.Protocol.S) ?(adversary = Ftc_fault.Strategy.none) ~n ~alpha ~seed
+    ~inputs () =
+  let module E = Engine.Make (P) in
+  let r =
+    E.run
+      { (Engine.default_config ~n ~alpha ~seed) with
+        inputs = Some inputs;
+        adversary = adversary ()
+      }
+  in
+  Alcotest.(check (list string)) "no model violations" [] r.errors;
+  r
+
+let random_inputs ~n ~seed =
+  let rng = Rng.create seed in
+  Array.init n (fun _ -> if Rng.bool rng then 1 else 0)
+
+let check_explicit name r inputs =
+  let rep = Props.check_explicit_agreement ~inputs r in
+  Alcotest.(check bool) (name ^ ": explicit agreement") true rep.ok
+
+(* -- FloodSet -- *)
+
+let test_floodset_correct_with_crashes () =
+  for seed = 1 to 8 do
+    let n = 64 in
+    let inputs = random_inputs ~n ~seed in
+    let r =
+      run (Ftc_baselines.Floodset.make ()) ~n ~alpha:0.5 ~seed ~inputs
+        ~adversary:(fun () -> Ftc_fault.Strategy.random_crashes ~horizon:16 ())
+        ()
+    in
+    check_explicit "floodset" r inputs
+  done
+
+let test_floodset_decides_min () =
+  let n = 32 in
+  let inputs = Array.make n 1 in
+  inputs.(5) <- 0;
+  let r = run (Ftc_baselines.Floodset.make ()) ~n ~alpha:0.9 ~seed:3 ~inputs () in
+  Array.iteri
+    (fun i d ->
+      if not r.crashed.(i) then
+        Alcotest.(check bool) "decided 0" true (Decision.equal d (Decision.Agreed 0)))
+    r.decisions
+
+let test_floodset_quadratic_messages () =
+  let n = 64 in
+  let inputs = random_inputs ~n ~seed:5 in
+  let r = run (Ftc_baselines.Floodset.make ()) ~n ~alpha:0.9 ~seed:7 ~inputs () in
+  (* At least one full flood; at most a handful (min can drop only once
+     per node). *)
+  Alcotest.(check bool) "at least n(n-1)" true (r.metrics.msgs_sent >= n * (n - 1));
+  Alcotest.(check bool) "at most 3 n^2" true (r.metrics.msgs_sent <= 3 * n * n)
+
+(* -- Rotating coordinator -- *)
+
+let test_rotating_correct_with_crashes () =
+  for seed = 1 to 8 do
+    let n = 64 in
+    let inputs = random_inputs ~n ~seed:(seed * 3) in
+    let r =
+      run (Ftc_baselines.Rotating.make ()) ~n ~alpha:0.5 ~seed ~inputs
+        ~adversary:(fun () -> Ftc_fault.Strategy.random_crashes ~horizon:16 ())
+        ()
+    in
+    check_explicit "rotating" r inputs
+  done
+
+let test_rotating_message_bound () =
+  let n = 64 in
+  let inputs = random_inputs ~n ~seed:4 in
+  let r = run (Ftc_baselines.Rotating.make ()) ~n ~alpha:0.5 ~seed:9 ~inputs () in
+  let f = Engine.max_faulty ~n ~alpha:0.5 in
+  Alcotest.(check bool) "at most (f+1)(n-1)" true (r.metrics.msgs_sent <= (f + 1) * (n - 1));
+  Alcotest.(check bool) "rounds = f+2" true (r.rounds_used <= f + 2)
+
+let test_rotating_validity_all_ones () =
+  let n = 32 in
+  let inputs = Array.make n 1 in
+  let r = run (Ftc_baselines.Rotating.make ()) ~n ~alpha:0.9 ~seed:2 ~inputs () in
+  let rep = Props.check_explicit_agreement ~inputs r in
+  Alcotest.(check (option int)) "value 1" (Some 1) rep.value
+
+(* -- Tree agreement (GK stand-in) -- *)
+
+let test_tree_correct_fault_free () =
+  for seed = 1 to 8 do
+    let n = 100 in
+    let inputs = random_inputs ~n ~seed:(seed * 5) in
+    let r = run (Ftc_baselines.Tree_agreement.make ()) ~n ~alpha:1.0 ~seed ~inputs () in
+    check_explicit "tree" r inputs;
+    let rep = Props.check_explicit_agreement ~inputs r in
+    let expected = Array.fold_left min 1 inputs in
+    Alcotest.(check (option int)) "global min" (Some expected) rep.value
+  done
+
+let test_tree_linear_messages () =
+  let n = 256 in
+  let inputs = random_inputs ~n ~seed:6 in
+  let r = run (Ftc_baselines.Tree_agreement.make ()) ~n ~alpha:1.0 ~seed:11 ~inputs () in
+  (* Up phase <= 2n, one root broadcast = n - 1. *)
+  Alcotest.(check bool) "O(n) messages" true (r.metrics.msgs_sent <= (3 * n) + 2);
+  Alcotest.(check bool) "O(log n) rounds" true (r.rounds_used <= 40)
+
+let test_tree_mostly_correct_with_crashes () =
+  (* The stand-in is not GK'10: it may rarely disagree under crashes. We
+     require a high success rate, not perfection (see DESIGN.md). *)
+  let ok = ref 0 in
+  let trials = 15 in
+  for seed = 1 to trials do
+    let n = 128 in
+    let inputs = random_inputs ~n ~seed:(seed * 7) in
+    let r =
+      run (Ftc_baselines.Tree_agreement.make ()) ~n ~alpha:0.7 ~seed ~inputs
+        ~adversary:(fun () -> Ftc_fault.Strategy.random_crashes ~horizon:16 ())
+        ()
+    in
+    if (Props.check_explicit_agreement ~inputs r).ok then incr ok
+  done;
+  Alcotest.(check bool) (Printf.sprintf "tree: >= 12/15 (got %d)" !ok) true (!ok >= 12)
+
+(* -- Gossip (CK stand-in) -- *)
+
+let test_gossip_correct_fault_free () =
+  for seed = 1 to 8 do
+    let n = 128 in
+    let inputs = random_inputs ~n ~seed:(seed * 11) in
+    let r = run (Ftc_baselines.Gossip.make ()) ~n ~alpha:1.0 ~seed ~inputs () in
+    check_explicit "gossip" r inputs
+  done
+
+let test_gossip_message_bound () =
+  let n = 256 in
+  let inputs = random_inputs ~n ~seed:8 in
+  let r = run (Ftc_baselines.Gossip.make ()) ~n ~alpha:1.0 ~seed:13 ~inputs () in
+  (* fanout * rounds * n upper bound. *)
+  Alcotest.(check bool) "O(n log n) messages" true (r.metrics.msgs_sent <= 2 * n * 24)
+
+(* -- Kutten et al. leader election -- *)
+
+let test_kutten_unique_leader () =
+  for seed = 1 to 15 do
+    let n = 256 in
+    let r =
+      run (Ftc_baselines.Kutten_le.make ()) ~n ~alpha:1.0 ~seed ~inputs:(Array.make n 0) ()
+    in
+    let rep = Props.check_implicit_election r in
+    Alcotest.(check bool) (Printf.sprintf "seed %d unique leader" seed) true rep.ok;
+    Alcotest.(check bool) "constant rounds" true (r.rounds_used <= 4)
+  done
+
+let test_kutten_sublinear_messages () =
+  let n = 4096 in
+  let r =
+    run (Ftc_baselines.Kutten_le.make ()) ~n ~alpha:1.0 ~seed:17 ~inputs:(Array.make n 0) ()
+  in
+  Alcotest.(check bool) "well below n^2" true (r.metrics.msgs_sent < n * 32)
+
+(* -- AMP agreement -- *)
+
+let test_amp_implicit_agreement () =
+  for seed = 1 to 15 do
+    let n = 256 in
+    let inputs = random_inputs ~n ~seed:(seed * 13) in
+    let r = run (Ftc_baselines.Amp_agreement.make ()) ~n ~alpha:1.0 ~seed ~inputs () in
+    let rep = Props.check_implicit_agreement ~inputs r in
+    Alcotest.(check bool) (Printf.sprintf "seed %d ok" seed) true rep.ok;
+    Alcotest.(check bool) "constant rounds" true (r.rounds_used <= 4)
+  done
+
+let test_amp_zero_wins_among_candidates () =
+  let n = 256 in
+  let inputs = Array.make n 0 in
+  let r = run (Ftc_baselines.Amp_agreement.make ()) ~n ~alpha:1.0 ~seed:19 ~inputs () in
+  let rep = Props.check_implicit_agreement ~inputs r in
+  Alcotest.(check (option int)) "zero" (Some 0) rep.value
+
+let () =
+  Alcotest.run "baselines"
+    [
+      ( "floodset",
+        [
+          Alcotest.test_case "correct with crashes" `Quick test_floodset_correct_with_crashes;
+          Alcotest.test_case "decides min" `Quick test_floodset_decides_min;
+          Alcotest.test_case "quadratic messages" `Quick test_floodset_quadratic_messages;
+        ] );
+      ( "rotating",
+        [
+          Alcotest.test_case "correct with crashes" `Quick test_rotating_correct_with_crashes;
+          Alcotest.test_case "message bound" `Quick test_rotating_message_bound;
+          Alcotest.test_case "validity" `Quick test_rotating_validity_all_ones;
+        ] );
+      ( "tree",
+        [
+          Alcotest.test_case "correct fault-free" `Quick test_tree_correct_fault_free;
+          Alcotest.test_case "linear messages" `Quick test_tree_linear_messages;
+          Alcotest.test_case "mostly correct with crashes" `Quick test_tree_mostly_correct_with_crashes;
+        ] );
+      ( "gossip",
+        [
+          Alcotest.test_case "correct fault-free" `Quick test_gossip_correct_fault_free;
+          Alcotest.test_case "message bound" `Quick test_gossip_message_bound;
+        ] );
+      ( "kutten",
+        [
+          Alcotest.test_case "unique leader" `Quick test_kutten_unique_leader;
+          Alcotest.test_case "sublinear messages" `Slow test_kutten_sublinear_messages;
+        ] );
+      ( "amp",
+        [
+          Alcotest.test_case "implicit agreement" `Quick test_amp_implicit_agreement;
+          Alcotest.test_case "zero wins" `Quick test_amp_zero_wins_among_candidates;
+        ] );
+    ]

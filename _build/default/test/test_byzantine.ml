@@ -1,0 +1,78 @@
+(* Tests for the Byzantine probe (open question 3): the crash-fault
+   protocol must work untouched with zero attackers and break validity
+   with one. *)
+
+module Engine = Ftc_sim.Engine
+module Decision = Ftc_sim.Decision
+module Probe = Ftc_core.Byzantine_probe
+module Props = Ftc_core.Properties
+
+let run ~n ~alpha ~seed ~inputs =
+  let (module P) = Probe.make Ftc_core.Params.default in
+  let module E = Engine.Make (P) in
+  let r = E.run { (Engine.default_config ~n ~alpha ~seed) with inputs = Some inputs } in
+  Alcotest.(check (list string)) "no model violations" [] r.errors;
+  r
+
+let honest_zero_deciders inputs (r : Engine.result) =
+  let count = ref 0 in
+  Array.iteri
+    (fun i d ->
+      if
+        inputs.(i) <> Probe.byzantine_input
+        && (not r.crashed.(i))
+        && Decision.equal d (Decision.Agreed 0)
+      then incr count)
+    r.decisions;
+  !count
+
+let test_no_attackers_behaves_like_agreement () =
+  for seed = 1 to 10 do
+    let n = 128 in
+    let rng = Ftc_rng.Rng.create (seed * 3) in
+    let inputs = Array.init n (fun _ -> if Ftc_rng.Rng.bool rng then 1 else 0) in
+    let r = run ~n ~alpha:1.0 ~seed ~inputs in
+    let rep = Props.check_implicit_agreement ~inputs r in
+    Alcotest.(check bool) (Printf.sprintf "seed %d honest run ok" seed) true rep.ok
+  done
+
+let test_single_attacker_breaks_validity () =
+  let broken = ref 0 in
+  let trials = 10 in
+  for seed = 1 to trials do
+    let n = 256 in
+    let inputs = Array.make n 1 in
+    inputs.(0) <- Probe.byzantine_input;
+    let r = run ~n ~alpha:0.9 ~seed ~inputs in
+    if honest_zero_deciders inputs r > 0 then incr broken
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "validity broken in >= 9/10 runs (got %d)" !broken)
+    true (!broken >= trials - 1)
+
+let test_attack_cost_is_sublinear () =
+  let n = 1024 in
+  let inputs = Array.make n 1 in
+  inputs.(0) <- Probe.byzantine_input;
+  let r = run ~n ~alpha:0.9 ~seed:5 ~inputs in
+  Alcotest.(check bool) "total cost far below n^2" true (r.metrics.msgs_sent < n * n / 20)
+
+let test_attacker_joins_committee () =
+  let n = 128 in
+  let inputs = Array.make n 1 in
+  inputs.(3) <- Probe.byzantine_input;
+  let r = run ~n ~alpha:0.9 ~seed:7 ~inputs in
+  Alcotest.(check bool) "attacker campaigns" true
+    (r.observations.(3).Ftc_sim.Observation.role = Ftc_sim.Observation.Candidate)
+
+let () =
+  Alcotest.run "byzantine-probe"
+    [
+      ( "probe",
+        [
+          Alcotest.test_case "no attackers = agreement" `Quick test_no_attackers_behaves_like_agreement;
+          Alcotest.test_case "one attacker breaks validity" `Quick test_single_attacker_breaks_validity;
+          Alcotest.test_case "attack is cheap" `Quick test_attack_cost_is_sublinear;
+          Alcotest.test_case "attacker campaigns" `Quick test_attacker_joins_committee;
+        ] );
+    ]

@@ -1,0 +1,57 @@
+(* Tests for CONGEST bit accounting. *)
+
+module Congest = Ftc_sim.Congest
+
+let test_bits_for () =
+  List.iter
+    (fun (v, expected) ->
+      Alcotest.(check int) (Printf.sprintf "bits_for %d" v) expected (Congest.bits_for v))
+    [ (0, 1); (1, 1); (2, 2); (3, 2); (4, 3); (255, 8); (256, 9); (1023, 10); (1024, 11) ]
+
+let test_bits_for_negative () =
+  Alcotest.check_raises "negative" (Invalid_argument "Congest.bits_for: negative value")
+    (fun () -> ignore (Congest.bits_for (-1)))
+
+let test_rank_bits () =
+  (* Ranks live in [1, n^4]: four times the id width. *)
+  Alcotest.(check int) "n=1024" 40 (Congest.rank_bits ~n:1024);
+  Alcotest.(check int) "n=2" 4 (Congest.rank_bits ~n:2);
+  Alcotest.(check int) "n=1000 rounds up" 40 (Congest.rank_bits ~n:1000)
+
+let test_id_bits () =
+  Alcotest.(check int) "n=1024" 10 (Congest.id_bits ~n:1024);
+  Alcotest.(check int) "n=1025" 11 (Congest.id_bits ~n:1025)
+
+let test_default_limit_logarithmic () =
+  (* The budget must be Theta(log n): growing n by 2^10 adds a constant
+     number of bits per factor 2. *)
+  let l1 = Congest.default_limit ~n:1024 in
+  let l2 = Congest.default_limit ~n:(1024 * 1024) in
+  Alcotest.(check bool) "monotone" true (l2 > l1);
+  Alcotest.(check bool) "logarithmic growth" true (l2 - l1 = 10 * 10)
+
+let test_default_limit_fits_protocol_messages () =
+  (* The largest message any protocol sends is a tagged ⟨rank, rank⟩
+     pair; it must fit in one round's budget. *)
+  List.iter
+    (fun n ->
+      let largest = Congest.tag_bits + (2 * Congest.rank_bits ~n) in
+      Alcotest.(check bool)
+        (Printf.sprintf "fits at n=%d" n)
+        true
+        (largest <= Congest.default_limit ~n))
+    [ 2; 16; 256; 4096; 65536 ]
+
+let () =
+  Alcotest.run "congest"
+    [
+      ( "congest",
+        [
+          Alcotest.test_case "bits_for" `Quick test_bits_for;
+          Alcotest.test_case "bits_for negative" `Quick test_bits_for_negative;
+          Alcotest.test_case "rank bits" `Quick test_rank_bits;
+          Alcotest.test_case "id bits" `Quick test_id_bits;
+          Alcotest.test_case "limit logarithmic" `Quick test_default_limit_logarithmic;
+          Alcotest.test_case "limit fits messages" `Quick test_default_limit_fits_protocol_messages;
+        ] );
+    ]

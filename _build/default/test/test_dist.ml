@@ -1,0 +1,250 @@
+(* Tests for the sampling distributions: correct supports, moments close
+   to theory, and structural invariants (distinctness, ordering). *)
+
+module Rng = Ftc_rng.Rng
+module Dist = Ftc_rng.Dist
+
+let rng () = Rng.create 12345
+
+let test_bernoulli_extremes () =
+  let r = rng () in
+  for _ = 1 to 100 do
+    Alcotest.(check bool) "p=0 never" false (Dist.bernoulli r 0.);
+    Alcotest.(check bool) "p=1 always" true (Dist.bernoulli r 1.);
+    Alcotest.(check bool) "p<0 never" false (Dist.bernoulli r (-0.5));
+    Alcotest.(check bool) "p>1 always" true (Dist.bernoulli r 1.5)
+  done
+
+let test_bernoulli_rate () =
+  let r = rng () in
+  let n = 100_000 and p = 0.3 in
+  let hits = ref 0 in
+  for _ = 1 to n do
+    if Dist.bernoulli r p then incr hits
+  done;
+  let rate = float_of_int !hits /. float_of_int n in
+  Alcotest.(check bool) (Printf.sprintf "rate ~ %f (got %f)" p rate) true
+    (Float.abs (rate -. p) < 0.01)
+
+let test_geometric_mean () =
+  let r = rng () in
+  let p = 0.25 in
+  let n = 50_000 in
+  let sum = ref 0 in
+  for _ = 1 to n do
+    sum := !sum + Dist.geometric r p
+  done;
+  let mean = float_of_int !sum /. float_of_int n in
+  let expected = (1. -. p) /. p in
+  Alcotest.(check bool)
+    (Printf.sprintf "mean ~ %f (got %f)" expected mean)
+    true
+    (Float.abs (mean -. expected) < 0.1)
+
+let test_geometric_p1 () =
+  let r = rng () in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "p=1 gives 0" 0 (Dist.geometric r 1.)
+  done
+
+let test_geometric_invalid () =
+  let r = rng () in
+  Alcotest.check_raises "p=0" (Invalid_argument "Dist.geometric: p must be in (0, 1]")
+    (fun () -> ignore (Dist.geometric r 0.))
+
+let test_binomial_moments () =
+  let r = rng () in
+  let n = 200 and p = 0.1 in
+  let trials = 20_000 in
+  let sum = ref 0 and sumsq = ref 0 in
+  for _ = 1 to trials do
+    let v = Dist.binomial r ~n ~p in
+    Alcotest.(check bool) "support" true (v >= 0 && v <= n);
+    sum := !sum + v;
+    sumsq := !sumsq + (v * v)
+  done;
+  let mean = float_of_int !sum /. float_of_int trials in
+  let var = (float_of_int !sumsq /. float_of_int trials) -. (mean *. mean) in
+  Alcotest.(check bool) (Printf.sprintf "mean ~ np (got %f)" mean) true
+    (Float.abs (mean -. 20.) < 0.5);
+  Alcotest.(check bool) (Printf.sprintf "var ~ np(1-p) (got %f)" var) true
+    (Float.abs (var -. 18.) < 1.5)
+
+let test_binomial_edges () =
+  let r = rng () in
+  Alcotest.(check int) "p=0" 0 (Dist.binomial r ~n:100 ~p:0.);
+  Alcotest.(check int) "p=1" 100 (Dist.binomial r ~n:100 ~p:1.);
+  Alcotest.(check int) "n=0" 0 (Dist.binomial r ~n:0 ~p:0.5)
+
+let test_bernoulli_indices_sorted_distinct () =
+  let r = rng () in
+  for _ = 1 to 200 do
+    let idx = Dist.bernoulli_indices r ~n:500 ~p:0.05 in
+    let rec check = function
+      | a :: (b :: _ as rest) ->
+          Alcotest.(check bool) "strictly increasing" true (a < b);
+          check rest
+      | [ a ] -> Alcotest.(check bool) "in range" true (a >= 0 && a < 500)
+      | [] -> ()
+    in
+    check idx;
+    List.iter (fun i -> Alcotest.(check bool) "in range" true (i >= 0 && i < 500)) idx
+  done
+
+let test_bernoulli_indices_rate () =
+  let r = rng () in
+  let total = ref 0 in
+  let trials = 2000 in
+  for _ = 1 to trials do
+    total := !total + List.length (Dist.bernoulli_indices r ~n:1000 ~p:0.02)
+  done;
+  let mean = float_of_int !total /. float_of_int trials in
+  Alcotest.(check bool) (Printf.sprintf "mean ~ 20 (got %f)" mean) true
+    (Float.abs (mean -. 20.) < 1.)
+
+let test_bernoulli_indices_extremes () =
+  let r = rng () in
+  Alcotest.(check (list int)) "p=1 all" (List.init 5 Fun.id)
+    (Dist.bernoulli_indices r ~n:5 ~p:1.);
+  Alcotest.(check (list int)) "p=0 none" [] (Dist.bernoulli_indices r ~n:5 ~p:0.)
+
+let test_swor_distinct_in_range () =
+  let r = rng () in
+  for _ = 1 to 500 do
+    let s = Dist.sample_without_replacement r ~n:50 ~k:20 in
+    Alcotest.(check int) "size" 20 (Array.length s);
+    let tbl = Hashtbl.create 32 in
+    Array.iter
+      (fun v ->
+        Alcotest.(check bool) "in range" true (v >= 0 && v < 50);
+        Alcotest.(check bool) "distinct" false (Hashtbl.mem tbl v);
+        Hashtbl.replace tbl v ())
+      s
+  done
+
+let test_swor_full () =
+  let r = rng () in
+  let s = Dist.sample_without_replacement r ~n:10 ~k:10 in
+  let sorted = Array.copy s in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "k=n is a permutation" (Array.init 10 Fun.id) sorted
+
+let test_swor_uniform_inclusion () =
+  (* Every element should be included with probability k/n. *)
+  let r = rng () in
+  let n = 20 and k = 5 in
+  let counts = Array.make n 0 in
+  let trials = 40_000 in
+  for _ = 1 to trials do
+    Array.iter (fun v -> counts.(v) <- counts.(v) + 1) (Dist.sample_without_replacement r ~n ~k)
+  done;
+  let expected = float_of_int trials *. float_of_int k /. float_of_int n in
+  Array.iteri
+    (fun i c ->
+      Alcotest.(check bool)
+        (Printf.sprintf "element %d inclusion ~ k/n (got %d, want %f)" i c expected)
+        true
+        (Float.abs (float_of_int c -. expected) /. expected < 0.05))
+    counts
+
+let test_swor_invalid () =
+  let r = rng () in
+  Alcotest.check_raises "k>n" (Invalid_argument "Dist.sample_without_replacement") (fun () ->
+      ignore (Dist.sample_without_replacement r ~n:5 ~k:6))
+
+let test_shuffle_is_permutation () =
+  let r = rng () in
+  for _ = 1 to 100 do
+    let a = Array.init 30 Fun.id in
+    Dist.shuffle r a;
+    let sorted = Array.copy a in
+    Array.sort compare sorted;
+    Alcotest.(check (array int)) "permutation" (Array.init 30 Fun.id) sorted
+  done
+
+let test_choose () =
+  let r = rng () in
+  let a = [| 1; 2; 3 |] in
+  for _ = 1 to 100 do
+    Alcotest.(check bool) "member" true (Array.mem (Dist.choose r a) a)
+  done;
+  Alcotest.check_raises "empty" (Invalid_argument "Dist.choose: empty array") (fun () ->
+      ignore (Dist.choose r [||]))
+
+let test_exponential_mean () =
+  let r = rng () in
+  let lambda = 2.0 in
+  let n = 50_000 in
+  let sum = ref 0. in
+  for _ = 1 to n do
+    let v = Dist.exponential r lambda in
+    Alcotest.(check bool) "non-negative" true (v >= 0.);
+    sum := !sum +. v
+  done;
+  let mean = !sum /. float_of_int n in
+  Alcotest.(check bool) (Printf.sprintf "mean ~ 0.5 (got %f)" mean) true
+    (Float.abs (mean -. 0.5) < 0.02)
+
+let qcheck_swor =
+  QCheck.Test.make ~name:"sample_without_replacement: distinct, in-range, right size"
+    ~count:300
+    QCheck.(triple small_int (int_range 1 200) (int_range 0 200))
+    (fun (seed, n, k_raw) ->
+      let k = min k_raw n in
+      let r = Rng.create seed in
+      let s = Dist.sample_without_replacement r ~n ~k in
+      let tbl = Hashtbl.create 16 in
+      Array.iter (fun v -> Hashtbl.replace tbl v ()) s;
+      Array.length s = k
+      && Hashtbl.length tbl = k
+      && Array.for_all (fun v -> v >= 0 && v < n) s)
+
+let qcheck_binomial_support =
+  QCheck.Test.make ~name:"binomial support" ~count:300
+    QCheck.(triple small_int (int_range 0 500) (float_range 0. 1.))
+    (fun (seed, n, p) ->
+      let r = Rng.create seed in
+      let v = Dist.binomial r ~n ~p in
+      v >= 0 && v <= n)
+
+let () =
+  Alcotest.run "dist"
+    [
+      ( "bernoulli",
+        [
+          Alcotest.test_case "extremes" `Quick test_bernoulli_extremes;
+          Alcotest.test_case "rate" `Quick test_bernoulli_rate;
+        ] );
+      ( "geometric",
+        [
+          Alcotest.test_case "mean" `Quick test_geometric_mean;
+          Alcotest.test_case "p=1" `Quick test_geometric_p1;
+          Alcotest.test_case "invalid" `Quick test_geometric_invalid;
+        ] );
+      ( "binomial",
+        [
+          Alcotest.test_case "moments" `Quick test_binomial_moments;
+          Alcotest.test_case "edges" `Quick test_binomial_edges;
+        ] );
+      ( "bernoulli_indices",
+        [
+          Alcotest.test_case "sorted distinct" `Quick test_bernoulli_indices_sorted_distinct;
+          Alcotest.test_case "rate" `Quick test_bernoulli_indices_rate;
+          Alcotest.test_case "extremes" `Quick test_bernoulli_indices_extremes;
+        ] );
+      ( "sample_without_replacement",
+        [
+          Alcotest.test_case "distinct in range" `Quick test_swor_distinct_in_range;
+          Alcotest.test_case "full sample" `Quick test_swor_full;
+          Alcotest.test_case "uniform inclusion" `Quick test_swor_uniform_inclusion;
+          Alcotest.test_case "invalid" `Quick test_swor_invalid;
+        ] );
+      ( "misc",
+        [
+          Alcotest.test_case "shuffle permutation" `Quick test_shuffle_is_permutation;
+          Alcotest.test_case "choose" `Quick test_choose;
+          Alcotest.test_case "exponential mean" `Quick test_exponential_mean;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ qcheck_swor; qcheck_binomial_support ] );
+    ]

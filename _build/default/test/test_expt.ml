@@ -1,0 +1,103 @@
+(* Tests for the experiment harness: registry integrity, runner
+   determinism, input generation, and aggregation arithmetic. *)
+
+module Registry = Ftc_expt.Registry
+module Runner = Ftc_expt.Runner
+module Def = Ftc_expt.Def
+module Stats = Ftc_analysis.Stats
+
+let test_registry_ids_unique () =
+  let ids = Registry.ids () in
+  Alcotest.(check int) "17 experiments" 17 (List.length ids);
+  Alcotest.(check int) "unique ids" 17 (List.length (List.sort_uniq compare ids))
+
+let test_registry_covers_design_index () =
+  List.iter
+    (fun id ->
+      match Registry.find id with
+      | Some e -> Alcotest.(check string) "id matches" id e.Def.id
+      | None -> Alcotest.failf "experiment %s missing" id)
+    [ "T1"; "F1"; "F2"; "F3"; "F4"; "F5"; "F6"; "F7"; "F8"; "F9"; "F10"; "F11"; "F12"; "A1"; "A2"; "A3"; "A4" ]
+
+let test_registry_find_case_insensitive () =
+  Alcotest.(check bool) "lowercase works" true (Registry.find "f9" <> None);
+  Alcotest.(check bool) "unknown rejected" true (Registry.find "F99" = None)
+
+let spec () =
+  {
+    (Runner.default_spec (Ftc_core.Agreement.make Ftc_core.Params.default) ~n:64 ~alpha:0.7) with
+    inputs = Runner.Random_bits 0.5;
+    adversary = (fun () -> Ftc_fault.Strategy.random_crashes ());
+  }
+
+let test_runner_deterministic () =
+  let a = Runner.run (spec ()) ~seed:5 and b = Runner.run (spec ()) ~seed:5 in
+  Alcotest.(check int) "same msgs" a.result.metrics.msgs_sent b.result.metrics.msgs_sent;
+  Alcotest.(check (array int)) "same inputs" a.inputs_used b.inputs_used
+
+let test_runner_inputs_modes () =
+  let with_inputs inputs =
+    (Runner.run { (spec ()) with Runner.inputs } ~seed:1).inputs_used
+  in
+  Alcotest.(check (array int)) "zeros" (Array.make 64 0) (with_inputs Runner.Zeros);
+  Alcotest.(check (array int)) "ones" (Array.make 64 1) (with_inputs Runner.All_ones);
+  let exact = Array.init 64 (fun i -> i mod 2) in
+  Alcotest.(check (array int)) "exact" exact (with_inputs (Runner.Exact exact));
+  let random = with_inputs (Runner.Random_bits 0.5) in
+  Alcotest.(check bool) "random mixes" true
+    (Array.exists (fun v -> v = 0) random && Array.exists (fun v -> v = 1) random)
+
+let test_runner_seeds_distinct () =
+  let seeds = Runner.seeds ~base:10 ~count:20 in
+  Alcotest.(check int) "count" 20 (List.length seeds);
+  Alcotest.(check int) "distinct" 20 (List.length (List.sort_uniq compare seeds))
+
+let test_aggregate_math () =
+  let outcomes = Runner.run_many (spec ()) ~seeds:[ 1; 2; 3; 4 ] in
+  let agg = Runner.aggregate ~ok:(fun _ -> true) outcomes in
+  Alcotest.(check int) "trials" 4 agg.Runner.trials;
+  Alcotest.(check int) "successes" 4 agg.Runner.successes;
+  Alcotest.(check (float 1e-9)) "rate" 1.0 agg.Runner.success_rate;
+  let manual =
+    Stats.mean (List.map (fun (o : Runner.outcome) -> float_of_int o.result.metrics.msgs_sent) outcomes)
+  in
+  Alcotest.(check (float 1e-6)) "mean msgs" manual agg.Runner.msgs.Stats.mean;
+  let none = Runner.aggregate ~ok:(fun _ -> false) outcomes in
+  Alcotest.(check int) "no successes" 0 none.Runner.successes
+
+let test_quick_experiment_runs () =
+  (* The cheapest experiment end-to-end: F6 only samples binomials. *)
+  match Registry.find "F6" with
+  | None -> Alcotest.fail "F6 missing"
+  | Some e ->
+      let report = e.Def.run { Def.scale = Def.Quick; base_seed = 3 } in
+      Alcotest.(check bool) "produces a table" true
+        (Astring.String.is_infix ~affix:"whp band" report)
+
+let test_section_format () =
+  let s = Def.section "X1" "title" "body" in
+  Alcotest.(check bool) "contains id" true (Astring.String.is_infix ~affix:"X1" s);
+  Alcotest.(check bool) "contains body" true (Astring.String.is_infix ~affix:"body" s)
+
+let () =
+  Alcotest.run "expt"
+    [
+      ( "registry",
+        [
+          Alcotest.test_case "ids unique" `Quick test_registry_ids_unique;
+          Alcotest.test_case "covers DESIGN index" `Quick test_registry_covers_design_index;
+          Alcotest.test_case "find case-insensitive" `Quick test_registry_find_case_insensitive;
+        ] );
+      ( "runner",
+        [
+          Alcotest.test_case "deterministic" `Quick test_runner_deterministic;
+          Alcotest.test_case "input modes" `Quick test_runner_inputs_modes;
+          Alcotest.test_case "seeds distinct" `Quick test_runner_seeds_distinct;
+          Alcotest.test_case "aggregate math" `Quick test_aggregate_math;
+        ] );
+      ( "experiments",
+        [
+          Alcotest.test_case "F6 runs" `Quick test_quick_experiment_runs;
+          Alcotest.test_case "section format" `Quick test_section_format;
+        ] );
+    ]

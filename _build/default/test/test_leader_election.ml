@@ -1,0 +1,216 @@
+(* End-to-end tests for the fault-tolerant leader election protocol
+   (Section IV-A): uniqueness, never electing a node that crashed before
+   the end, rank optimality in the fault-free case, explicit extension,
+   and robustness across adversaries and seeds. *)
+
+module Engine = Ftc_sim.Engine
+module Decision = Ftc_sim.Decision
+module Observation = Ftc_sim.Observation
+module Params = Ftc_core.Params
+module LE = Ftc_core.Leader_election
+module Props = Ftc_core.Properties
+
+let params = Params.default
+
+let run ?(explicit = false) ?(adversary = Ftc_fault.Strategy.none) ~n ~alpha ~seed () =
+  let (module P) = LE.make ~explicit params in
+  let module E = Engine.Make (P) in
+  let r =
+    E.run { (Engine.default_config ~n ~alpha ~seed) with adversary = adversary () }
+  in
+  Alcotest.(check (list string)) "no model violations" [] r.errors;
+  r
+
+let test_fault_free_unique_leader () =
+  for seed = 1 to 20 do
+    let r = run ~n:128 ~alpha:1.0 ~seed () in
+    let rep = Props.check_implicit_election r in
+    Alcotest.(check bool) (Printf.sprintf "seed %d: exactly one leader" seed) true rep.ok
+  done
+
+let test_fault_free_min_rank_wins () =
+  (* Without faults the protocol must elect the minimum-rank candidate. *)
+  for seed = 1 to 10 do
+    let r = run ~n:128 ~alpha:1.0 ~seed () in
+    let rep = Props.check_implicit_election r in
+    match rep.leader with
+    | None -> Alcotest.fail "no leader"
+    | Some leader ->
+        let min_candidate_rank =
+          Array.fold_left
+            (fun acc (o : Observation.t) ->
+              match (o.role, o.rank) with
+              | Observation.Candidate, Some rk -> min acc rk
+              | _ -> acc)
+            max_int r.observations
+        in
+        let leader_rank =
+          match r.observations.(leader).Observation.rank with
+          | Some rk -> rk
+          | None -> Alcotest.fail "leader has no rank"
+        in
+        Alcotest.(check int)
+          (Printf.sprintf "seed %d: leader holds min candidate rank" seed)
+          min_candidate_rank leader_rank
+  done
+
+let test_leader_is_a_candidate () =
+  for seed = 1 to 10 do
+    let r = run ~n:128 ~alpha:0.6 ~seed ~adversary:(fun () -> Ftc_fault.Strategy.random_crashes ()) () in
+    let rep = Props.check_implicit_election r in
+    match rep.leader with
+    | None -> ()
+    | Some leader ->
+        Alcotest.(check bool) "leader is a candidate" true
+          (r.observations.(leader).Observation.role = Observation.Candidate)
+  done
+
+let test_under_each_adversary () =
+  List.iter
+    (fun (name, adv) ->
+      let ok = ref 0 in
+      let trials = 12 in
+      for seed = 1 to trials do
+        let r = run ~n:128 ~alpha:0.5 ~seed:(seed * 13) ~adversary:adv () in
+        if (Props.check_implicit_election r).ok then incr ok
+      done;
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: >= 11/12 elections succeed (got %d)" name !ok)
+        true (!ok >= trials - 1))
+    (Ftc_fault.Strategy.all ())
+
+let test_crashed_node_never_elected () =
+  (* "Our algorithm promises that a crashed node is never elected as a
+     leader" — among live nodes, the winner must not have crashed; a
+     crashed node may hold a stale Elected state but the checker separates
+     that. *)
+  for seed = 1 to 15 do
+    let r =
+      run ~n:128 ~alpha:0.4 ~seed:(seed * 7)
+        ~adversary:(fun () -> Ftc_fault.Strategy.targeted_min_rank ())
+        ()
+    in
+    let rep = Props.check_implicit_election r in
+    match rep.leader with
+    | Some leader -> Alcotest.(check bool) "live leader" false r.crashed.(leader)
+    | None -> ()
+  done
+
+let test_eager_adversary_leader_non_faulty () =
+  (* If every faulty node crashes at round 0, the leader is always
+     non-faulty. *)
+  for seed = 1 to 10 do
+    let r = run ~n:128 ~alpha:0.5 ~seed ~adversary:Ftc_fault.Strategy.eager () in
+    let rep = Props.check_implicit_election r in
+    Alcotest.(check bool) "ok" true rep.ok;
+    Alcotest.(check (option bool)) "leader non-faulty" (Some false) rep.leader_was_faulty
+  done
+
+let test_explicit_everyone_learns_leader () =
+  for seed = 1 to 8 do
+    let r =
+      run ~explicit:true ~n:128 ~alpha:0.6 ~seed
+        ~adversary:(fun () -> Ftc_fault.Strategy.random_crashes ())
+        ()
+    in
+    let rep = Props.check_explicit_election r in
+    Alcotest.(check bool) (Printf.sprintf "seed %d: explicit ok" seed) true rep.ok;
+    (* Every live follower names the leader's actual rank. *)
+    match rep.base.leader with
+    | None -> Alcotest.fail "no leader"
+    | Some leader ->
+        let leader_rank =
+          match r.observations.(leader).Observation.rank with Some rk -> rk | None -> -1
+        in
+        Array.iteri
+          (fun i d ->
+            if (not r.crashed.(i)) && i <> leader then
+              match d with
+              | Decision.Follower rk ->
+                  Alcotest.(check int) "follower names leader" leader_rank rk
+              | d -> Alcotest.failf "node %d: %s" i (Decision.to_string d))
+          r.decisions
+  done
+
+let test_rounds_within_calendar () =
+  let n = 128 and alpha = 0.5 in
+  let budget = LE.calendar_rounds params ~n ~alpha in
+  let r = run ~n ~alpha ~seed:3 ~adversary:(fun () -> Ftc_fault.Strategy.random_crashes ()) () in
+  Alcotest.(check bool) "within calendar" true (r.rounds_used <= budget)
+
+let test_early_stop_beats_calendar () =
+  (* With no faults the run should finish well before the worst-case
+     calendar thanks to quiescence detection. *)
+  let n = 256 and alpha = 0.8 in
+  let budget = LE.calendar_rounds params ~n ~alpha in
+  let r = run ~n ~alpha ~seed:5 () in
+  Alcotest.(check bool)
+    (Printf.sprintf "early stop (%d < %d)" r.rounds_used budget)
+    true
+    (r.rounds_used < budget / 2)
+
+let test_congest_clean () =
+  let r = run ~n:256 ~alpha:0.5 ~seed:11 ~adversary:(fun () -> Ftc_fault.Strategy.random_crashes ()) () in
+  Alcotest.(check int) "no congest violations" 0 r.metrics.congest_violations
+
+let test_non_candidates_not_elected () =
+  let r = run ~n:128 ~alpha:0.7 ~seed:19 () in
+  Array.iteri
+    (fun i (o : Observation.t) ->
+      if o.role <> Observation.Candidate then
+        Alcotest.(check bool)
+          (Printf.sprintf "node %d (non-candidate) not elected" i)
+          true
+          (r.decisions.(i) <> Decision.Elected))
+    r.observations
+
+let test_message_bound_sublinear_shape () =
+  (* At alpha = 1 and n large enough the message count must be far below
+     the n^2 of flooding and grow sublinearly. *)
+  let msgs n =
+    let r = run ~n ~alpha:1.0 ~seed:23 () in
+    r.metrics.msgs_sent
+  in
+  let m1 = msgs 1024 and m2 = msgs 4096 in
+  Alcotest.(check bool) "far below n^2" true (m2 < (4096 * 4096 / 20));
+  Alcotest.(check bool)
+    (Printf.sprintf "sublinear growth (%d -> %d)" m1 m2)
+    true
+    (float_of_int m2 /. float_of_int m1 < 3.)
+
+let qcheck_unique_leader =
+  QCheck.Test.make ~name:"unique live leader across random configurations" ~count:25
+    QCheck.(triple (int_range 0 10_000) (int_range 32 160) (float_range 0.4 1.0))
+    (fun (seed, n, alpha) ->
+      let r =
+        run ~n ~alpha ~seed ~adversary:(fun () -> Ftc_fault.Strategy.random_crashes ()) ()
+      in
+      (Props.check_implicit_election r).ok)
+
+let () =
+  Alcotest.run "leader-election"
+    [
+      ( "fault-free",
+        [
+          Alcotest.test_case "unique leader" `Quick test_fault_free_unique_leader;
+          Alcotest.test_case "min rank wins" `Quick test_fault_free_min_rank_wins;
+          Alcotest.test_case "non-candidates lose" `Quick test_non_candidates_not_elected;
+          Alcotest.test_case "sublinear messages" `Slow test_message_bound_sublinear_shape;
+        ] );
+      ( "faulty",
+        [
+          Alcotest.test_case "every adversary" `Slow test_under_each_adversary;
+          Alcotest.test_case "crashed never elected" `Quick test_crashed_node_never_elected;
+          Alcotest.test_case "eager: leader non-faulty" `Quick test_eager_adversary_leader_non_faulty;
+          Alcotest.test_case "leader is candidate" `Quick test_leader_is_a_candidate;
+        ] );
+      ( "explicit",
+        [ Alcotest.test_case "everyone learns leader" `Quick test_explicit_everyone_learns_leader ] );
+      ( "complexity",
+        [
+          Alcotest.test_case "rounds within calendar" `Quick test_rounds_within_calendar;
+          Alcotest.test_case "early stop" `Quick test_early_stop_beats_calendar;
+          Alcotest.test_case "congest clean" `Quick test_congest_clean;
+        ] );
+      ("properties", List.map QCheck_alcotest.to_alcotest [ qcheck_unique_leader ]);
+    ]

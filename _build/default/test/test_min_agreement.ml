@@ -1,0 +1,140 @@
+(* Tests for the multi-valued minimum-agreement extension. *)
+
+module Engine = Ftc_sim.Engine
+module Decision = Ftc_sim.Decision
+module Observation = Ftc_sim.Observation
+module Props = Ftc_core.Properties
+module Rng = Ftc_rng.Rng
+
+let params = Ftc_core.Params.default
+
+let run ?(adversary = Ftc_fault.Strategy.none) ~n ~alpha ~seed ~inputs () =
+  let (module P) = Ftc_core.Min_agreement.make params in
+  let module E = Engine.Make (P) in
+  let r =
+    E.run
+      { (Engine.default_config ~n ~alpha ~seed) with
+        inputs = Some inputs;
+        adversary = adversary ()
+      }
+  in
+  Alcotest.(check (list string)) "no model violations" [] r.errors;
+  r
+
+let random_inputs ~n ~seed ~bound =
+  let rng = Rng.create seed in
+  Array.init n (fun _ -> Rng.int rng bound)
+
+let candidate_min (r : Engine.result) inputs =
+  let m = ref max_int in
+  Array.iteri
+    (fun i (o : Observation.t) ->
+      if o.Observation.role = Observation.Candidate then m := min !m inputs.(i))
+    r.observations;
+  !m
+
+let test_fault_free_decides_candidate_min () =
+  for seed = 1 to 10 do
+    let n = 128 in
+    let inputs = random_inputs ~n ~seed:(seed * 3) ~bound:1000 in
+    let r = run ~n ~alpha:1.0 ~seed ~inputs () in
+    let rep = Props.check_implicit_agreement ~inputs r in
+    Alcotest.(check bool) "consensus + validity" true rep.ok;
+    Alcotest.(check (option int)) "value = min over candidates"
+      (Some (candidate_min r inputs))
+      rep.value
+  done
+
+let test_binary_inputs_match_binary_protocol_semantics () =
+  (* On {0,1} inputs the extension must behave like Sec. V-A: 0 wins iff
+     a candidate holds it. *)
+  for seed = 1 to 10 do
+    let n = 128 in
+    let inputs = random_inputs ~n ~seed:(seed * 7) ~bound:2 in
+    let r = run ~n ~alpha:1.0 ~seed ~inputs () in
+    let rep = Props.check_implicit_agreement ~inputs r in
+    Alcotest.(check bool) "ok" true rep.ok;
+    Alcotest.(check (option int)) "matches candidate min" (Some (candidate_min r inputs)) rep.value
+  done
+
+let test_consensus_under_crashes () =
+  for seed = 1 to 12 do
+    let n = 128 in
+    let inputs = random_inputs ~n ~seed:(seed * 11) ~bound:50 in
+    let r =
+      run ~n ~alpha:0.5 ~seed ~inputs
+        ~adversary:(fun () -> Ftc_fault.Strategy.random_crashes ())
+        ()
+    in
+    let rep = Props.check_implicit_agreement ~inputs r in
+    Alcotest.(check bool) (Printf.sprintf "seed %d ok" seed) true rep.ok
+  done
+
+let test_unanimous_inputs () =
+  let n = 64 in
+  let inputs = Array.make n 17 in
+  let r = run ~n ~alpha:0.8 ~seed:5 ~inputs () in
+  let rep = Props.check_implicit_agreement ~inputs r in
+  Alcotest.(check (option int)) "unanimous value" (Some 17) rep.value;
+  (* No improvements ever happen, so messages stay at registration +
+     one referee relay wave. *)
+  let registration =
+    Array.fold_left
+      (fun acc (o : Observation.t) ->
+        if o.Observation.role = Observation.Candidate then
+          acc + Ftc_core.Params.referee_count params ~n ~alpha:0.8
+        else acc)
+      0 r.observations
+  in
+  Alcotest.(check bool) "no improvement storms" true
+    (r.metrics.msgs_sent <= 2 * registration)
+
+let test_negative_inputs_clamped () =
+  let n = 64 in
+  let inputs = Array.make n (-5) in
+  let r = run ~n ~alpha:1.0 ~seed:7 ~inputs () in
+  let rep = Props.check_implicit_agreement ~inputs:(Array.make n 0) r in
+  Alcotest.(check (option int)) "clamped to 0" (Some 0) rep.value
+
+let test_cost_bounded_vs_binary () =
+  (* Many distinct values cost more than binary, but must stay within the
+     improvement-chain factor of the committee size. *)
+  let n = 512 and alpha = 0.7 in
+  let inputs = random_inputs ~n ~seed:13 ~bound:100000 in
+  let r = run ~n ~alpha ~seed:13 ~inputs () in
+  let committee = 12. *. Float.log (float_of_int n) /. alpha in
+  let registration =
+    committee *. float_of_int (Ftc_core.Params.referee_count params ~n ~alpha)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "within |C| x registration (%d)" r.metrics.msgs_sent)
+    true
+    (float_of_int r.metrics.msgs_sent <= committee *. registration)
+
+let qcheck_min_agreement =
+  QCheck.Test.make ~name:"min-agreement: consensus + validity" ~count:20
+    QCheck.(triple (int_range 0 10_000) (int_range 32 128) (float_range 0.5 1.0))
+    (fun (seed, n, alpha) ->
+      let inputs = random_inputs ~n ~seed:(seed + 3) ~bound:64 in
+      let r =
+        run ~n ~alpha ~seed ~inputs
+          ~adversary:(fun () -> Ftc_fault.Strategy.random_crashes ())
+          ()
+      in
+      (Props.check_implicit_agreement ~inputs r).ok)
+
+let () =
+  Alcotest.run "min-agreement"
+    [
+      ( "values",
+        [
+          Alcotest.test_case "candidate min" `Quick test_fault_free_decides_candidate_min;
+          Alcotest.test_case "binary special case" `Quick test_binary_inputs_match_binary_protocol_semantics;
+          Alcotest.test_case "unanimous" `Quick test_unanimous_inputs;
+          Alcotest.test_case "clamping" `Quick test_negative_inputs_clamped;
+        ] );
+      ( "faulty",
+        [ Alcotest.test_case "consensus under crashes" `Quick test_consensus_under_crashes ] );
+      ("complexity", [ Alcotest.test_case "cost bounded" `Quick test_cost_bounded_vs_binary ]);
+      ("properties", List.map QCheck_alcotest.to_alcotest [ qcheck_min_agreement ]);
+    ]

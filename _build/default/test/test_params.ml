@@ -1,0 +1,97 @@
+(* Tests for the parameter derivations of Section IV/V. *)
+
+module Params = Ftc_core.Params
+
+let p = Params.default
+
+let test_candidate_prob_formula () =
+  let n = 4096 and alpha = 0.5 in
+  let expected = 6. *. Float.log 4096. /. (0.5 *. 4096.) in
+  Alcotest.(check (float 1e-9)) "6 ln n / (alpha n)" expected (Params.candidate_prob p ~n ~alpha)
+
+let test_candidate_prob_clamped () =
+  (* Small n and alpha push the formula past 1; it must clamp. *)
+  let v = Params.candidate_prob p ~n:8 ~alpha:0.1 in
+  Alcotest.(check bool) "clamped to 1" true (v <= 1.);
+  Alcotest.(check bool) "positive" true (v > 0.)
+
+let test_referee_count_formula () =
+  let n = 4096 and alpha = 0.5 in
+  let expected = int_of_float (ceil (2. *. sqrt (4096. *. Float.log 4096. /. 0.5))) in
+  Alcotest.(check int) "2 sqrt(n ln n / alpha)" expected (Params.referee_count p ~n ~alpha)
+
+let test_referee_count_clamped () =
+  Alcotest.(check bool) "at most n-1" true (Params.referee_count p ~n:16 ~alpha:0.2 <= 15);
+  Alcotest.(check bool) "at least 1" true (Params.referee_count p ~n:2 ~alpha:1.0 >= 1)
+
+let test_iterations_scale () =
+  let i1 = Params.iterations p ~n:1024 ~alpha:1.0 in
+  let i2 = Params.iterations p ~n:1024 ~alpha:0.5 in
+  let i3 = Params.iterations p ~n:4096 ~alpha:1.0 in
+  Alcotest.(check bool) "halving alpha roughly doubles" true
+    (i2 >= (2 * (i1 - p.Params.iteration_slack)) + p.Params.iteration_slack - 1);
+  Alcotest.(check bool) "grows with n" true (i3 > i1)
+
+let test_iterations_cover_candidates () =
+  (* The iteration count must dominate the w.h.p. candidate-set size:
+     one candidate may crash per iteration (Sec. IV-A). *)
+  List.iter
+    (fun (n, alpha) ->
+      let iters = Params.iterations p ~n ~alpha in
+      let cand_hi = 12. *. Float.log (float_of_int n) /. alpha in
+      Alcotest.(check bool)
+        (Printf.sprintf "iterations >= whp |C| at n=%d alpha=%.2f" n alpha)
+        true
+        (float_of_int iters >= cand_hi))
+    [ (64, 1.0); (1024, 0.5); (16384, 0.3) ]
+
+let test_rank_bound () =
+  Alcotest.(check int) "n^4" (16 * 16 * 16 * 16) (Params.rank_bound p ~n:16);
+  (* Collision probability over n draws from [1, n^4] is <= 1/n^2: check
+     empirically that ranks are distinct for a decent n. *)
+  let n = 1 lsl 16 in
+  Alcotest.(check bool) "no overflow" true (Params.rank_bound p ~n > 0)
+
+let test_preprocessing_rounds_cover_candidates () =
+  List.iter
+    (fun (n, alpha) ->
+      let pre = Params.preprocessing_rounds p ~n ~alpha in
+      let cand_hi = 12. *. Float.log (float_of_int n) /. alpha in
+      Alcotest.(check bool)
+        (Printf.sprintf "preprocessing >= whp |C| at n=%d alpha=%.2f" n alpha)
+        true
+        (float_of_int pre >= cand_hi))
+    [ (64, 1.0); (1024, 0.5); (16384, 0.3) ]
+
+let test_expected_candidates () =
+  Alcotest.(check (float 1e-9)) "6 ln n / alpha"
+    (6. *. Float.log 1024. /. 0.5)
+    (Params.expected_candidates p ~n:1024 ~alpha:0.5)
+
+let qcheck_derivations_sane =
+  QCheck.Test.make ~name:"derived quantities are in range for any (n, alpha)" ~count:300
+    QCheck.(pair (int_range 2 100_000) (float_range 0.01 1.0))
+    (fun (n, alpha) ->
+      let prob = Params.candidate_prob p ~n ~alpha in
+      let refs = Params.referee_count p ~n ~alpha in
+      let iters = Params.iterations p ~n ~alpha in
+      prob >= 0. && prob <= 1. && refs >= 1 && refs <= n - 1 && iters > 0
+      && Params.rank_bound p ~n >= n)
+
+let () =
+  Alcotest.run "params"
+    [
+      ( "params",
+        [
+          Alcotest.test_case "candidate prob formula" `Quick test_candidate_prob_formula;
+          Alcotest.test_case "candidate prob clamped" `Quick test_candidate_prob_clamped;
+          Alcotest.test_case "referee count formula" `Quick test_referee_count_formula;
+          Alcotest.test_case "referee count clamped" `Quick test_referee_count_clamped;
+          Alcotest.test_case "iterations scale" `Quick test_iterations_scale;
+          Alcotest.test_case "iterations cover |C|" `Quick test_iterations_cover_candidates;
+          Alcotest.test_case "rank bound" `Quick test_rank_bound;
+          Alcotest.test_case "preprocessing covers |C|" `Quick test_preprocessing_rounds_cover_candidates;
+          Alcotest.test_case "expected candidates" `Quick test_expected_candidates;
+        ] );
+      ("properties", List.map QCheck_alcotest.to_alcotest [ qcheck_derivations_sane ]);
+    ]

@@ -1,0 +1,163 @@
+(* Tests for the correctness checkers, driven by hand-built results so
+   every verdict branch is exercised deterministically. *)
+
+module Engine = Ftc_sim.Engine
+module Decision = Ftc_sim.Decision
+module Observation = Ftc_sim.Observation
+module Props = Ftc_core.Properties
+
+let result ?(crashed = [||]) ?(faulty = [||]) decisions : Engine.result =
+  let n = Array.length decisions in
+  let pick arr i = if Array.length arr > i then arr.(i) else false in
+  {
+    Engine.decisions;
+    observations = Array.make n Observation.bystander;
+    faulty = Array.init n (pick faulty);
+    crashed = Array.init n (pick crashed);
+    crash_round = Array.make n (-1);
+    rounds_used = 1;
+    metrics = Ftc_sim.Metrics.create ();
+    trace = None;
+    errors = [];
+  }
+
+open Decision
+
+let test_election_ok () =
+  let r = result [| Elected; Not_elected; Not_elected |] in
+  let rep = Props.check_implicit_election r in
+  Alcotest.(check bool) "ok" true rep.ok;
+  Alcotest.(check (option int)) "leader" (Some 0) rep.leader
+
+let test_election_no_leader () =
+  let rep = Props.check_implicit_election (result [| Not_elected; Not_elected |]) in
+  Alcotest.(check bool) "not ok" false rep.ok;
+  Alcotest.(check int) "zero leaders" 0 rep.live_leaders
+
+let test_election_two_leaders () =
+  let rep = Props.check_implicit_election (result [| Elected; Elected; Not_elected |]) in
+  Alcotest.(check bool) "not ok" false rep.ok;
+  Alcotest.(check int) "two leaders" 2 rep.live_leaders;
+  Alcotest.(check (option int)) "no unique leader" None rep.leader
+
+let test_election_undecided_live_node_fails () =
+  let rep = Props.check_implicit_election (result [| Elected; Undecided |]) in
+  Alcotest.(check bool) "not ok" false rep.ok;
+  Alcotest.(check int) "one undecided" 1 rep.live_undecided
+
+let test_election_crashed_leader_excluded () =
+  (* A node that crashed holding Elected does not count as a live leader;
+     the second, live leader makes the run valid. *)
+  let r =
+    result ~crashed:[| true; false; false |] [| Elected; Elected; Not_elected |]
+  in
+  let rep = Props.check_implicit_election r in
+  Alcotest.(check bool) "ok" true rep.ok;
+  Alcotest.(check int) "crashed leader counted separately" 1 rep.crashed_leaders;
+  Alcotest.(check (option int)) "live leader" (Some 1) rep.leader
+
+let test_election_crashed_undecided_ignored () =
+  let r = result ~crashed:[| false; true |] [| Elected; Undecided |] in
+  Alcotest.(check bool) "ok" true (Props.check_implicit_election r).ok
+
+let test_election_leader_faultiness_reported () =
+  let r = result ~faulty:[| true; false |] [| Elected; Not_elected |] in
+  let rep = Props.check_implicit_election r in
+  Alcotest.(check (option bool)) "faulty leader flagged" (Some true) rep.leader_was_faulty
+
+let test_explicit_election_ok () =
+  let r = result [| Elected; Follower 42; Follower 42 |] in
+  let rep = Props.check_explicit_election r in
+  Alcotest.(check bool) "ok" true rep.ok
+
+let test_explicit_election_unaware_fails () =
+  let r = result [| Elected; Follower 42; Not_elected |] in
+  let rep = Props.check_explicit_election r in
+  Alcotest.(check bool) "not ok" false rep.ok;
+  Alcotest.(check int) "one unaware" 1 rep.live_unaware
+
+let test_explicit_election_mixed_ranks_fail () =
+  let r = result [| Elected; Follower 42; Follower 43 |] in
+  let rep = Props.check_explicit_election r in
+  Alcotest.(check bool) "not ok" false rep.ok;
+  Alcotest.(check int) "two named ranks" 2 rep.distinct_named_ranks
+
+let test_agreement_ok () =
+  let inputs = [| 0; 1; 1 |] in
+  let rep =
+    Props.check_implicit_agreement ~inputs (result [| Agreed 0; Undecided; Agreed 0 |])
+  in
+  Alcotest.(check bool) "ok" true rep.ok;
+  Alcotest.(check (option int)) "value" (Some 0) rep.value;
+  Alcotest.(check int) "two deciders" 2 rep.live_deciders
+
+let test_agreement_no_decider_fails () =
+  let inputs = [| 0; 1 |] in
+  let rep = Props.check_implicit_agreement ~inputs (result [| Undecided; Undecided |]) in
+  Alcotest.(check bool) "not ok" false rep.ok
+
+let test_agreement_split_fails () =
+  let inputs = [| 0; 1 |] in
+  let rep = Props.check_implicit_agreement ~inputs (result [| Agreed 0; Agreed 1 |]) in
+  Alcotest.(check bool) "not ok" false rep.ok;
+  Alcotest.(check (list int)) "both values" [ 0; 1 ] rep.distinct_values
+
+let test_agreement_validity_violation () =
+  (* Deciding 0 when every input was 1 violates validity. *)
+  let inputs = [| 1; 1 |] in
+  let rep = Props.check_implicit_agreement ~inputs (result [| Agreed 0; Undecided |]) in
+  Alcotest.(check bool) "not ok" false rep.ok;
+  Alcotest.(check bool) "invalid" false rep.valid
+
+let test_agreement_crashed_dissenter_ignored () =
+  let inputs = [| 0; 1; 1 |] in
+  let r = result ~crashed:[| false; true; false |] [| Agreed 0; Agreed 1; Agreed 0 |] in
+  let rep = Props.check_implicit_agreement ~inputs r in
+  Alcotest.(check bool) "ok despite crashed dissenter" true rep.ok
+
+let test_explicit_agreement_requires_everyone () =
+  let inputs = [| 0; 1 |] in
+  let half = Props.check_explicit_agreement ~inputs (result [| Agreed 0; Undecided |]) in
+  Alcotest.(check bool) "undecided live node fails" false half.ok;
+  let full = Props.check_explicit_agreement ~inputs (result [| Agreed 0; Agreed 0 |]) in
+  Alcotest.(check bool) "all decided ok" true full.ok
+
+let test_explicit_agreement_crashed_excused () =
+  let inputs = [| 0; 1 |] in
+  let r = result ~crashed:[| false; true |] [| Agreed 0; Undecided |] in
+  Alcotest.(check bool) "crashed node excused" true
+    (Props.check_explicit_agreement ~inputs r).ok
+
+let () =
+  Alcotest.run "properties"
+    [
+      ( "implicit election",
+        [
+          Alcotest.test_case "ok" `Quick test_election_ok;
+          Alcotest.test_case "no leader" `Quick test_election_no_leader;
+          Alcotest.test_case "two leaders" `Quick test_election_two_leaders;
+          Alcotest.test_case "live undecided" `Quick test_election_undecided_live_node_fails;
+          Alcotest.test_case "crashed leader excluded" `Quick test_election_crashed_leader_excluded;
+          Alcotest.test_case "crashed undecided ignored" `Quick test_election_crashed_undecided_ignored;
+          Alcotest.test_case "faultiness reported" `Quick test_election_leader_faultiness_reported;
+        ] );
+      ( "explicit election",
+        [
+          Alcotest.test_case "ok" `Quick test_explicit_election_ok;
+          Alcotest.test_case "unaware fails" `Quick test_explicit_election_unaware_fails;
+          Alcotest.test_case "mixed ranks fail" `Quick test_explicit_election_mixed_ranks_fail;
+        ] );
+      ( "implicit agreement",
+        [
+          Alcotest.test_case "ok" `Quick test_agreement_ok;
+          Alcotest.test_case "no decider" `Quick test_agreement_no_decider_fails;
+          Alcotest.test_case "split" `Quick test_agreement_split_fails;
+          Alcotest.test_case "validity" `Quick test_agreement_validity_violation;
+          Alcotest.test_case "crashed dissenter" `Quick test_agreement_crashed_dissenter_ignored;
+        ] );
+      ( "explicit agreement",
+        [
+          Alcotest.test_case "requires everyone" `Quick test_explicit_agreement_requires_everyone;
+          Alcotest.test_case "crashed excused" `Quick test_explicit_agreement_crashed_excused;
+        ] );
+    ]

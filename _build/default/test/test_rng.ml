@@ -1,0 +1,192 @@
+(* Tests for the PRNG substrate: determinism, ranges, bias, and split
+   independence. Statistical checks use generous thresholds so they never
+   flake: with the fixed seeds used here they are fully deterministic. *)
+
+module Rng = Ftc_rng.Rng
+module Splitmix = Ftc_rng.Splitmix
+module Xoshiro = Ftc_rng.Xoshiro
+
+let test_splitmix_deterministic () =
+  let a = Splitmix.create 42L and b = Splitmix.create 42L in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Splitmix.next a) (Splitmix.next b)
+  done
+
+let test_splitmix_seed_sensitivity () =
+  let a = Splitmix.create 1L and b = Splitmix.create 2L in
+  let distinct = ref 0 in
+  for _ = 1 to 64 do
+    if Splitmix.next a <> Splitmix.next b then incr distinct
+  done;
+  Alcotest.(check bool) "nearby seeds diverge" true (!distinct >= 60)
+
+let test_splitmix_mix_bijective_on_samples () =
+  (* mix is a bijection; spot-check injectivity over a sample. *)
+  let seen = Hashtbl.create 1024 in
+  for i = 0 to 2047 do
+    let v = Splitmix.mix (Int64.of_int i) in
+    Alcotest.(check bool) "no collision" false (Hashtbl.mem seen v);
+    Hashtbl.replace seen v ()
+  done
+
+let test_xoshiro_deterministic () =
+  let a = Xoshiro.of_seed 7L and b = Xoshiro.of_seed 7L in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Xoshiro.next a) (Xoshiro.next b)
+  done
+
+let test_xoshiro_copy_replays () =
+  let a = Xoshiro.of_seed 9L in
+  ignore (Xoshiro.next a);
+  let b = Xoshiro.copy a in
+  let xs = List.init 20 (fun _ -> Xoshiro.next a) in
+  let ys = List.init 20 (fun _ -> Xoshiro.next b) in
+  Alcotest.(check (list int64)) "copy replays future" xs ys
+
+let test_int_bounds () =
+  let rng = Rng.create 1 in
+  for _ = 1 to 10_000 do
+    let v = Rng.int rng 7 in
+    Alcotest.(check bool) "in [0,7)" true (v >= 0 && v < 7)
+  done
+
+let test_int_rejects_bad_bound () =
+  let rng = Rng.create 1 in
+  Alcotest.check_raises "zero bound" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int rng 0))
+
+let test_int_uniformity () =
+  let rng = Rng.create 5 in
+  let k = 10 in
+  let counts = Array.make k 0 in
+  let trials = 100_000 in
+  for _ = 1 to trials do
+    let v = Rng.int rng k in
+    counts.(v) <- counts.(v) + 1
+  done;
+  let expected = trials / k in
+  Array.iteri
+    (fun i c ->
+      let dev = abs (c - expected) in
+      Alcotest.(check bool)
+        (Printf.sprintf "bucket %d within 5%% (got %d)" i c)
+        true
+        (dev < expected / 20))
+    counts
+
+let test_int_in_range () =
+  let rng = Rng.create 3 in
+  for _ = 1 to 1000 do
+    let v = Rng.int_in rng 10 20 in
+    Alcotest.(check bool) "in [10,20]" true (v >= 10 && v <= 20)
+  done;
+  Alcotest.(check int) "singleton range" 5 (Rng.int_in rng 5 5)
+
+let test_float_range () =
+  let rng = Rng.create 11 in
+  for _ = 1 to 10_000 do
+    let f = Rng.float rng in
+    Alcotest.(check bool) "in [0,1)" true (f >= 0. && f < 1.)
+  done
+
+let test_float_mean () =
+  let rng = Rng.create 13 in
+  let n = 50_000 in
+  let sum = ref 0. in
+  for _ = 1 to n do
+    sum := !sum +. Rng.float rng
+  done;
+  let mean = !sum /. float_of_int n in
+  Alcotest.(check bool) (Printf.sprintf "mean ~ 0.5 (got %f)" mean) true
+    (Float.abs (mean -. 0.5) < 0.01)
+
+let test_bool_balance () =
+  let rng = Rng.create 17 in
+  let n = 50_000 in
+  let heads = ref 0 in
+  for _ = 1 to n do
+    if Rng.bool rng then incr heads
+  done;
+  let ratio = float_of_int !heads /. float_of_int n in
+  Alcotest.(check bool) "fair coin" true (Float.abs (ratio -. 0.5) < 0.01)
+
+let test_split_independence () =
+  (* Children of the same parent must produce uncorrelated bit streams:
+     the fraction of equal low bits should be near 1/2. *)
+  let parent = Rng.create 23 in
+  let a = Rng.split parent and b = Rng.split parent in
+  let n = 20_000 in
+  let agree = ref 0 in
+  for _ = 1 to n do
+    let xa = Int64.logand (Rng.bits64 a) 1L and xb = Int64.logand (Rng.bits64 b) 1L in
+    if xa = xb then incr agree
+  done;
+  let ratio = float_of_int !agree /. float_of_int n in
+  Alcotest.(check bool)
+    (Printf.sprintf "sibling streams uncorrelated (agreement %f)" ratio)
+    true
+    (Float.abs (ratio -. 0.5) < 0.02)
+
+let test_split_n_distinct () =
+  let parent = Rng.create 29 in
+  let children = Rng.split_n parent 50 in
+  let firsts = Array.map Rng.bits64 children in
+  let tbl = Hashtbl.create 64 in
+  Array.iter (fun v -> Hashtbl.replace tbl v ()) firsts;
+  Alcotest.(check int) "all children distinct" 50 (Hashtbl.length tbl)
+
+let test_create_determinism () =
+  let a = Rng.create 1234 and b = Rng.create 1234 in
+  for _ = 1 to 50 do
+    Alcotest.(check int64) "same seed same stream" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let qcheck_int_bounds =
+  QCheck.Test.make ~name:"Rng.int always within bound" ~count:500
+    QCheck.(pair small_int (int_range 1 1_000_000))
+    (fun (seed, bound) ->
+      let rng = Rng.create seed in
+      let v = Rng.int rng bound in
+      v >= 0 && v < bound)
+
+let qcheck_int_in_bounds =
+  QCheck.Test.make ~name:"Rng.int_in within inclusive range" ~count:500
+    QCheck.(triple small_int (int_range (-1000) 1000) (int_range 0 1000))
+    (fun (seed, lo, span) ->
+      let rng = Rng.create seed in
+      let v = Rng.int_in rng lo (lo + span) in
+      v >= lo && v <= lo + span)
+
+let () =
+  Alcotest.run "rng"
+    [
+      ( "splitmix",
+        [
+          Alcotest.test_case "deterministic" `Quick test_splitmix_deterministic;
+          Alcotest.test_case "seed sensitivity" `Quick test_splitmix_seed_sensitivity;
+          Alcotest.test_case "mix injective on samples" `Quick test_splitmix_mix_bijective_on_samples;
+        ] );
+      ( "xoshiro",
+        [
+          Alcotest.test_case "deterministic" `Quick test_xoshiro_deterministic;
+          Alcotest.test_case "copy replays" `Quick test_xoshiro_copy_replays;
+        ] );
+      ( "rng",
+        [
+          Alcotest.test_case "int bounds" `Quick test_int_bounds;
+          Alcotest.test_case "int bad bound" `Quick test_int_rejects_bad_bound;
+          Alcotest.test_case "int uniformity" `Quick test_int_uniformity;
+          Alcotest.test_case "int_in range" `Quick test_int_in_range;
+          Alcotest.test_case "float range" `Quick test_float_range;
+          Alcotest.test_case "float mean" `Quick test_float_mean;
+          Alcotest.test_case "bool balance" `Quick test_bool_balance;
+          Alcotest.test_case "create determinism" `Quick test_create_determinism;
+        ] );
+      ( "split",
+        [
+          Alcotest.test_case "independence" `Quick test_split_independence;
+          Alcotest.test_case "split_n distinct" `Quick test_split_n_distinct;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ qcheck_int_bounds; qcheck_int_in_bounds ] );
+    ]

@@ -1,0 +1,135 @@
+(* Unit tests for the small simulator modules: Decision, Observation,
+   Metrics, Trace, and the Fanout broadcast helper. *)
+
+module Decision = Ftc_sim.Decision
+module Observation = Ftc_sim.Observation
+module Metrics = Ftc_sim.Metrics
+module Trace = Ftc_sim.Trace
+module Fanout = Ftc_sim.Fanout
+module Protocol = Ftc_sim.Protocol
+
+let test_decision_equal () =
+  let open Decision in
+  let all = [ Undecided; Elected; Not_elected; Follower 1; Follower 2; Agreed 0; Agreed 1 ] in
+  List.iteri
+    (fun i a ->
+      List.iteri
+        (fun j b ->
+          Alcotest.(check bool)
+            (Printf.sprintf "equal iff same (%d,%d)" i j)
+            (i = j) (equal a b))
+        all)
+    all
+
+let test_decision_to_string () =
+  Alcotest.(check string) "undecided" "undecided" (Decision.to_string Decision.Undecided);
+  Alcotest.(check string) "agreed" "agreed(1)" (Decision.to_string (Decision.Agreed 1));
+  Alcotest.(check string) "follower" "follower(9)" (Decision.to_string (Decision.Follower 9))
+
+let test_observation_default () =
+  Alcotest.(check bool) "bystander role" true
+    (Observation.bystander.Observation.role = Observation.Bystander);
+  Alcotest.(check bool) "no rank" true (Observation.bystander.Observation.rank = None);
+  Alcotest.(check bool) "undecided" false Observation.bystander.Observation.has_decided
+
+let test_observation_pp () =
+  let s = Format.asprintf "%a" Observation.pp Observation.bystander in
+  Alcotest.(check bool) "mentions role" true
+    (Astring.String.is_infix ~affix:"bystander" s)
+
+let test_metrics_counters () =
+  let m = Metrics.create () in
+  Metrics.record_send m ~round:0 ~bits:10 ~delivered:true;
+  Metrics.record_send m ~round:0 ~bits:5 ~delivered:false;
+  Metrics.record_send m ~round:2 ~bits:1 ~delivered:true;
+  Metrics.record_violation m;
+  Metrics.finish m ~rounds:3;
+  Alcotest.(check int) "sent" 3 m.Metrics.msgs_sent;
+  Alcotest.(check int) "dropped" 1 m.Metrics.msgs_dropped;
+  Alcotest.(check int) "bits" 16 m.Metrics.bits_sent;
+  Alcotest.(check int) "violations" 1 m.Metrics.congest_violations;
+  Alcotest.(check int) "rounds" 3 m.Metrics.rounds_used;
+  Alcotest.(check (array int)) "per-round" [| 2; 0; 1 |] m.Metrics.per_round_msgs
+
+let test_metrics_per_round_growth () =
+  (* Rounds beyond the initial capacity must not be lost. *)
+  let m = Metrics.create () in
+  Metrics.record_send m ~round:500 ~bits:1 ~delivered:true;
+  Metrics.finish m ~rounds:501;
+  Alcotest.(check int) "late round recorded" 1 m.Metrics.per_round_msgs.(500);
+  Alcotest.(check int) "length trimmed" 501 (Array.length m.Metrics.per_round_msgs)
+
+let test_trace_order_and_length () =
+  let t = Trace.create () in
+  let e1 = Trace.Send { round = 0; src = 1; dst = 2; bits = 3; delivered = true } in
+  let e2 = Trace.Crash { round = 1; node = 1 } in
+  Trace.add t e1;
+  Trace.add t e2;
+  Alcotest.(check int) "length" 2 (Trace.length t);
+  match Trace.events t with
+  | [ a; b ] ->
+      Alcotest.(check bool) "chronological order" true (a = e1 && b = e2)
+  | _ -> Alcotest.fail "two events expected"
+
+let test_trace_pp_event () =
+  let s =
+    Format.asprintf "%a" Trace.pp_event
+      (Trace.Send { round = 3; src = 1; dst = 2; bits = 7; delivered = false })
+  in
+  Alcotest.(check bool) "mentions loss" true (Astring.String.is_infix ~affix:"lost" s)
+
+let test_fanout_counts () =
+  let acts = Fanout.broadcast ~n:10 ~known_ports:[ 0; 3; 5 ] "x" in
+  Alcotest.(check int) "n-1 actions" 9 (List.length acts);
+  let ports, fresh =
+    List.partition (fun a -> match a.Protocol.dest with Protocol.Port _ -> true | _ -> false) acts
+  in
+  Alcotest.(check int) "known ports used" 3 (List.length ports);
+  Alcotest.(check int) "fresh for the rest" 6 (List.length fresh);
+  List.iter
+    (fun (a : string Protocol.action) ->
+      Alcotest.(check string) "payload carried" "x" a.Protocol.payload)
+    acts
+
+let test_fanout_all_known () =
+  let acts = Fanout.broadcast ~n:4 ~known_ports:[ 0; 1; 2 ] () in
+  Alcotest.(check int) "no fresh needed" 3 (List.length acts)
+
+let test_fanout_none_known () =
+  let acts = Fanout.broadcast ~n:4 ~known_ports:[] () in
+  Alcotest.(check int) "all fresh" 3 (List.length acts);
+  List.iter
+    (fun (a : unit Protocol.action) ->
+      Alcotest.(check bool) "fresh dest" true (a.Protocol.dest = Protocol.Fresh_port))
+    acts
+
+let () =
+  Alcotest.run "sim-units"
+    [
+      ( "decision",
+        [
+          Alcotest.test_case "equal" `Quick test_decision_equal;
+          Alcotest.test_case "to_string" `Quick test_decision_to_string;
+        ] );
+      ( "observation",
+        [
+          Alcotest.test_case "default" `Quick test_observation_default;
+          Alcotest.test_case "pp" `Quick test_observation_pp;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "counters" `Quick test_metrics_counters;
+          Alcotest.test_case "per-round growth" `Quick test_metrics_per_round_growth;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "order" `Quick test_trace_order_and_length;
+          Alcotest.test_case "pp" `Quick test_trace_pp_event;
+        ] );
+      ( "fanout",
+        [
+          Alcotest.test_case "counts" `Quick test_fanout_counts;
+          Alcotest.test_case "all known" `Quick test_fanout_all_known;
+          Alcotest.test_case "none known" `Quick test_fanout_none_known;
+        ] );
+    ]
