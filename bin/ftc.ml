@@ -6,6 +6,9 @@
      expt       — run experiments from DESIGN.md's index (T1, F1..F12)
      clouds     — run a protocol with tracing and print its influence-cloud
                   decomposition (the lower-bound object)
+     chaos      — fuzz adversaries across every registered protocol; on a
+                  violation, shrink and write a replay file
+     replay     — deterministically re-execute a saved chaos reproducer
      list       — list experiments, protocols and adversaries *)
 
 open Cmdliner
@@ -65,7 +68,7 @@ let run_spec protocol ~n ~alpha ~inputs ~adversary ~seed ~trace =
       record_trace = trace;
     }
   in
-  Ftc_expt.Runner.run spec ~seed
+  Ftc_expt.Runner.run_exn spec ~seed
 
 (* -- election command -- *)
 
@@ -216,6 +219,91 @@ let clouds n alpha seed adversary_name scale_factor =
           Printf.printf "agreement: %s\n" (if rep.ok then "ok" else "FAILED"));
       0
 
+(* -- chaos command -- *)
+
+let print_findings findings =
+  List.iter (fun f -> Printf.printf "  %s\n" (Format.asprintf "%a" Ftc_chaos.Oracle.pp f)) findings
+
+let chaos budget seed n_min n_max protocols out =
+  if budget < 0 then begin
+    Printf.eprintf "chaos: --budget must be non-negative (got %d)\n" budget;
+    exit 2
+  end;
+  if n_min < 2 || n_max < n_min then begin
+    Printf.eprintf "chaos: need 2 <= --n-min <= --n-max (got %d, %d)\n" n_min n_max;
+    exit 2
+  end;
+  let protocols = match protocols with [] -> None | ps -> Some ps in
+  (match protocols with
+  | None -> ()
+  | Some ps ->
+      List.iter
+        (fun p ->
+          if Ftc_chaos.Catalog.find p = None then begin
+            Printf.eprintf "unknown protocol %s (known: %s)\n" p
+              (String.concat ", " (Ftc_chaos.Catalog.names ()));
+            exit 2
+          end)
+        ps);
+  let config = { Ftc_chaos.Fuzz.budget; seed; protocols; n_min; n_max } in
+  let report = Ftc_chaos.Fuzz.run ~log:print_endline config in
+  match report.Ftc_chaos.Fuzz.failure with
+  | None ->
+      Printf.printf "chaos: %d cases clean (seed %d)\n" report.Ftc_chaos.Fuzz.cases_run seed;
+      0
+  | Some f ->
+      Printf.printf "chaos: VIOLATION after %d cases\n" report.Ftc_chaos.Fuzz.cases_run;
+      Printf.printf "original: %s\n" (Format.asprintf "%a" Ftc_chaos.Case.pp f.case);
+      print_findings f.findings;
+      Printf.printf "shrunk (%d re-runs): %s\n" f.shrink_attempts
+        (Format.asprintf "%a" Ftc_chaos.Case.pp f.shrunk);
+      print_findings f.shrunk_findings;
+      let expect =
+        List.sort_uniq compare
+          (List.map (fun g -> g.Ftc_chaos.Oracle.oracle) f.shrunk_findings)
+      in
+      Ftc_chaos.Replay.save ~expect out f.shrunk;
+      Printf.printf "reproducer written to %s — run `ftc replay %s`\n" out out;
+      1
+
+(* -- replay command -- *)
+
+let replay path =
+  match Ftc_chaos.Replay.load path with
+  | Error e ->
+      Printf.eprintf "replay: %s\n" e;
+      2
+  | Ok (case, expect) -> (
+      Printf.printf "replaying: %s\n" (Format.asprintf "%a" Ftc_chaos.Case.pp case);
+      match Ftc_chaos.Case.run case with
+      | Error e ->
+          Printf.eprintf "replay: %s\n" (Ftc_chaos.Case.error_to_string e);
+          2
+      | Ok (result, findings) ->
+          report_metrics result;
+          if findings = [] then print_endline "no oracle findings"
+          else begin
+            print_endline "findings:";
+            print_findings findings
+          end;
+          if expect = [] then if findings = [] then 0 else 1
+          else begin
+            let reproduced =
+              List.for_all
+                (fun o -> List.exists (fun f -> f.Ftc_chaos.Oracle.oracle = o) findings)
+                expect
+            in
+            if reproduced then begin
+              Printf.printf "reproduced expected violation(s): %s\n" (String.concat ", " expect);
+              1
+            end
+            else begin
+              Printf.printf "expected violation(s) [%s] did NOT reproduce\n"
+                (String.concat ", " expect);
+              0
+            end
+          end)
+
 (* -- list command -- *)
 
 let list_all () =
@@ -225,9 +313,11 @@ let list_all () =
     Ftc_expt.Registry.all;
   print_endline "\nAdversaries:";
   List.iter (fun (name, _) -> Printf.printf "  %s\n" name) (Ftc_fault.Strategy.all ());
-  print_endline "\nProtocols: ft-leader-election[-explicit], ft-agreement[-explicit],";
-  print_endline "  floodset, rotating-coordinator, tree-agreement, push-gossip,";
-  print_endline "  kutten-leader-election, amp-agreement";
+  print_endline "\nProtocols (chaos catalog; * = fuzzed with crash plans):";
+  List.iter
+    (fun (e : Ftc_chaos.Catalog.entry) ->
+      Printf.printf "  %s%s\n" e.name (if e.crash_tolerant then " *" else ""))
+    Ftc_chaos.Catalog.all;
   0
 
 (* -- command wiring -- *)
@@ -272,6 +362,40 @@ let clouds_cmd =
     (Cmd.info "clouds" ~doc)
     Term.(const clouds $ n_arg $ alpha_arg $ seed_arg $ adversary_arg $ scale)
 
+let chaos_cmd =
+  let doc =
+    "Fuzz crash adversaries across every registered protocol, checking all safety oracles. \
+     Exits 1 with a shrunk replay file on any violation, 0 when every case is clean."
+  in
+  let budget =
+    Arg.(value & opt int 100 & info [ "budget" ] ~docv:"N" ~doc:"Number of fuzz cases.")
+  in
+  let n_min = Arg.(value & opt int 32 & info [ "n-min" ] ~docv:"N" ~doc:"Smallest network.") in
+  let n_max = Arg.(value & opt int 96 & info [ "n-max" ] ~docv:"N" ~doc:"Largest network.") in
+  let protocols =
+    Arg.(
+      value
+      & opt_all string []
+      & info [ "protocol" ] ~docv:"NAME" ~doc:"Restrict to this protocol (repeatable).")
+  in
+  let out =
+    Arg.(
+      value
+      & opt string "chaos-repro.ftc"
+      & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Where to write the shrunk reproducer.")
+  in
+  Cmd.v (Cmd.info "chaos" ~doc)
+    Term.(const chaos $ budget $ seed_arg $ n_min $ n_max $ protocols $ out)
+
+let replay_cmd =
+  let doc =
+    "Deterministically re-execute a chaos reproducer file. Exits 1 when the recorded \
+     violation (still) reproduces, 0 when the run is clean or the expectation no longer \
+     fails, 2 on a malformed file."
+  in
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  Cmd.v (Cmd.info "replay" ~doc) Term.(const replay $ file)
+
 let list_cmd =
   Cmd.v (Cmd.info "list" ~doc:"List experiments, protocols and adversaries.")
     Term.(const list_all $ const ())
@@ -279,6 +403,6 @@ let list_cmd =
 let main =
   let doc = "fault-tolerant leader election and agreement (Kumar & Molla, PODC'21/TPDS'23)" in
   Cmd.group (Cmd.info "ftc" ~version:"1.0.0" ~doc)
-    [ election_cmd; agreement_cmd; expt_cmd; clouds_cmd; list_cmd ]
+    [ election_cmd; agreement_cmd; expt_cmd; clouds_cmd; chaos_cmd; replay_cmd; list_cmd ]
 
 let () = exit (Cmd.eval' main)

@@ -1,0 +1,84 @@
+module Engine = Ftc_sim.Engine
+module Adversary = Ftc_sim.Adversary
+module Strategy = Ftc_fault.Strategy
+
+type t = {
+  protocol : string;
+  n : int;
+  alpha : float;
+  seed : int;
+  inputs : int array;
+  plan : (int * int * Adversary.drop_rule) list;
+}
+
+let equal a b =
+  a.protocol = b.protocol && a.n = b.n && a.alpha = b.alpha && a.seed = b.seed
+  && a.inputs = b.inputs && a.plan = b.plan
+
+type error = Unknown_protocol of string | Invalid_case of string
+
+let error_to_string = function
+  | Unknown_protocol p ->
+      Printf.sprintf "unknown protocol %s (known: %s)" p
+        (String.concat ", " (Catalog.names ()))
+  | Invalid_case msg -> "invalid case: " ^ msg
+
+let validate case =
+  match Catalog.find case.protocol with
+  | None -> Error (Unknown_protocol case.protocol)
+  | Some entry ->
+      if case.n < 2 then Error (Invalid_case "n must be at least 2")
+      else if case.alpha <= 0. || case.alpha > 1. then
+        Error (Invalid_case "alpha must be in (0, 1]")
+      else if Array.length case.inputs <> case.n then
+        Error
+          (Invalid_case
+             (Printf.sprintf "inputs length %d <> n = %d" (Array.length case.inputs) case.n))
+      else begin
+        let (module P : Ftc_sim.Protocol.S) = entry.make () in
+        let f = Engine.max_faulty ~n:case.n ~alpha:case.alpha in
+        let max_round = P.max_rounds ~n:case.n ~alpha:case.alpha - 1 in
+        match Strategy.validate_plan ~n:case.n ~f ~max_round case.plan with
+        | Error msg -> Error (Invalid_case msg)
+        | Ok () -> Ok entry
+      end
+
+let run case =
+  match validate case with
+  | Error _ as e -> e
+  | Ok entry ->
+      let (module P : Ftc_sim.Protocol.S) = entry.make () in
+      let module E = Engine.Make (P) in
+      let adversary =
+        if case.plan = [] then Adversary.none else Strategy.scheduled case.plan ()
+      in
+      let result =
+        E.run
+          {
+            Engine.n = case.n;
+            alpha = case.alpha;
+            seed = case.seed;
+            inputs = Some case.inputs;
+            adversary;
+            congest_limit = Some (Ftc_sim.Congest.default_limit ~n:case.n);
+            record_trace = true;
+            max_rounds_override = None;
+          }
+      in
+      Ok (result, Oracle.check entry ~inputs:case.inputs result)
+
+let findings case = match run case with Error _ -> [] | Ok (_, fs) -> fs
+
+let rule_to_string = function
+  | Adversary.Drop_all -> "drop-all"
+  | Adversary.Drop_none -> "drop-none"
+  | Adversary.Drop_random p -> Printf.sprintf "drop-random %.17g" p
+  | Adversary.Keep_prefix k -> Printf.sprintf "keep-prefix %d" k
+
+let pp ppf case =
+  Format.fprintf ppf "%s n=%d alpha=%g seed=%d plan=[%s]" case.protocol case.n case.alpha
+    case.seed
+    (String.concat "; "
+       (List.map
+          (fun (v, r, rule) -> Printf.sprintf "%d@r%d %s" v r (rule_to_string rule))
+          case.plan))

@@ -1,0 +1,41 @@
+(** One fuzz case: everything needed to re-execute a run bit-for-bit.
+
+    A case is a pure description — protocol id, network shape, root seed,
+    explicit inputs, and a deterministic crash plan in the format of
+    {!Ftc_fault.Strategy.scheduled}. Running the same case twice yields
+    the same execution, which is what makes shrinking and replay sound. *)
+
+type t = {
+  protocol : string;  (** A {!Catalog} entry name. *)
+  n : int;
+  alpha : float;
+  seed : int;
+  inputs : int array;  (** Always length [n]; all-zero for elections. *)
+  plan : (int * int * Ftc_sim.Adversary.drop_rule) list;
+      (** [(node, round, rule)] triples; empty = fault-free. *)
+}
+
+val equal : t -> t -> bool
+
+type error = Unknown_protocol of string | Invalid_case of string
+
+val error_to_string : error -> string
+
+val validate : t -> (Catalog.entry, error) result
+(** Checks the case shape and the crash plan against the protocol's fault
+    budget and round range, without running anything. *)
+
+val run : t -> (Ftc_sim.Engine.result * Oracle.finding list, error) result
+(** Deterministically executes the case (with tracing, so the
+    trace-metrics oracle applies) and judges it against every applicable
+    oracle. *)
+
+val findings : t -> Oracle.finding list
+(** [findings c] = oracle findings of [run c], [[]] if the case itself is
+    invalid. The shrinker's re-check predicate. *)
+
+val rule_to_string : Ftc_sim.Adversary.drop_rule -> string
+(** ["drop-all"], ["drop-none"], ["drop-random <p>"], ["keep-prefix <k>"]
+    — the replay-file spelling. *)
+
+val pp : Format.formatter -> t -> unit

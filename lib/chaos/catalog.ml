@@ -1,0 +1,122 @@
+type kind = Election | Agreement
+
+type input_kind = No_inputs | Bits | Values of int
+
+type entry = {
+  name : string;
+  make : unit -> (module Ftc_sim.Protocol.S);
+  kind : kind;
+  explicit : bool;
+  inputs : input_kind;
+  crash_tolerant : bool;
+  quiesces : bool;
+}
+
+let params = Ftc_core.Params.default
+
+let all =
+  [
+    {
+      name = "ft-leader-election";
+      make = (fun () -> Ftc_core.Leader_election.make params);
+      kind = Election;
+      explicit = false;
+      inputs = No_inputs;
+      crash_tolerant = true;
+      quiesces = true;
+    };
+    {
+      name = "ft-leader-election-explicit";
+      make = (fun () -> Ftc_core.Leader_election.make ~explicit:true params);
+      kind = Election;
+      explicit = true;
+      inputs = No_inputs;
+      crash_tolerant = true;
+      quiesces = true;
+    };
+    {
+      name = "ft-agreement";
+      make = (fun () -> Ftc_core.Agreement.make params);
+      kind = Agreement;
+      explicit = false;
+      inputs = Bits;
+      crash_tolerant = true;
+      quiesces = true;
+    };
+    {
+      name = "ft-agreement-explicit";
+      make = (fun () -> Ftc_core.Agreement.make ~explicit:true params);
+      kind = Agreement;
+      explicit = true;
+      inputs = Bits;
+      crash_tolerant = true;
+      quiesces = true;
+    };
+    {
+      name = "ft-min-agreement";
+      make = (fun () -> Ftc_core.Min_agreement.make params);
+      kind = Agreement;
+      explicit = false;
+      inputs = Values 50;
+      crash_tolerant = true;
+      quiesces = true;
+    };
+    {
+      name = "floodset";
+      make = (fun () -> Ftc_baselines.Floodset.make ());
+      kind = Agreement;
+      explicit = true;
+      inputs = Bits;
+      crash_tolerant = true;
+      quiesces = true;
+    };
+    {
+      name = "rotating-coordinator";
+      make = (fun () -> Ftc_baselines.Rotating.make ());
+      kind = Agreement;
+      explicit = true;
+      inputs = Bits;
+      crash_tolerant = true;
+      quiesces = true;
+    };
+    {
+      name = "push-gossip";
+      make = (fun () -> Ftc_baselines.Gossip.make ());
+      kind = Agreement;
+      explicit = true;
+      inputs = Bits;
+      crash_tolerant = false;
+      quiesces = true;
+    };
+    {
+      name = "tree-agreement";
+      make = (fun () -> Ftc_baselines.Tree_agreement.make ());
+      kind = Agreement;
+      explicit = true;
+      inputs = Bits;
+      crash_tolerant = false;
+      quiesces = true;
+    };
+    {
+      name = "kutten-leader-election";
+      make = (fun () -> Ftc_baselines.Kutten_le.make ());
+      kind = Election;
+      explicit = false;
+      inputs = No_inputs;
+      crash_tolerant = false;
+      quiesces = true;
+    };
+    {
+      name = "amp-agreement";
+      make = (fun () -> Ftc_baselines.Amp_agreement.make ());
+      kind = Agreement;
+      explicit = false;
+      inputs = Bits;
+      crash_tolerant = false;
+      quiesces = true;
+    };
+  ]
+
+let find name = List.find_opt (fun e -> e.name = name) all
+
+let names () = List.map (fun e -> e.name) all

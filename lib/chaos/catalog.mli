@@ -1,0 +1,36 @@
+(** The protocols the chaos fuzzer sweeps, with the metadata the oracles
+    need to judge them fairly.
+
+    Every protocol in the repository is registered, but the fuzzer only
+    feeds generated crash plans to the [crash_tolerant] ones: the
+    fault-free baselines (Kutten et al. leader election, AMP agreement,
+    push-gossip, tree-agreement) have {e documented} failure modes under
+    crashes — T1 measures those rates — so fuzzing them with faults would
+    only rediscover known behaviour. They are still fuzzed fault-free,
+    where their guarantees must hold, and still run through the
+    model/CONGEST/trace oracles. *)
+
+type kind = Election | Agreement
+
+type input_kind =
+  | No_inputs  (** Election protocols: inputs are ignored (all zero). *)
+  | Bits  (** Binary agreement: inputs drawn from {0, 1}. *)
+  | Values of int  (** Multi-valued agreement: inputs uniform on [0, bound]. *)
+
+type entry = {
+  name : string;  (** Stable id, used in replay files. *)
+  make : unit -> (module Ftc_sim.Protocol.S);
+  kind : kind;
+  explicit : bool;  (** Hold the protocol to the explicit variant's oracle. *)
+  inputs : input_kind;
+  crash_tolerant : bool;  (** Fuzz with generated crash plans. *)
+  quiesces : bool;
+      (** The protocol is expected to stop sending before its calendar
+          runs out; when set, [timed_out] is a violation. *)
+}
+
+val all : entry list
+
+val find : string -> entry option
+
+val names : unit -> string list

@@ -1,0 +1,108 @@
+module Engine = Ftc_sim.Engine
+module Adversary = Ftc_sim.Adversary
+module Rng = Ftc_rng.Rng
+module Dist = Ftc_rng.Dist
+
+type config = {
+  budget : int;
+  seed : int;
+  protocols : string list option;
+  n_min : int;
+  n_max : int;
+}
+
+let default_config = { budget = 100; seed = 1; protocols = None; n_min = 32; n_max = 96 }
+
+type failure = {
+  case : Case.t;
+  findings : Oracle.finding list;
+  shrunk : Case.t;
+  shrunk_findings : Oracle.finding list;
+  shrink_attempts : int;
+}
+
+type report = { cases_run : int; failure : failure option }
+
+let gen_rule rng =
+  match Rng.int rng 4 with
+  | 0 -> Adversary.Drop_all
+  | 1 -> Adversary.Drop_none
+  | 2 -> Adversary.Drop_random (Rng.float rng)
+  | _ -> Adversary.Keep_prefix (Rng.int rng 4)
+
+let gen_inputs rng (entry : Catalog.entry) ~n =
+  match entry.inputs with
+  | Catalog.No_inputs -> Array.make n 0
+  | Catalog.Bits -> Array.init n (fun _ -> if Rng.bool rng then 1 else 0)
+  | Catalog.Values bound -> Array.init n (fun _ -> Rng.int rng (bound + 1))
+
+let gen_plan rng (entry : Catalog.entry) ~n ~alpha =
+  if not entry.crash_tolerant then []
+  else begin
+    let f = Engine.max_faulty ~n ~alpha in
+    if f = 0 then []
+    else begin
+      let (module P : Ftc_sim.Protocol.S) = entry.make () in
+      let max_round = P.max_rounds ~n ~alpha - 1 in
+      (* Crashes late in a long calendar are no-ops; bias towards the
+         active early window without excluding the tail entirely. *)
+      let horizon = min max_round (if Rng.int rng 4 = 0 then max_round else 48) in
+      let k = Rng.int rng (f + 1) in
+      Dist.sample_without_replacement rng ~n ~k
+      |> Array.to_list
+      |> List.map (fun v -> (v, Rng.int rng (horizon + 1), gen_rule rng))
+    end
+  end
+
+let gen_case rng (entry : Catalog.entry) ~n_min ~n_max =
+  let n = Rng.int_in rng n_min n_max in
+  let alpha = 0.5 +. (0.1 *. float_of_int (Rng.int rng 5)) in
+  let seed = Rng.int rng 1_000_000_000 in
+  let inputs = gen_inputs rng entry ~n in
+  let plan = gen_plan rng entry ~n ~alpha in
+  { Case.protocol = entry.name; n; alpha; seed; inputs; plan }
+
+let shrink_failure ?(n_floor = default_config.n_min) case findings =
+  let still_fails c = Oracle.same_oracle findings (Case.findings c) in
+  let shrunk, stats = Shrink.shrink ~n_floor ~still_fails case in
+  {
+    case;
+    findings;
+    shrunk;
+    shrunk_findings = Case.findings shrunk;
+    shrink_attempts = stats.Shrink.attempts;
+  }
+
+let run ?(log = ignore) config =
+  let entries =
+    match config.protocols with
+    | None -> Catalog.all
+    | Some names -> List.filter (fun (e : Catalog.entry) -> List.mem e.name names) Catalog.all
+  in
+  if entries = [] then invalid_arg "Fuzz.run: no protocols selected";
+  let rng = Rng.create config.seed in
+  let entries = Array.of_list entries in
+  let rec go i =
+    if i >= config.budget then { cases_run = i; failure = None }
+    else begin
+      let entry = entries.(i mod Array.length entries) in
+      let case = gen_case rng entry ~n_min:config.n_min ~n_max:config.n_max in
+      match Case.run case with
+      | Error e ->
+          (* Generated cases are valid by construction; treat this as a
+             generator bug and surface it loudly. *)
+          invalid_arg ("Fuzz.run: generated an invalid case: " ^ Case.error_to_string e)
+      | Ok (_, []) ->
+          if (i + 1) mod 25 = 0 then log (Printf.sprintf "%d/%d cases clean" (i + 1) config.budget);
+          go (i + 1)
+      | Ok (_, findings) ->
+          log
+            (Format.asprintf "case %d FAILED: %a — %s" i Case.pp case
+               (String.concat "; "
+                  (List.map (Format.asprintf "%a" Oracle.pp) findings)));
+          log "shrinking...";
+          let failure = shrink_failure ~n_floor:config.n_min case findings in
+          { cases_run = i + 1; failure = Some failure }
+    end
+  in
+  go 0

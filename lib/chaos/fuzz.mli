@@ -1,0 +1,46 @@
+(** The adversary fuzzer: sweeps generated crash schedules, inputs and
+    seeds across every registered protocol, judges each run with the
+    {!Oracle} layer, and shrinks the first failure to a minimal
+    reproducer.
+
+    The whole sweep is a deterministic function of [config.seed]: case
+    [i] of a given budget is always the same case, so a CI failure is
+    reproducible locally by seed alone even before the replay file is
+    examined. *)
+
+type config = {
+  budget : int;  (** Total number of fuzz cases across all protocols. *)
+  seed : int;
+  protocols : string list option;  (** Restrict to these catalog names. *)
+  n_min : int;
+  n_max : int;
+}
+
+val default_config : config
+(** budget 100, seed 1, every protocol, n in [32, 96]. *)
+
+type failure = {
+  case : Case.t;  (** The original failing case. *)
+  findings : Oracle.finding list;
+  shrunk : Case.t;  (** Minimal case still failing the same oracle. *)
+  shrunk_findings : Oracle.finding list;
+  shrink_attempts : int;
+}
+
+type report = { cases_run : int; failure : failure option }
+
+val gen_case : Ftc_rng.Rng.t -> Catalog.entry -> n_min:int -> n_max:int -> Case.t
+(** One random case: n, alpha in [0.5, 0.9], fresh seed, inputs matching
+    the protocol's input kind, and — for crash-tolerant protocols — a
+    random crash plan within the fault budget ([[]] for the fault-free
+    baselines). Exposed for tests. *)
+
+val shrink_failure : ?n_floor:int -> Case.t -> Oracle.finding list -> failure
+(** Shrink a known-failing case against {!Oracle.same_oracle}. [n_floor]
+    (default [default_config.n_min]) keeps the reducer inside the fuzzed
+    network-size regime, where the w.h.p. oracles are meaningful. *)
+
+val run : ?log:(string -> unit) -> config -> report
+(** Stops at the first failing case (after shrinking it); [failure =
+    None] means every case came back clean. Raises [Invalid_argument] if
+    [protocols] selects nothing. *)

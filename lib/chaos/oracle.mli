@@ -1,0 +1,33 @@
+(** The property-oracle layer: post-run safety checks a chaos case must
+    pass.
+
+    Five oracle families, each with a stable id used in replay files:
+
+    - ["model"] — the engine reported no {!Ftc_sim.Violation.t};
+    - ["congest"] — no per-edge-per-round CONGEST budget violation;
+    - ["termination"] — the run did not exhaust its round budget with
+      messages in flight (only for protocols that promise quiescence);
+    - ["trace-metrics"] — the trace and the metrics describe the same
+      execution: send/drop/bit/crash counts agree;
+    - ["election"] / ["election-explicit"] / ["agreement"] /
+      ["agreement-explicit"] — the problem specification (Definitions 1
+      and 2 of the paper) via {!Ftc_core.Properties}.
+
+    The correctness oracles are with-high-probability statements, so a
+    finding is not automatically a code bug — but it is always worth a
+    look, and because a case is a pure function of its seed, every
+    finding is replayable and shrinkable. *)
+
+type finding = { oracle : string; detail : string }
+
+val check :
+  Catalog.entry -> inputs:int array -> Ftc_sim.Engine.result -> finding list
+(** All applicable oracles, in a deterministic order; [[]] = clean run.
+    The trace oracle only fires when the run recorded a trace. *)
+
+val pp : Format.formatter -> finding -> unit
+
+val same_oracle : finding list -> finding list -> bool
+(** [same_oracle original now]: does [now] reproduce at least one oracle
+    id of [original]? The shrinker's notion of "still fails the same
+    way". *)

@@ -1,0 +1,121 @@
+module Adversary = Ftc_sim.Adversary
+
+let magic = "ftc-chaos-replay"
+let version = 1
+
+let to_string ?(expect = []) (case : Case.t) =
+  let b = Buffer.create 256 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
+  line "%s %d" magic version;
+  line "protocol %s" case.protocol;
+  line "n %d" case.n;
+  line "alpha %.17g" case.alpha;
+  line "seed %d" case.seed;
+  line "inputs %s"
+    (String.concat " " (Array.to_list (Array.map string_of_int case.inputs)));
+  List.iter
+    (fun (v, r, rule) -> line "crash %d %d %s" v r (Case.rule_to_string rule))
+    case.plan;
+  List.iter (fun o -> line "expect %s" o) expect;
+  Buffer.contents b
+
+let rule_of_tokens = function
+  | [ "drop-all" ] -> Ok Adversary.Drop_all
+  | [ "drop-none" ] -> Ok Adversary.Drop_none
+  | [ "drop-random"; p ] -> (
+      match float_of_string_opt p with
+      | Some p -> Ok (Adversary.Drop_random p)
+      | None -> Error ("bad drop-random probability: " ^ p))
+  | [ "keep-prefix"; k ] -> (
+      match int_of_string_opt k with
+      | Some k -> Ok (Adversary.Keep_prefix k)
+      | None -> Error ("bad keep-prefix count: " ^ k))
+  | toks -> Error ("unknown drop rule: " ^ String.concat " " toks)
+
+let of_string s =
+  let lines =
+    String.split_on_char '\n' s
+    |> List.map String.trim
+    |> List.filter (fun l -> l <> "" && not (String.length l > 0 && l.[0] = '#'))
+  in
+  let protocol = ref None
+  and n = ref None
+  and alpha = ref None
+  and seed = ref None
+  and inputs = ref None
+  and plan = ref []
+  and expect = ref [] in
+  let int_field name v store =
+    match int_of_string_opt v with
+    | Some i ->
+        store := Some i;
+        Ok ()
+    | None -> Error (Printf.sprintf "bad %s: %s" name v)
+  in
+  let parse_line l =
+    match String.split_on_char ' ' l |> List.filter (fun t -> t <> "") with
+    | m :: v :: _ when m = magic ->
+        if int_of_string_opt v = Some version then Ok ()
+        else Error ("unsupported replay version " ^ v)
+    | [ "protocol"; p ] ->
+        protocol := Some p;
+        Ok ()
+    | [ "n"; v ] -> int_field "n" v n
+    | [ "seed"; v ] -> int_field "seed" v seed
+    | [ "alpha"; v ] -> (
+        match float_of_string_opt v with
+        | Some a ->
+            alpha := Some a;
+            Ok ()
+        | None -> Error ("bad alpha: " ^ v))
+    | "inputs" :: vals -> (
+        match List.map int_of_string_opt vals with
+        | parsed when List.for_all Option.is_some parsed ->
+            inputs := Some (Array.of_list (List.map Option.get parsed));
+            Ok ()
+        | _ -> Error ("bad inputs line: " ^ l))
+    | "crash" :: v :: r :: rule_toks -> (
+        match (int_of_string_opt v, int_of_string_opt r, rule_of_tokens rule_toks) with
+        | Some v, Some r, Ok rule ->
+            plan := (v, r, rule) :: !plan;
+            Ok ()
+        | _, _, Error e -> Error e
+        | _ -> Error ("bad crash line: " ^ l))
+    | [ "expect"; o ] ->
+        expect := o :: !expect;
+        Ok ()
+    | _ -> Error ("unrecognised line: " ^ l)
+  in
+  let rec go = function
+    | [] -> Ok ()
+    | l :: rest -> ( match parse_line l with Ok () -> go rest | Error _ as e -> e)
+  in
+  match lines with
+  | [] -> Error "empty replay file"
+  | first :: _ when not (String.length first >= String.length magic
+                         && String.sub first 0 (String.length magic) = magic) ->
+      Error (Printf.sprintf "not a %s file" magic)
+  | _ -> (
+      match go lines with
+      | Error _ as e -> e
+      | Ok () -> (
+          match (!protocol, !n, !alpha, !seed) with
+          | Some protocol, Some n, Some alpha, Some seed ->
+              let inputs = match !inputs with Some a -> a | None -> Array.make n 0 in
+              Ok
+                ( { Case.protocol; n; alpha; seed; inputs; plan = List.rev !plan },
+                  List.rev !expect )
+          | _ -> Error "missing protocol/n/alpha/seed header"))
+
+let save ?expect path case =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string ?expect case))
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+  |> of_string

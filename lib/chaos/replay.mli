@@ -1,0 +1,30 @@
+(** Replay files: a failing case serialized to a small, human-editable
+    text format, loadable by [ftc replay].
+
+    Format (one item per line, [#] comments and blank lines ignored):
+    {v
+    ftc-chaos-replay 1
+    protocol ft-agreement
+    n 64
+    alpha 0.69999999999999996
+    seed 123456789
+    inputs 0 1 1 0 ...
+    crash <node> <round> drop-all|drop-none|drop-random <p>|keep-prefix <k>
+    expect <oracle-id>
+    v}
+
+    [expect] lines record which oracle(s) the case violated when it was
+    saved, so a replay can report whether the failure still reproduces.
+    Alpha is printed with 17 significant digits, so the parsed case is
+    bit-identical to the saved one and the replay is exact. *)
+
+val to_string : ?expect:string list -> Case.t -> string
+
+val of_string : string -> (Case.t * string list, string) result
+(** Returns the case and its expected oracle ids. *)
+
+val save : ?expect:string list -> string -> Case.t -> unit
+(** [save path case] writes the replay file; raises [Sys_error] on IO
+    failure. *)
+
+val load : string -> (Case.t * string list, string) result

@@ -1,0 +1,113 @@
+type stats = { attempts : int }
+
+(* Remove [size]-wide windows of plan entries, left to right, keeping any
+   removal under which the case still fails. *)
+let remove_pass check case size =
+  let changed = ref false in
+  let cur = ref case in
+  let i = ref 0 in
+  let len () = List.length (!cur).Case.plan in
+  while !i < len () do
+    let keep = List.filteri (fun j _ -> j < !i || j >= !i + size) (!cur).Case.plan in
+    if List.length keep < len () && check { !cur with Case.plan = keep } then begin
+      cur := { !cur with Case.plan = keep };
+      changed := true
+      (* do not advance: the window now covers fresh entries *)
+    end
+    else incr i
+  done;
+  (!cur, !changed)
+
+let drop_entries check case =
+  let changed = ref false in
+  let cur = ref case in
+  let size = ref (max 1 (List.length case.Case.plan / 2)) in
+  while !size >= 1 do
+    let c, ch = remove_pass check !cur !size in
+    cur := c;
+    if ch then changed := true;
+    size := (if !size = 1 then 0 else !size / 2)
+  done;
+  (!cur, !changed)
+
+(* Try smaller networks, smallest first. Inputs are truncated; plan
+   entries addressing removed nodes are dropped, but only if dropping
+   them alone keeps the failure (otherwise the semantics changed too
+   much and the candidate simply fails the check). *)
+let reduce_n ~n_floor check case =
+  let shrink_to n' =
+    {
+      case with
+      Case.n = n';
+      inputs = Array.sub case.Case.inputs 0 n';
+      plan = List.filter (fun (v, _, _) -> v < n') case.Case.plan;
+    }
+  in
+  let candidates =
+    List.filter
+      (fun n' -> n' >= max 2 n_floor && n' < case.Case.n)
+      [ 2; 4; 8; 16; 24; 32; 48; 64; case.Case.n / 2; case.Case.n * 3 / 4; case.Case.n - 1 ]
+    |> List.sort_uniq compare
+  in
+  let rec first = function
+    | [] -> (case, false)
+    | n' :: rest ->
+        let cand = shrink_to n' in
+        if check cand then (cand, true) else first rest
+  in
+  first candidates
+
+(* Pull every crash earlier: for each entry try round 0, then halvings. *)
+let reduce_rounds check case =
+  let changed = ref false in
+  let cur = ref case in
+  let entry_count = List.length case.Case.plan in
+  for idx = 0 to entry_count - 1 do
+    let try_round r' =
+      let plan' =
+        List.mapi
+          (fun j (v, r, rule) -> if j = idx then (v, r', rule) else (v, r, rule))
+          (!cur).Case.plan
+      in
+      let cand = { !cur with Case.plan = plan' } in
+      if check cand then begin
+        cur := cand;
+        changed := true;
+        true
+      end
+      else false
+    in
+    match List.nth_opt (!cur).Case.plan idx with
+    | None -> ()
+    | Some (_, r, _) ->
+        if r > 0 && not (try_round 0) then begin
+          let r' = ref (r / 2) in
+          let continue_ = ref true in
+          while !continue_ && !r' > 0 && !r' < r do
+            if try_round !r' then continue_ := false else r' := (!r' + r) / 2;
+            if !r' >= r then continue_ := false
+          done
+        end
+  done;
+  (!cur, !changed)
+
+let shrink ?(max_attempts = 500) ?(n_floor = 2) ~still_fails case =
+  let attempts = ref 0 in
+  let check c =
+    if !attempts >= max_attempts then false
+    else begin
+      incr attempts;
+      still_fails c
+    end
+  in
+  let rec fix case rounds_left =
+    if rounds_left = 0 then case
+    else begin
+      let c, ch1 = drop_entries check case in
+      let c, ch2 = reduce_n ~n_floor check c in
+      let c, ch3 = reduce_rounds check c in
+      if ch1 || ch2 || ch3 then fix c (rounds_left - 1) else c
+    end
+  in
+  let shrunk = fix case 8 in
+  (shrunk, { attempts = !attempts })

@@ -1,0 +1,32 @@
+(** Counterexample shrinking by delta-debugging over the crash plan.
+
+    Given a failing case and a predicate [still_fails] (typically "the
+    re-run reproduces at least one of the original oracle findings", see
+    {!Oracle.same_oracle}), greedily minimise along three axes, repeated
+    to a fixpoint:
+
+    - {b drop schedule entries} — windows of decreasing size, then
+      singletons, so irrelevant crashes vanish fast;
+    - {b reduce n} — smallest candidate network first, truncating inputs
+      and discarding plan entries that address removed nodes. Never goes
+      below [n_floor]: the oracles encode w.h.p. guarantees, so below the
+      fuzzed network sizes a "failure" can be intrinsic to the protocol
+      at tiny n rather than related to the original counterexample;
+    - {b earlier rounds} — each surviving crash is pulled towards round
+      0, binary-searching downwards.
+
+    Every candidate is checked by a full deterministic re-run, so the
+    result is always a genuine reproducer, never an extrapolation. *)
+
+type stats = { attempts : int }
+
+val shrink :
+  ?max_attempts:int ->
+  ?n_floor:int ->
+  still_fails:(Case.t -> bool) ->
+  Case.t ->
+  Case.t * stats
+(** [shrink ~still_fails case] assumes [still_fails case = true] and
+    returns a case on which it still holds. [max_attempts] (default 500)
+    bounds the number of re-runs; [n_floor] (default 2) bounds the
+    network reduction from below. *)

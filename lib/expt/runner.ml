@@ -27,6 +27,24 @@ let default_spec protocol ~n ~alpha =
 
 type outcome = { result : Engine.result; inputs_used : int array; seed : int }
 
+exception
+  Model_violation of {
+    protocol : string;
+    n : int;
+    alpha : float;
+    seed : int;
+    violations : Ftc_sim.Violation.t list;
+  }
+
+let () =
+  Printexc.register_printer (function
+    | Model_violation { protocol; n; alpha; seed; violations } ->
+        Some
+          (Printf.sprintf "model violations in %s (n=%d alpha=%.2f seed=%d):\n  %s" protocol n
+             alpha seed
+             (String.concat "\n  " (List.map Ftc_sim.Violation.to_string violations)))
+    | _ -> None)
+
 let materialize_inputs spec ~seed =
   match spec.inputs with
   | Zeros -> Array.make spec.n 0
@@ -55,15 +73,21 @@ let run spec ~seed =
     }
   in
   let result = E.run cfg in
-  (match result.errors with
-  | [] -> ()
-  | e :: _ ->
-      failwith
-        (Printf.sprintf "model violation in %s (n=%d alpha=%.2f seed=%d): %s" P.name spec.n
-           spec.alpha seed e));
   { result; inputs_used = inputs; seed }
 
-let run_many spec ~seeds = List.map (fun seed -> run spec ~seed) seeds
+let violations o = o.result.Engine.violations
+
+let run_exn spec ~seed =
+  let o = run spec ~seed in
+  (match violations o with
+  | [] -> ()
+  | vs ->
+      let (module P : Ftc_sim.Protocol.S) = spec.protocol in
+      raise
+        (Model_violation { protocol = P.name; n = spec.n; alpha = spec.alpha; seed; violations = vs }));
+  o
+
+let run_many spec ~seeds = List.map (fun seed -> run_exn spec ~seed) seeds
 
 type aggregate = {
   trials : int;

@@ -26,12 +26,30 @@ type outcome = {
   seed : int;
 }
 
+exception
+  Model_violation of {
+    protocol : string;
+    n : int;
+    alpha : float;
+    seed : int;
+    violations : Ftc_sim.Violation.t list;
+  }
+(** Raised by {!run_exn}; carries {e every} violation of the run, not just
+    the first. A printer is registered, so an uncaught one reads well. *)
+
 val run : spec -> seed:int -> outcome
 (** Input generation is seeded by [seed], so an outcome is reproducible
-    from [(spec, seed)] alone. Raises [Failure] if the engine reports
-    model violations — experiments must be model-clean. *)
+    from [(spec, seed)] alone. Never raises on model violations — inspect
+    {!violations} (the chaos harness treats them as findings). *)
+
+val violations : outcome -> Ftc_sim.Violation.t list
+
+val run_exn : spec -> seed:int -> outcome
+(** As {!run}, but raises {!Model_violation} when the engine reported any
+    violation — experiments must be model-clean. *)
 
 val run_many : spec -> seeds:int list -> outcome list
+(** Runs every seed through {!run_exn}. *)
 
 type aggregate = {
   trials : int;

@@ -103,11 +103,63 @@ let silence_candidates () =
           view.Adversary.alive_faulty);
   }
 
+let check_entry (v, r, rule) =
+  if v < 0 then Error (Printf.sprintf "negative node %d" v)
+  else if r < 0 then Error (Printf.sprintf "node %d: negative round %d" v r)
+  else
+    match rule with
+    | Adversary.Drop_all | Adversary.Drop_none -> Ok ()
+    | Adversary.Drop_random p ->
+        if p < 0. || p > 1. then
+          Error (Printf.sprintf "node %d: Drop_random probability %g outside [0,1]" v p)
+        else Ok ()
+    | Adversary.Keep_prefix k ->
+        if k < 0 then Error (Printf.sprintf "node %d: negative Keep_prefix %d" v k) else Ok ()
+
+let plan_nodes plan = List.sort_uniq compare (List.map (fun (v, _, _) -> v) plan)
+
+let check_structure plan =
+  let rec first_error = function
+    | [] -> Ok ()
+    | e :: rest -> ( match check_entry e with Error _ as err -> err | Ok () -> first_error rest)
+  in
+  match first_error plan with
+  | Error _ as err -> err
+  | Ok () ->
+      let nodes = List.map (fun (v, _, _) -> v) plan in
+      if List.length (List.sort_uniq compare nodes) <> List.length nodes then
+        Error "a node is scheduled to crash more than once"
+      else Ok ()
+
+let validate_plan ~n ~f ~max_round plan =
+  match check_structure plan with
+  | Error _ as err -> err
+  | Ok () ->
+      let nodes = plan_nodes plan in
+      if List.exists (fun v -> v >= n) nodes then
+        Error (Printf.sprintf "plan crashes node >= n = %d" n)
+      else if List.length nodes > f then
+        Error
+          (Printf.sprintf "plan crashes %d nodes, fault budget is %d" (List.length nodes) f)
+      else if List.exists (fun (_, r, _) -> r > max_round) plan then
+        Error (Printf.sprintf "plan schedules a crash after round %d" max_round)
+      else Ok ()
+
 let scheduled plan () =
-  let nodes = List.sort_uniq compare (List.map (fun (v, _, _) -> v) plan) in
+  (match check_structure plan with
+  | Ok () -> ()
+  | Error e -> invalid_arg ("Strategy.scheduled: " ^ e));
+  let nodes = plan_nodes plan in
   {
     Adversary.name = "scheduled";
-    pick_faulty = (fun _ ~n:_ ~f:_ -> nodes);
+    pick_faulty =
+      (fun _ ~n ~f ->
+        (* n and f are only known here; failing loudly beats surfacing
+           budget overruns as accumulated engine violations. *)
+        (match validate_plan ~n ~f ~max_round:max_int plan with
+        | Ok () -> ()
+        | Error e -> invalid_arg ("Strategy.scheduled: " ^ e));
+        nodes);
     decide_crashes =
       (fun _ view ->
         List.filter_map

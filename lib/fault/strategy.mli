@@ -45,11 +45,28 @@ val silence_candidates : unit -> Ftc_sim.Adversary.t
     is visible, losing everything it was about to send. Stresses Lemma 2:
     the candidate set must still contain a non-faulty node w.h.p. *)
 
+val validate_plan :
+  n:int ->
+  f:int ->
+  max_round:int ->
+  (int * int * Ftc_sim.Adversary.drop_rule) list ->
+  (unit, string) result
+(** Full validation of a crash plan against a concrete run shape: node ids
+    in [0, n), at most [f] distinct crashed nodes, every crash round
+    [<= max_round], plus the structural checks of {!scheduled}. *)
+
 val scheduled :
   (int * int * Ftc_sim.Adversary.drop_rule) list -> unit -> Ftc_sim.Adversary.t
 (** [scheduled plan ()] crashes node [v] at round [r] with rule [rule] for
     every [(v, r, rule)] in [plan]; the faulty set is exactly the planned
-    nodes. Deterministic; for unit tests. *)
+    nodes. Deterministic; for unit tests and the chaos fuzzer.
+
+    Structural validity (non-negative nodes and rounds, probabilities in
+    [0,1], no node crashing twice) is checked here, at construction, and
+    raises [Invalid_argument]. The parts that need the run shape — node
+    ids below [n], fault budget [f] — are checked when the engine first
+    asks for the faulty set, again raising [Invalid_argument] instead of
+    surfacing budget overruns as runtime engine violations. *)
 
 val all : unit -> (string * (unit -> Ftc_sim.Adversary.t)) list
 (** Every named strategy above (except [scheduled]), for sweep drivers. *)

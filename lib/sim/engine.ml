@@ -18,9 +18,10 @@ type result = {
   crashed : bool array;
   crash_round : int array;
   rounds_used : int;
+  timed_out : bool;
   metrics : Metrics.t;
   trace : Trace.t option;
-  errors : string list;
+  violations : Violation.t list;
 }
 
 let default_config ~n ~alpha ~seed =
@@ -125,8 +126,8 @@ module Make (P : Protocol.S) = struct
     let node_rngs = Rng.split_n root n in
     let wiring_rng = Rng.split root in
     let adv_rng = Rng.split root in
-    let errors = ref [] in
-    let error fmt = Format.kasprintf (fun s -> errors := s :: !errors) fmt in
+    let violations = ref [] in
+    let violation v = violations := v :: !violations in
     let inputs =
       match config.inputs with
       | Some a ->
@@ -153,15 +154,15 @@ module Make (P : Protocol.S) = struct
     let chosen_count = ref 0 in
     List.iter
       (fun v ->
-        if v < 0 || v >= n then error "adversary picked out-of-range faulty node %d" v
-        else if faulty.(v) then error "adversary picked faulty node %d twice" v
+        if v < 0 || v >= n then violation (Violation.Faulty_pick_out_of_range { node = v })
+        else if faulty.(v) then violation (Violation.Faulty_pick_duplicate { node = v })
         else begin
           faulty.(v) <- true;
           incr chosen_count
         end)
       chosen;
     if !chosen_count > f_budget then
-      error "adversary picked %d faulty nodes, budget is %d" !chosen_count f_budget;
+      violation (Violation.Faulty_budget_exceeded { picked = !chosen_count; budget = f_budget });
     let crashed = Array.make n false in
     let crash_round = Array.make n (-1) in
     let alive i = not crashed.(i) in
@@ -194,15 +195,15 @@ module Make (P : Protocol.S) = struct
           match Hashtbl.find_opt ports.(src).peer_of_port p with
           | Some peer -> Some peer
           | None ->
-              error "node %d sent through unknown port %d" src p;
+              violation (Violation.Unknown_port { node = src; port = p });
               None)
       | Protocol.Node d ->
           if P.knowledge = `KT0 then begin
-            error "KT0 protocol %s used Node addressing" P.name;
+            violation (Violation.Kt0_node_addressing { node = src; protocol = P.name });
             None
           end
           else if d < 0 || d >= n || d = src then begin
-            error "node %d sent to invalid node %d" src d;
+            violation (Violation.Invalid_destination { node = src; dst = d });
             None
           end
           else Some d
@@ -210,6 +211,9 @@ module Make (P : Protocol.S) = struct
 
     let round = ref 0 in
     let finished = ref false in
+    let in_flight = ref false in
+    (* Sends of the most recent round: if the round budget runs out right
+       after a sending round, those messages sit in inboxes for ever. *)
     while (not !finished) && !round < max_rounds do
       let r = !round in
       (* 1. Step every live node on its inbox; collect sends. *)
@@ -270,9 +274,9 @@ module Make (P : Protocol.S) = struct
       let crash_orders = config.adversary.Adversary.decide_crashes adv_rng view in
       List.iter
         (fun (v, rule) ->
-          if v < 0 || v >= n then error "adversary crashed out-of-range node %d" v
-          else if not faulty.(v) then error "adversary crashed non-faulty node %d" v
-          else if crashed.(v) then error "adversary crashed node %d twice" v
+          if v < 0 || v >= n then violation (Violation.Crash_out_of_range { round = r; node = v })
+          else if not faulty.(v) then violation (Violation.Crash_non_faulty { round = r; node = v })
+          else if crashed.(v) then violation (Violation.Crash_duplicate { round = r; node = v })
           else begin
             crashed.(v) <- true;
             crash_round.(v) <- r;
@@ -300,6 +304,7 @@ module Make (P : Protocol.S) = struct
           end)
         sends;
       (* 5. Early stop: network quiescent and every live node has decided. *)
+      in_flight := sends <> [];
       if sends = [] then begin
         let all_decided = ref true in
         for i = 0 to n - 1 do
@@ -317,8 +322,9 @@ module Make (P : Protocol.S) = struct
       crashed;
       crash_round;
       rounds_used = !round;
+      timed_out = (not !finished) && !in_flight;
       metrics;
       trace;
-      errors = List.rev !errors;
+      violations = List.rev !violations;
     }
 end

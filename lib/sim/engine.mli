@@ -36,9 +36,16 @@ type result = {
   crashed : bool array;  (** Nodes that actually crashed. *)
   crash_round : int array;  (** Round of crash, or -1. *)
   rounds_used : int;
+  timed_out : bool;
+      (** The run exhausted [max_rounds] while messages were still in
+          flight: the final round's sends were delivered to inboxes that
+          no node will ever read. [false] both on early stop and when the
+          calendar ran out with a quiescent network (protocols that count
+          rounds down in silence, e.g. implicit agreement, are not timed
+          out). *)
   metrics : Metrics.t;
   trace : Trace.t option;
-  errors : string list;
+  violations : Violation.t list;
       (** Model violations (KT0 protocol used [Node] addressing, unknown
           port, adversary crashed a non-faulty node, ...). Empty in any
           correct setup; tests assert so. *)

@@ -1,0 +1,42 @@
+type t =
+  | Faulty_pick_out_of_range of { node : int }
+  | Faulty_pick_duplicate of { node : int }
+  | Faulty_budget_exceeded of { picked : int; budget : int }
+  | Unknown_port of { node : int; port : int }
+  | Kt0_node_addressing of { node : int; protocol : string }
+  | Invalid_destination of { node : int; dst : int }
+  | Crash_out_of_range of { round : int; node : int }
+  | Crash_non_faulty of { round : int; node : int }
+  | Crash_duplicate of { round : int; node : int }
+
+let category = function
+  | Faulty_pick_out_of_range _ -> "faulty-pick-out-of-range"
+  | Faulty_pick_duplicate _ -> "faulty-pick-duplicate"
+  | Faulty_budget_exceeded _ -> "faulty-budget-exceeded"
+  | Unknown_port _ -> "unknown-port"
+  | Kt0_node_addressing _ -> "kt0-node-addressing"
+  | Invalid_destination _ -> "invalid-destination"
+  | Crash_out_of_range _ -> "crash-out-of-range"
+  | Crash_non_faulty _ -> "crash-non-faulty"
+  | Crash_duplicate _ -> "crash-duplicate"
+
+let to_string = function
+  | Faulty_pick_out_of_range { node } ->
+      Printf.sprintf "adversary picked out-of-range faulty node %d" node
+  | Faulty_pick_duplicate { node } -> Printf.sprintf "adversary picked faulty node %d twice" node
+  | Faulty_budget_exceeded { picked; budget } ->
+      Printf.sprintf "adversary picked %d faulty nodes, budget is %d" picked budget
+  | Unknown_port { node; port } -> Printf.sprintf "node %d sent through unknown port %d" node port
+  | Kt0_node_addressing { node; protocol } ->
+      Printf.sprintf "KT0 protocol %s: node %d used Node addressing" protocol node
+  | Invalid_destination { node; dst } -> Printf.sprintf "node %d sent to invalid node %d" node dst
+  | Crash_out_of_range { round; node } ->
+      Printf.sprintf "adversary crashed out-of-range node %d at round %d" node round
+  | Crash_non_faulty { round; node } ->
+      Printf.sprintf "adversary crashed non-faulty node %d at round %d" node round
+  | Crash_duplicate { round; node } ->
+      Printf.sprintf "adversary crashed node %d twice (second order at round %d)" node round
+
+let equal (a : t) (b : t) = a = b
+
+let pp ppf v = Format.pp_print_string ppf (to_string v)

@@ -1,0 +1,35 @@
+(** Structured model violations reported by the engine.
+
+    A violation means the *setup* broke the model of Section II — a
+    protocol addressed a node it cannot know, an adversary crashed a node
+    outside its faulty set, or the faulty budget was exceeded. Violations
+    are never raised: the engine records every one it sees and finishes
+    the run, so a chaos/fuzz harness can report them all and shrink the
+    offending configuration (see [Ftc_chaos]). Any correct setup produces
+    the empty list, and the tier-1 tests assert so. *)
+
+type t =
+  | Faulty_pick_out_of_range of { node : int }
+      (** [pick_faulty] returned a node outside [0, n). *)
+  | Faulty_pick_duplicate of { node : int }  (** [pick_faulty] listed a node twice. *)
+  | Faulty_budget_exceeded of { picked : int; budget : int }
+      (** More faulty nodes than [Engine.max_faulty] allows. *)
+  | Unknown_port of { node : int; port : int }
+      (** A protocol sent through a port it never opened. *)
+  | Kt0_node_addressing of { node : int; protocol : string }
+      (** A KT0 protocol used [Protocol.Node] addressing. *)
+  | Invalid_destination of { node : int; dst : int }
+      (** [Protocol.Node dst] with [dst] out of range or self. *)
+  | Crash_out_of_range of { round : int; node : int }
+  | Crash_non_faulty of { round : int; node : int }
+      (** The adversary crashed a node it never declared faulty. *)
+  | Crash_duplicate of { round : int; node : int }
+
+val category : t -> string
+(** Stable kebab-case tag for grouping and for replay files. *)
+
+val to_string : t -> string
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

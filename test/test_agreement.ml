@@ -22,7 +22,8 @@ let run ?(explicit = false) ?(adversary = Ftc_fault.Strategy.none) ~n ~alpha ~se
         adversary = adversary ()
       }
   in
-  Alcotest.(check (list string)) "no model violations" [] r.errors;
+  Alcotest.(check (list string)) "no model violations" [] (List.map Ftc_sim.Violation.to_string r.violations);
+  Alcotest.(check bool) "run did not time out" false r.timed_out;
   r
 
 let random_inputs ~n ~seed p =

@@ -11,7 +11,7 @@ let run ~n ~alpha ~seed ~inputs =
   let (module P) = Probe.make Ftc_core.Params.default in
   let module E = Engine.Make (P) in
   let r = E.run { (Engine.default_config ~n ~alpha ~seed) with inputs = Some inputs } in
-  Alcotest.(check (list string)) "no model violations" [] r.errors;
+  Alcotest.(check (list string)) "no model violations" [] (List.map Ftc_sim.Violation.to_string r.violations);
   r
 
 let honest_zero_deciders inputs (r : Engine.result) =

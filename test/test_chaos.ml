@@ -1,0 +1,261 @@
+(* Tests for the chaos subsystem: scheduled-plan validation, the oracle
+   layer, trace/metrics consistency under every adversary, counterexample
+   shrinking, and replay round-tripping. *)
+
+module Engine = Ftc_sim.Engine
+module Decision = Ftc_sim.Decision
+module Adversary = Ftc_sim.Adversary
+module Trace = Ftc_sim.Trace
+module Strategy = Ftc_fault.Strategy
+module Chaos = Ftc_chaos
+module Case = Ftc_chaos.Case
+module Oracle = Ftc_chaos.Oracle
+
+(* -- scheduled plan validation -- *)
+
+let raises_invalid f =
+  match f () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument"
+
+let test_scheduled_rejects_structurally_bad_plans () =
+  raises_invalid (fun () ->
+      Strategy.scheduled [ (3, 2, Adversary.Drop_all); (3, 5, Adversary.Drop_none) ] ());
+  raises_invalid (fun () -> Strategy.scheduled [ (-1, 0, Adversary.Drop_all) ] ());
+  raises_invalid (fun () -> Strategy.scheduled [ (0, -2, Adversary.Drop_all) ] ());
+  raises_invalid (fun () -> Strategy.scheduled [ (0, 0, Adversary.Drop_random 1.5) ] ());
+  raises_invalid (fun () -> Strategy.scheduled [ (0, 0, Adversary.Keep_prefix (-1)) ] ())
+
+let test_scheduled_rejects_budget_at_pick_time () =
+  (* Structurally fine, but two crashes against a fault budget of one:
+     the failure must surface as Invalid_argument when the engine asks
+     for the faulty set, not as accumulated engine violations. *)
+  let adv = Strategy.scheduled [ (0, 0, Adversary.Drop_all); (1, 0, Adversary.Drop_all) ] () in
+  let rng = Ftc_rng.Rng.create 1 in
+  raises_invalid (fun () -> adv.Adversary.pick_faulty rng ~n:10 ~f:1);
+  (* Node id beyond n likewise. *)
+  let adv2 = Strategy.scheduled [ (12, 0, Adversary.Drop_all) ] () in
+  raises_invalid (fun () -> adv2.Adversary.pick_faulty rng ~n:10 ~f:5)
+
+let test_validate_plan () =
+  let plan = [ (3, 2, Adversary.Drop_all); (5, 4, Adversary.Keep_prefix 1) ] in
+  Alcotest.(check bool) "valid" true (Strategy.validate_plan ~n:10 ~f:2 ~max_round:10 plan = Ok ());
+  Alcotest.(check bool) "budget overrun caught" true
+    (Result.is_error (Strategy.validate_plan ~n:10 ~f:1 ~max_round:10 plan));
+  Alcotest.(check bool) "node out of range caught" true
+    (Result.is_error (Strategy.validate_plan ~n:5 ~f:4 ~max_round:10 plan));
+  Alcotest.(check bool) "round out of range caught" true
+    (Result.is_error (Strategy.validate_plan ~n:10 ~f:2 ~max_round:3 plan))
+
+(* -- trace/metrics consistency under every adversary -- *)
+
+let test_trace_metrics_every_adversary () =
+  List.iter
+    (fun (name, adv) ->
+      let (module P) = Ftc_core.Leader_election.make Ftc_core.Params.default in
+      let module E = Engine.Make (P) in
+      let r =
+        E.run
+          {
+            (Engine.default_config ~n:96 ~alpha:0.6 ~seed:17) with
+            adversary = adv ();
+            record_trace = true;
+          }
+      in
+      Alcotest.(check (list string))
+        (name ^ ": no model violations")
+        []
+        (List.map Ftc_sim.Violation.to_string r.violations);
+      match r.trace with
+      | None -> Alcotest.fail "trace missing"
+      | Some t ->
+          let sends = ref 0 and dropped = ref 0 and bits = ref 0 and delivered_bits = ref 0 in
+          List.iter
+            (function
+              | Trace.Send { bits = b; delivered; _ } ->
+                  incr sends;
+                  bits := !bits + b;
+                  if delivered then delivered_bits := !delivered_bits + b else incr dropped
+              | Trace.Crash _ -> ())
+            (Trace.events t);
+          Alcotest.(check int) (name ^ ": sends = msgs_sent") r.metrics.msgs_sent !sends;
+          Alcotest.(check int) (name ^ ": drops = msgs_dropped") r.metrics.msgs_dropped !dropped;
+          Alcotest.(check int) (name ^ ": bits = bits_sent") r.metrics.bits_sent !bits;
+          Alcotest.(check bool)
+            (name ^ ": delivered bits bounded by sent bits")
+            true
+            (!delivered_bits <= r.metrics.bits_sent))
+    (Strategy.all ())
+
+(* -- oracles -- *)
+
+let clean_case =
+  {
+    Case.protocol = "ft-leader-election";
+    n = 64;
+    alpha = 0.8;
+    seed = 5;
+    inputs = Array.make 64 0;
+    plan = [];
+  }
+
+let test_oracles_clean_on_good_run () =
+  match Case.run clean_case with
+  | Error e -> Alcotest.fail (Case.error_to_string e)
+  | Ok (r, findings) ->
+      Alcotest.(check int) "no findings"
+        0
+        (List.length findings);
+      Alcotest.(check bool) "did not time out" false r.Engine.timed_out
+
+let test_case_validation () =
+  let bad = { clean_case with Case.protocol = "no-such-protocol" } in
+  Alcotest.(check bool) "unknown protocol" true (Result.is_error (Case.run bad));
+  let bad = { clean_case with Case.inputs = [| 1 |] } in
+  Alcotest.(check bool) "inputs length" true (Result.is_error (Case.run bad));
+  let bad = { clean_case with Case.plan = [ (0, 0, Adversary.Drop_all) ] } in
+  (* alpha 0.8, n 64 -> budget 12; a single crash is fine, but node 64 is not. *)
+  Alcotest.(check bool) "single crash ok" true (Result.is_ok (Case.run bad));
+  let bad = { clean_case with Case.plan = [ (64, 0, Adversary.Drop_all) ] } in
+  Alcotest.(check bool) "node out of range" true (Result.is_error (Case.run bad))
+
+(* -- a seeded known-bad case: crash the fault-free leader of the
+      crash-intolerant Kutten et al. election -- *)
+
+let kutten_known_bad () =
+  let base =
+    {
+      Case.protocol = "kutten-leader-election";
+      n = 48;
+      alpha = 0.7;
+      seed = 42;
+      inputs = Array.make 48 0;
+      plan = [];
+    }
+  in
+  let leader =
+    match Case.run base with
+    | Error e -> Alcotest.fail (Case.error_to_string e)
+    | Ok (r, findings) ->
+        Alcotest.(check int) "fault-free run is clean" 0 (List.length findings);
+        let idx = ref None in
+        Array.iteri (fun i d -> if d = Decision.Elected then idx := Some i) r.Engine.decisions;
+        (match !idx with Some i -> i | None -> Alcotest.fail "no fault-free leader")
+  in
+  (* Crash the leader after it has registered with its referees (round 1)
+     and pad the plan with two irrelevant crashes the shrinker must
+     discard. *)
+  let junk = List.filter (fun v -> v <> leader) [ 0; 1; 2 ] in
+  let plan =
+    (leader, 1, Adversary.Drop_all)
+    :: List.map (fun v -> (v, 3, Adversary.Drop_none)) (List.filteri (fun i _ -> i < 2) junk)
+  in
+  (base, leader, { base with Case.plan })
+
+let test_known_bad_case_fails_election_oracle () =
+  let _, _, bad = kutten_known_bad () in
+  match Case.run bad with
+  | Error e -> Alcotest.fail (Case.error_to_string e)
+  | Ok (_, findings) ->
+      Alcotest.(check bool) "election oracle fires" true
+        (List.exists (fun f -> f.Oracle.oracle = "election") findings)
+
+let test_junk_entries_alone_are_harmless () =
+  let base, leader, bad = kutten_known_bad () in
+  let junk_only = List.filter (fun (v, _, _) -> v <> leader) bad.Case.plan in
+  match Case.run { base with Case.plan = junk_only } with
+  | Error e -> Alcotest.fail (Case.error_to_string e)
+  | Ok (_, findings) -> Alcotest.(check int) "no findings" 0 (List.length findings)
+
+let test_shrink_drops_junk_and_replay_roundtrips () =
+  let _, _, bad = kutten_known_bad () in
+  let findings = Case.findings bad in
+  Alcotest.(check bool) "known-bad fails" true (findings <> []);
+  let failure = Chaos.Fuzz.shrink_failure bad findings in
+  let shrunk = failure.Chaos.Fuzz.shrunk in
+  (* The two padding crashes are irrelevant, so the minimal plan is a
+     single entry (shrinking n may relocate the failure, but never needs
+     more crashes than the original). *)
+  Alcotest.(check int) "shrunk to a single crash" 1 (List.length shrunk.Case.plan);
+  Alcotest.(check bool) "shrunk case still fails the same oracle" true
+    (Oracle.same_oracle findings failure.Chaos.Fuzz.shrunk_findings);
+  Alcotest.(check bool) "shrunk n no larger" true (shrunk.Case.n <= bad.Case.n);
+  (* Replay round-trip: serialize, parse, compare, re-run. *)
+  let expect = List.sort_uniq compare (List.map (fun f -> f.Oracle.oracle) findings) in
+  let text = Chaos.Replay.to_string ~expect shrunk in
+  (match Chaos.Replay.of_string text with
+  | Error e -> Alcotest.fail e
+  | Ok (parsed, expect') ->
+      Alcotest.(check bool) "case round-trips" true (Case.equal shrunk parsed);
+      Alcotest.(check (list string)) "expectations round-trip" expect expect';
+      Alcotest.(check bool) "replayed case reproduces the violation" true
+        (Oracle.same_oracle findings (Case.findings parsed)));
+  (* And through an actual file. *)
+  let path = Filename.temp_file "chaos" ".ftc" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Chaos.Replay.save ~expect path shrunk;
+      match Chaos.Replay.load path with
+      | Error e -> Alcotest.fail e
+      | Ok (parsed, _) ->
+          Alcotest.(check bool) "file round-trips" true (Case.equal shrunk parsed))
+
+let test_replay_parser_rejects_garbage () =
+  Alcotest.(check bool) "garbage" true (Result.is_error (Chaos.Replay.of_string "hello\nworld"));
+  Alcotest.(check bool) "empty" true (Result.is_error (Chaos.Replay.of_string ""));
+  Alcotest.(check bool) "missing header" true
+    (Result.is_error (Chaos.Replay.of_string "ftc-chaos-replay 1\nprotocol ft-agreement\n"));
+  Alcotest.(check bool) "bad version" true
+    (Result.is_error (Chaos.Replay.of_string "ftc-chaos-replay 99\n"))
+
+(* -- the fuzzer -- *)
+
+let test_fuzz_deterministic_and_clean () =
+  let config = { Chaos.Fuzz.default_config with Chaos.Fuzz.budget = 22; seed = 1 } in
+  let a = Chaos.Fuzz.run config in
+  let b = Chaos.Fuzz.run config in
+  Alcotest.(check int) "cases run" a.Chaos.Fuzz.cases_run b.Chaos.Fuzz.cases_run;
+  Alcotest.(check bool) "22 cases over every protocol come back clean" true
+    (a.Chaos.Fuzz.failure = None && b.Chaos.Fuzz.failure = None)
+
+let test_gen_case_deterministic_and_valid () =
+  List.iter
+    (fun (entry : Chaos.Catalog.entry) ->
+      let g seed = Chaos.Fuzz.gen_case (Ftc_rng.Rng.create seed) entry ~n_min:16 ~n_max:48 in
+      Alcotest.(check bool) (entry.name ^ ": deterministic") true (Case.equal (g 9) (g 9));
+      let case = g 11 in
+      Alcotest.(check bool) (entry.name ^ ": valid") true (Result.is_ok (Case.validate case));
+      if not entry.crash_tolerant then
+        Alcotest.(check int) (entry.name ^ ": fault-free plan") 0 (List.length case.Case.plan))
+    Chaos.Catalog.all
+
+let () =
+  Alcotest.run "chaos"
+    [
+      ( "plan-validation",
+        [
+          Alcotest.test_case "structural rejects" `Quick test_scheduled_rejects_structurally_bad_plans;
+          Alcotest.test_case "budget at pick time" `Quick test_scheduled_rejects_budget_at_pick_time;
+          Alcotest.test_case "validate_plan" `Quick test_validate_plan;
+        ] );
+      ( "oracles",
+        [
+          Alcotest.test_case "clean run" `Quick test_oracles_clean_on_good_run;
+          Alcotest.test_case "case validation" `Quick test_case_validation;
+          Alcotest.test_case "trace/metrics every adversary" `Quick test_trace_metrics_every_adversary;
+        ] );
+      ( "shrink-replay",
+        [
+          Alcotest.test_case "known-bad fails" `Quick test_known_bad_case_fails_election_oracle;
+          Alcotest.test_case "junk alone harmless" `Quick test_junk_entries_alone_are_harmless;
+          Alcotest.test_case "shrink + replay round-trip" `Quick
+            test_shrink_drops_junk_and_replay_roundtrips;
+          Alcotest.test_case "parser rejects garbage" `Quick test_replay_parser_rejects_garbage;
+        ] );
+      ( "fuzzer",
+        [
+          Alcotest.test_case "deterministic + clean" `Slow test_fuzz_deterministic_and_clean;
+          Alcotest.test_case "gen_case" `Quick test_gen_case_deterministic_and_valid;
+        ] );
+    ]

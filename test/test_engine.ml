@@ -73,7 +73,7 @@ let test_ping_pong_roundtrip () =
   let inputs = Array.make n 0 in
   inputs.(3) <- fan;
   let r = E.run { (base_config ~n ()) with inputs = Some inputs } in
-  Alcotest.(check (list string)) "no errors" [] r.errors;
+  Alcotest.(check (list string)) "no errors" [] (List.map Ftc_sim.Violation.to_string r.violations);
   (* The pinger got exactly [fan] pongs, each on one of its fan ports. *)
   (match r.decisions.(3) with
   | Decision.Agreed v -> Alcotest.(check int) "pinger: 5 pongs, 0 pings" fan v
@@ -100,7 +100,7 @@ let test_fresh_ports_cover_everyone () =
   let inputs = Array.make n 0 in
   inputs.(0) <- n - 1;
   let r = E.run { (base_config ~n ()) with inputs = Some inputs } in
-  Alcotest.(check (list string)) "no errors" [] r.errors;
+  Alcotest.(check (list string)) "no errors" [] (List.map Ftc_sim.Violation.to_string r.violations);
   Array.iteri
     (fun i d ->
       if i <> 0 then
@@ -156,7 +156,7 @@ let run_beacon ~plan =
 
 let test_crash_drop_all () =
   let r = run_beacon ~plan:[ (7, 2, Adversary.Drop_all) ] in
-  Alcotest.(check (list string)) "no errors" [] r.errors;
+  Alcotest.(check (list string)) "no errors" [] (List.map Ftc_sim.Violation.to_string r.violations);
   Alcotest.(check bool) "crashed" true r.crashed.(7);
   Alcotest.(check int) "crash round recorded" 2 r.crash_round.(7);
   (* Rounds 0 (4 msgs), 1 (1 msg), 2 (1 msg, dropped); then silence. *)
@@ -179,6 +179,19 @@ let test_crash_drop_none () =
   let r = run_beacon ~plan:[ (7, 1, Adversary.Drop_none) ] in
   Alcotest.(check int) "rounds 0+1 sent" 5 r.metrics.msgs_sent;
   Alcotest.(check int) "nothing dropped" 0 r.metrics.msgs_dropped
+
+let test_timed_out_flag () =
+  (* The beacon still has a message in flight when its round budget runs
+     out, so the cut-off is real. *)
+  let r = run_beacon ~plan:[] in
+  Alcotest.(check bool) "beacon times out" true r.timed_out;
+  (* Ping-pong goes quiet after round 2 and decides inside the budget. *)
+  let module E = Engine.Make (Ping_pong) in
+  let n = 16 in
+  let inputs = Array.make n 0 in
+  inputs.(3) <- 2;
+  let r = E.run { (base_config ~n ()) with inputs = Some inputs } in
+  Alcotest.(check bool) "quiescent run does not" false r.timed_out
 
 let test_trace_records_crash_and_sends () =
   let r = run_beacon ~plan:[ (7, 2, Adversary.Drop_all) ] in
@@ -213,8 +226,10 @@ let test_adversary_cannot_crash_non_faulty () =
   let r =
     E.run { (base_config ~n ()) with alpha = 0.5; adversary = bad_adversary }
   in
-  Alcotest.(check bool) "error reported" true
-    (List.exists (fun e -> String.length e > 0) r.errors);
+  Alcotest.(check bool) "violation reported" true
+    (List.exists
+       (function Ftc_sim.Violation.Crash_non_faulty { node = 2; _ } -> true | _ -> false)
+       r.violations);
   Alcotest.(check bool) "node 2 not crashed" false r.crashed.(2)
 
 let test_adversary_budget_enforced () =
@@ -227,7 +242,10 @@ let test_adversary_budget_enforced () =
     }
   in
   let r = E.run { (base_config ~n:10 ()) with alpha = 0.5; adversary = greedy } in
-  Alcotest.(check bool) "over-budget faulty set reported" true (r.errors <> [])
+  Alcotest.(check bool) "over-budget faulty set reported" true
+    (List.exists
+       (function Ftc_sim.Violation.Faulty_budget_exceeded _ -> true | _ -> false)
+       r.violations)
 
 (* KT0 protocol that illegally addresses by node id. *)
 module Illegal_kt0 = struct
@@ -250,7 +268,10 @@ end
 let test_kt0_node_addressing_rejected () =
   let module E = Engine.Make (Illegal_kt0) in
   let r = E.run (base_config ~n:4 ()) in
-  Alcotest.(check bool) "violation reported" true (r.errors <> []);
+  Alcotest.(check bool) "violation reported" true
+    (List.exists
+       (function Ftc_sim.Violation.Kt0_node_addressing _ -> true | _ -> false)
+       r.violations);
   Alcotest.(check int) "nothing sent" 0 r.metrics.msgs_sent
 
 (* Protocol that sends through a port it never opened. *)
@@ -274,7 +295,10 @@ end
 let test_unknown_port_rejected () =
   let module E = Engine.Make (Bad_port) in
   let r = E.run (base_config ~n:4 ()) in
-  Alcotest.(check bool) "violation reported" true (r.errors <> []);
+  Alcotest.(check bool) "violation reported" true
+    (List.exists
+       (function Ftc_sim.Violation.Unknown_port { port = 99; _ } -> true | _ -> false)
+       r.violations);
   Alcotest.(check int) "nothing sent" 0 r.metrics.msgs_sent
 
 (* Oversized messages must trip the CONGEST accounting. *)
@@ -400,7 +424,7 @@ let test_port_stability_across_rounds () =
   let inputs = Array.make n 0 in
   inputs.(2) <- 1;
   let r = E.run { (base_config ~n ()) with inputs = Some inputs } in
-  Alcotest.(check (list string)) "no errors" [] r.errors;
+  Alcotest.(check (list string)) "no errors" [] (List.map Ftc_sim.Violation.to_string r.violations);
   let receivers =
     Array.to_list r.decisions
     |> List.filter (fun d -> Decision.equal d (Decision.Agreed 1))
@@ -519,6 +543,7 @@ let () =
           Alcotest.test_case "keep prefix" `Quick test_crash_keep_prefix;
           Alcotest.test_case "drop none" `Quick test_crash_drop_none;
           Alcotest.test_case "trace events" `Quick test_trace_records_crash_and_sends;
+          Alcotest.test_case "timed_out flag" `Quick test_timed_out_flag;
           Alcotest.test_case "non-faulty protected" `Quick test_adversary_cannot_crash_non_faulty;
           Alcotest.test_case "faulty budget enforced" `Quick test_adversary_budget_enforced;
         ] );

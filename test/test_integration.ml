@@ -39,7 +39,7 @@ let run_traced (module P : Ftc_sim.Protocol.S) ~seed =
 
 let trace_consistency name proto () =
   let r = run_traced proto ~seed:11 in
-  Alcotest.(check (list string)) (name ^ ": no model violations") [] r.errors;
+  Alcotest.(check (list string)) (name ^ ": no model violations") [] (List.map Ftc_sim.Violation.to_string r.violations);
   match r.trace with
   | None -> Alcotest.fail "trace missing"
   | Some t ->

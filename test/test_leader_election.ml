@@ -18,7 +18,8 @@ let run ?(explicit = false) ?(adversary = Ftc_fault.Strategy.none) ~n ~alpha ~se
   let r =
     E.run { (Engine.default_config ~n ~alpha ~seed) with adversary = adversary () }
   in
-  Alcotest.(check (list string)) "no model violations" [] r.errors;
+  Alcotest.(check (list string)) "no model violations" [] (List.map Ftc_sim.Violation.to_string r.violations);
+  Alcotest.(check bool) "run did not time out" false r.timed_out;
   r
 
 let test_fault_free_unique_leader () =

@@ -18,7 +18,8 @@ let run ?(adversary = Ftc_fault.Strategy.none) ~n ~alpha ~seed ~inputs () =
         adversary = adversary ()
       }
   in
-  Alcotest.(check (list string)) "no model violations" [] r.errors;
+  Alcotest.(check (list string)) "no model violations" [] (List.map Ftc_sim.Violation.to_string r.violations);
+  Alcotest.(check bool) "run did not time out" false r.timed_out;
   r
 
 let random_inputs ~n ~seed ~bound =

@@ -16,9 +16,10 @@ let result ?(crashed = [||]) ?(faulty = [||]) decisions : Engine.result =
     crashed = Array.init n (pick crashed);
     crash_round = Array.make n (-1);
     rounds_used = 1;
+    timed_out = false;
     metrics = Ftc_sim.Metrics.create ();
     trace = None;
-    errors = [];
+    violations = [];
   }
 
 open Decision
