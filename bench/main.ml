@@ -17,12 +17,15 @@ open Toolkit
 
 let params = Ftc_core.Params.default
 
-let one_run (module P : Ftc_sim.Protocol.S) ~n ~alpha ~inputs ~adversary seed =
+let one_run ?(loss = Ftc_fault.Omission.No_loss) ?transport (module P : Ftc_sim.Protocol.S) ~n
+    ~alpha ~inputs ~adversary seed =
   let spec =
     {
       (Ftc_expt.Runner.default_spec (module P) ~n ~alpha) with
       Ftc_expt.Runner.inputs;
       adversary;
+      link = (fun () -> Ftc_fault.Omission.to_link loss);
+      transport;
     }
   in
   ignore (Ftc_expt.Runner.run spec ~seed)
@@ -93,6 +96,12 @@ let workloads : (string * (unit -> unit)) list =
       fun () ->
         one_run (Ftc_baselines.Kutten_le.make ()) ~n:512 ~alpha:1.0
           ~inputs:Ftc_expt.Runner.Zeros ~adversary:Ftc_fault.Strategy.none 13 );
+    ( "F13",
+      fun () ->
+        one_run
+          ~loss:(Ftc_fault.Omission.Uniform 0.1)
+          ~transport:Ftc_transport.Transport.default_config (le ()) ~n:64 ~alpha:1.0
+          ~inputs:Ftc_expt.Runner.Zeros ~adversary:Ftc_fault.Strategy.none 18 );
     ( "A1",
       fun () ->
         let thin = { params with Ftc_core.Params.candidate_coeff = 1.0 } in
@@ -147,7 +156,27 @@ let run_microbenches ids =
   List.iter
     (fun (name, est, r2) -> Printf.printf "  %-24s %12.0f ns/run   (R^2 = %.3f)\n" name est r2)
     rows;
-  print_newline ()
+  print_newline ();
+  rows
+
+(* Machine-readable record of the F13 (lossy transport) micro-benchmark,
+   for CI trend tracking. JSON has no NaN, so unusable fits become null. *)
+let emit_f13_json rows =
+  match List.find_opt (fun (name, _, _) -> name = "workload F13") rows with
+  | None -> ()
+  | Some (_, est, r2) ->
+      let num v = if Float.is_nan v then "null" else Printf.sprintf "%.3f" v in
+      let oc = open_out "BENCH_f13.json" in
+      Printf.fprintf oc
+        "{\n\
+        \  \"id\": \"F13\",\n\
+        \  \"workload\": \"leader-election n=64 alpha=1.0, uniform loss 0.1, default transport\",\n\
+        \  \"ns_per_run\": %s,\n\
+        \  \"r_square\": %s\n\
+         }\n"
+        (num est) (num r2);
+      close_out oc;
+      print_endline "Wrote BENCH_f13.json"
 
 let starts_with ~prefix s =
   String.length s >= String.length prefix && String.sub s 0 (String.length prefix) = prefix
@@ -174,7 +203,7 @@ let () =
         exit 1
       end)
     ids;
-  if not (List.mem "--no-bench" flags) then run_microbenches ids;
+  if not (List.mem "--no-bench" flags) then emit_f13_json (run_microbenches ids);
   let ctx = { Ftc_expt.Def.scale; base_seed = seed } in
   List.iter
     (fun id ->

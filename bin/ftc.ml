@@ -48,31 +48,87 @@ let adversary_arg =
 let explicit_arg =
   Arg.(value & flag & info [ "explicit" ] ~doc:"Run the explicit variant (everyone learns).")
 
+let loss_arg =
+  Arg.(
+    value
+    & opt float 0.
+    & info [ "loss" ] ~docv:"P"
+        ~doc:"Omission-fault rate on live links, in [0,1]. 0 = the paper's reliable model.")
+
+let loss_model_arg =
+  Arg.(
+    value
+    & opt string "uniform"
+    & info [ "loss-model" ] ~docv:"MODEL"
+        ~doc:"Loss model: uniform (i.i.d.), burst (Gilbert channel, mean burst 3), or targeted \
+              (referee replies to the best candidate).")
+
+let transport_arg =
+  Arg.(
+    value
+    & flag
+    & info [ "transport" ]
+        ~doc:"Wrap the protocol in the ack/retransmit reliable transport (doubles the CONGEST \
+              budget for the framing).")
+
+(* Shared by every command taking --loss: bad rates and unknown models are
+   usage errors (exit 2), mirroring the chaos --budget check. *)
+let parse_loss ~loss ~model =
+  if loss < 0. || loss > 1. then begin
+    Printf.eprintf "--loss must be in [0,1] (got %g)\n" loss;
+    exit 2
+  end;
+  let spec =
+    if loss = 0. then Ftc_fault.Omission.No_loss
+    else
+      match model with
+      | "uniform" -> Ftc_fault.Omission.Uniform loss
+      | "burst" -> Ftc_fault.Omission.Burst { rate = loss; mean_len = 3. }
+      | "targeted" -> Ftc_fault.Omission.Targeted loss
+      | m ->
+          Printf.eprintf "--loss-model must be uniform, burst or targeted (got %s)\n" m;
+          exit 2
+  in
+  match Ftc_fault.Omission.validate spec with
+  | Ok () -> spec
+  | Error e ->
+      Printf.eprintf "--loss: %s\n" e;
+      exit 2
+
 let trials_arg =
   Arg.(value & opt int 1 & info [ "trials" ] ~docv:"K" ~doc:"Number of seeded repetitions.")
 
 let report_metrics (r : Ftc_sim.Engine.result) =
-  Printf.printf "  rounds: %d   messages: %s   bits: %s   dropped: %d   crashed: %d\n"
+  Printf.printf "  rounds: %d   messages: %s   bits: %s   dropped: %d   link-lost: %d   crashed: %d\n"
     r.rounds_used
     (Ftc_analysis.Table.fmt_int r.metrics.msgs_sent)
     (Ftc_analysis.Table.fmt_int r.metrics.bits_sent)
-    r.metrics.msgs_dropped
+    r.metrics.msgs_dropped r.metrics.msgs_lost_link
     (Array.fold_left (fun acc c -> if c then acc + 1 else acc) 0 r.crashed)
 
-let run_spec protocol ~n ~alpha ~inputs ~adversary ~seed ~trace =
+let report_transport (o : Ftc_expt.Runner.outcome) =
+  match o.transport_stats with
+  | None -> ()
+  | Some s -> Printf.printf "  transport: %s\n" (Format.asprintf "%a" Ftc_transport.Transport.pp_stats s)
+
+let run_spec ?(loss = Ftc_fault.Omission.No_loss) ?(transport_on = false) protocol ~n ~alpha
+    ~inputs ~adversary ~seed ~trace =
   let spec =
     {
       (Ftc_expt.Runner.default_spec protocol ~n ~alpha) with
       Ftc_expt.Runner.inputs;
       adversary;
       record_trace = trace;
+      link = (fun () -> Ftc_fault.Omission.to_link loss);
+      transport = (if transport_on then Some Ftc_transport.Transport.default_config else None);
     }
   in
   Ftc_expt.Runner.run_exn spec ~seed
 
 (* -- election command -- *)
 
-let election n alpha seed adversary_name explicit trials =
+let election n alpha seed adversary_name explicit trials loss loss_model transport_on =
+  let loss = parse_loss ~loss ~model:loss_model in
   match adversary_of_name adversary_name with
   | Error e ->
       prerr_endline e;
@@ -81,7 +137,7 @@ let election n alpha seed adversary_name explicit trials =
       let ok = ref 0 in
       for i = 0 to trials - 1 do
         let o =
-          run_spec
+          run_spec ~loss ~transport_on
             (Ftc_core.Leader_election.make ~explicit params)
             ~n ~alpha ~inputs:Ftc_expt.Runner.Zeros ~adversary ~seed:(seed + i) ~trace:false
         in
@@ -96,6 +152,7 @@ let election n alpha seed adversary_name explicit trials =
         | None -> Printf.printf " (leaders: %d, undecided: %d)" rep.live_leaders rep.live_undecided);
         print_newline ();
         report_metrics o.result;
+        report_transport o;
         if explicit then begin
           let er = Ftc_core.Properties.check_explicit_election o.result in
           Printf.printf "  explicit: %s (unaware: %d)\n"
@@ -109,7 +166,9 @@ let election n alpha seed adversary_name explicit trials =
 
 (* -- agreement command -- *)
 
-let agreement n alpha seed adversary_name explicit trials ones_prob =
+let agreement n alpha seed adversary_name explicit trials ones_prob loss loss_model transport_on
+    =
+  let loss = parse_loss ~loss ~model:loss_model in
   match adversary_of_name adversary_name with
   | Error e ->
       prerr_endline e;
@@ -118,7 +177,7 @@ let agreement n alpha seed adversary_name explicit trials ones_prob =
       let ok = ref 0 in
       for i = 0 to trials - 1 do
         let o =
-          run_spec
+          run_spec ~loss ~transport_on
             (Ftc_core.Agreement.make ~explicit params)
             ~n ~alpha
             ~inputs:(Ftc_expt.Runner.Random_bits ones_prob)
@@ -135,6 +194,7 @@ let agreement n alpha seed adversary_name explicit trials ones_prob =
                (String.concat "," (List.map string_of_int rep.distinct_values)));
         print_newline ();
         report_metrics o.result;
+        report_transport o;
         if explicit then begin
           let er = Ftc_core.Properties.check_explicit_agreement ~inputs:o.inputs_used o.result in
           Printf.printf "  explicit: %s (undecided: %d)\n"
@@ -224,7 +284,7 @@ let clouds n alpha seed adversary_name scale_factor =
 let print_findings findings =
   List.iter (fun f -> Printf.printf "  %s\n" (Format.asprintf "%a" Ftc_chaos.Oracle.pp f)) findings
 
-let chaos budget seed n_min n_max protocols out =
+let chaos budget seed n_min n_max protocols omission out =
   if budget < 0 then begin
     Printf.eprintf "chaos: --budget must be non-negative (got %d)\n" budget;
     exit 2
@@ -245,7 +305,7 @@ let chaos budget seed n_min n_max protocols out =
             exit 2
           end)
         ps);
-  let config = { Ftc_chaos.Fuzz.budget; seed; protocols; n_min; n_max } in
+  let config = { Ftc_chaos.Fuzz.budget; seed; protocols; n_min; n_max; omission } in
   let report = Ftc_chaos.Fuzz.run ~log:print_endline config in
   match report.Ftc_chaos.Fuzz.failure with
   | None ->
@@ -327,7 +387,8 @@ let election_cmd =
   Cmd.v
     (Cmd.info "election" ~doc)
     Term.(
-      const election $ n_arg $ alpha_arg $ seed_arg $ adversary_arg $ explicit_arg $ trials_arg)
+      const election $ n_arg $ alpha_arg $ seed_arg $ adversary_arg $ explicit_arg $ trials_arg
+      $ loss_arg $ loss_model_arg $ transport_arg)
 
 let agreement_cmd =
   let doc = "Run fault-tolerant implicit agreement (paper Sec. V-A)." in
@@ -341,7 +402,7 @@ let agreement_cmd =
     (Cmd.info "agreement" ~doc)
     Term.(
       const agreement $ n_arg $ alpha_arg $ seed_arg $ adversary_arg $ explicit_arg $ trials_arg
-      $ ones)
+      $ ones $ loss_arg $ loss_model_arg $ transport_arg)
 
 let expt_cmd =
   let doc = "Run experiments by id (default: all, quick scale)." in
@@ -378,6 +439,14 @@ let chaos_cmd =
       & opt_all string []
       & info [ "protocol" ] ~docv:"NAME" ~doc:"Restrict to this protocol (repeatable).")
   in
+  let omission =
+    Arg.(
+      value
+      & flag
+      & info [ "omission" ]
+          ~doc:"Also fuzz link-loss models: raw protocols under heavy loss (accounting oracles \
+                only) and transport-wrapped protocols under light loss (every oracle).")
+  in
   let out =
     Arg.(
       value
@@ -385,7 +454,7 @@ let chaos_cmd =
       & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Where to write the shrunk reproducer.")
   in
   Cmd.v (Cmd.info "chaos" ~doc)
-    Term.(const chaos $ budget $ seed_arg $ n_min $ n_max $ protocols $ out)
+    Term.(const chaos $ budget $ seed_arg $ n_min $ n_max $ protocols $ omission $ out)
 
 let replay_cmd =
   let doc =

@@ -1,6 +1,8 @@
 module Engine = Ftc_sim.Engine
 module Adversary = Ftc_sim.Adversary
 module Strategy = Ftc_fault.Strategy
+module Omission = Ftc_fault.Omission
+module Transport = Ftc_transport.Transport
 
 type t = {
   protocol : string;
@@ -9,11 +11,13 @@ type t = {
   seed : int;
   inputs : int array;
   plan : (int * int * Adversary.drop_rule) list;
+  loss : Omission.spec;
+  transport : bool;
 }
 
 let equal a b =
   a.protocol = b.protocol && a.n = b.n && a.alpha = b.alpha && a.seed = b.seed
-  && a.inputs = b.inputs && a.plan = b.plan
+  && a.inputs = b.inputs && a.plan = b.plan && a.loss = b.loss && a.transport = b.transport
 
 type error = Unknown_protocol of string | Invalid_case of string
 
@@ -22,6 +26,11 @@ let error_to_string = function
       Printf.sprintf "unknown protocol %s (known: %s)" p
         (String.concat ", " (Catalog.names ()))
   | Invalid_case msg -> "invalid case: " ^ msg
+
+(* The module a case actually executes: the catalog entry, wrapped in the
+   reliable transport when the case asks for it. *)
+let materialize (entry : Catalog.entry) case =
+  if case.transport then fst (Transport.wrap (entry.make ())) else entry.make ()
 
 let validate case =
   match Catalog.find case.protocol with
@@ -35,23 +44,29 @@ let validate case =
           (Invalid_case
              (Printf.sprintf "inputs length %d <> n = %d" (Array.length case.inputs) case.n))
       else begin
-        let (module P : Ftc_sim.Protocol.S) = entry.make () in
-        let f = Engine.max_faulty ~n:case.n ~alpha:case.alpha in
-        let max_round = P.max_rounds ~n:case.n ~alpha:case.alpha - 1 in
-        match Strategy.validate_plan ~n:case.n ~f ~max_round case.plan with
+        match Omission.validate case.loss with
         | Error msg -> Error (Invalid_case msg)
-        | Ok () -> Ok entry
+        | Ok () ->
+            let (module P : Ftc_sim.Protocol.S) = materialize entry case in
+            let f = Engine.max_faulty ~n:case.n ~alpha:case.alpha in
+            let max_round = P.max_rounds ~n:case.n ~alpha:case.alpha - 1 in
+            (match Strategy.validate_plan ~n:case.n ~f ~max_round case.plan with
+            | Error msg -> Error (Invalid_case msg)
+            | Ok () -> Ok entry)
       end
 
 let run case =
   match validate case with
   | Error _ as e -> e
   | Ok entry ->
-      let (module P : Ftc_sim.Protocol.S) = entry.make () in
+      let (module P : Ftc_sim.Protocol.S) = materialize entry case in
       let module E = Engine.Make (P) in
       let adversary =
         if case.plan = [] then Adversary.none else Strategy.scheduled case.plan ()
       in
+      (* Wrapped runs get double the per-edge budget: transport framing
+         lets a data message and an ack share an edge-round. *)
+      let congest_factor = if case.transport then 2 else 1 in
       let result =
         E.run
           {
@@ -60,12 +75,14 @@ let run case =
             seed = case.seed;
             inputs = Some case.inputs;
             adversary;
-            congest_limit = Some (Ftc_sim.Congest.default_limit ~n:case.n);
+            link = Omission.to_link case.loss;
+            congest_limit = Some (congest_factor * Ftc_sim.Congest.default_limit ~n:case.n);
             record_trace = true;
             max_rounds_override = None;
           }
       in
-      Ok (result, Oracle.check entry ~inputs:case.inputs result)
+      let lossy_raw = case.loss <> Omission.No_loss && not case.transport in
+      Ok (result, Oracle.check ~lossy_raw entry ~inputs:case.inputs result)
 
 let findings case = match run case with Error _ -> [] | Ok (_, fs) -> fs
 
@@ -76,9 +93,11 @@ let rule_to_string = function
   | Adversary.Keep_prefix k -> Printf.sprintf "keep-prefix %d" k
 
 let pp ppf case =
-  Format.fprintf ppf "%s n=%d alpha=%g seed=%d plan=[%s]" case.protocol case.n case.alpha
-    case.seed
+  Format.fprintf ppf "%s n=%d alpha=%g seed=%d plan=[%s] loss=%s transport=%b" case.protocol
+    case.n case.alpha case.seed
     (String.concat "; "
        (List.map
           (fun (v, r, rule) -> Printf.sprintf "%d@r%d %s" v r (rule_to_string rule))
           case.plan))
+    (Omission.spec_to_string case.loss)
+    case.transport

@@ -13,6 +13,10 @@ type t = {
   inputs : int array;  (** Always length [n]; all-zero for elections. *)
   plan : (int * int * Ftc_sim.Adversary.drop_rule) list;
       (** [(node, round, rule)] triples; empty = fault-free. *)
+  loss : Ftc_fault.Omission.spec;  (** Omission model on live links. *)
+  transport : bool;
+      (** Run the protocol wrapped in {!Ftc_transport.Transport} (with a
+          doubled CONGEST budget for the framing). *)
 }
 
 val equal : t -> t -> bool
@@ -22,13 +26,15 @@ type error = Unknown_protocol of string | Invalid_case of string
 val error_to_string : error -> string
 
 val validate : t -> (Catalog.entry, error) result
-(** Checks the case shape and the crash plan against the protocol's fault
-    budget and round range, without running anything. *)
+(** Checks the case shape, the loss spec, and the crash plan against the
+    protocol's fault budget and round range — the {e wrapped} round range
+    when the case uses the transport — without running anything. *)
 
 val run : t -> (Ftc_sim.Engine.result * Oracle.finding list, error) result
 (** Deterministically executes the case (with tracing, so the
     trace-metrics oracle applies) and judges it against every applicable
-    oracle. *)
+    oracle. A lossy case without the transport is judged by the accounting
+    oracles only (see {!Oracle.check}'s [lossy_raw]). *)
 
 val findings : t -> Oracle.finding list
 (** [findings c] = oracle findings of [run c], [[]] if the case itself is

@@ -1,5 +1,6 @@
 module Engine = Ftc_sim.Engine
 module Adversary = Ftc_sim.Adversary
+module Omission = Ftc_fault.Omission
 module Rng = Ftc_rng.Rng
 module Dist = Ftc_rng.Dist
 
@@ -9,9 +10,11 @@ type config = {
   protocols : string list option;
   n_min : int;
   n_max : int;
+  omission : bool;
 }
 
-let default_config = { budget = 100; seed = 1; protocols = None; n_min = 32; n_max = 96 }
+let default_config =
+  { budget = 100; seed = 1; protocols = None; n_min = 32; n_max = 96; omission = false }
 
 type failure = {
   case : Case.t;
@@ -36,13 +39,35 @@ let gen_inputs rng (entry : Catalog.entry) ~n =
   | Catalog.Bits -> Array.init n (fun _ -> if Rng.bool rng then 1 else 0)
   | Catalog.Values bound -> Array.init n (fun _ -> Rng.int rng (bound + 1))
 
-let gen_plan rng (entry : Catalog.entry) ~n ~alpha =
+(* Raw cases may be hit hard: the oracles degrade to accounting-only for
+   them. Wrapped cases are held to the full correctness oracles, so their
+   loss stays small enough that a default transport masks it w.h.p.
+   (uniform 5%: five straight losses needed to kill a message). Targeted
+   starvation is only generated raw — it is built to exceed any budget. *)
+let gen_loss rng =
+  match Rng.int rng 6 with
+  | 0 -> (Omission.No_loss, false)
+  | 1 -> (Omission.Uniform (0.5 *. Rng.float rng), false)
+  | 2 ->
+      ( Omission.Burst
+          { rate = 0.4 *. Rng.float rng; mean_len = 1. +. float_of_int (Rng.int rng 4) },
+        false )
+  | 3 -> (Omission.Targeted (0.5 +. (0.5 *. Rng.float rng)), false)
+  | 4 -> (Omission.Uniform (0.05 *. Rng.float rng), true)
+  | _ -> (Omission.Burst { rate = 0.03 *. Rng.float rng; mean_len = 2. }, true)
+
+let gen_plan rng (entry : Catalog.entry) ~n ~alpha ~transport =
   if not entry.crash_tolerant then []
   else begin
     let f = Engine.max_faulty ~n ~alpha in
     if f = 0 then []
     else begin
-      let (module P : Ftc_sim.Protocol.S) = entry.make () in
+      (* Validate the plan against the rounds the case will actually run:
+         the wrapped calendar is a window-factor longer. *)
+      let (module P : Ftc_sim.Protocol.S) =
+        if transport then fst (Ftc_transport.Transport.wrap (entry.make ()))
+        else entry.make ()
+      in
       let max_round = P.max_rounds ~n ~alpha - 1 in
       (* Crashes late in a long calendar are no-ops; bias towards the
          active early window without excluding the tail entirely. *)
@@ -54,13 +79,16 @@ let gen_plan rng (entry : Catalog.entry) ~n ~alpha =
     end
   end
 
-let gen_case rng (entry : Catalog.entry) ~n_min ~n_max =
+let gen_case ?(omission = false) rng (entry : Catalog.entry) ~n_min ~n_max =
   let n = Rng.int_in rng n_min n_max in
   let alpha = 0.5 +. (0.1 *. float_of_int (Rng.int rng 5)) in
   let seed = Rng.int rng 1_000_000_000 in
   let inputs = gen_inputs rng entry ~n in
-  let plan = gen_plan rng entry ~n ~alpha in
-  { Case.protocol = entry.name; n; alpha; seed; inputs; plan }
+  (* Loss drawn before the plan: omission-off configs consume the exact
+     rng stream of configs recorded before omission fuzzing existed. *)
+  let loss, transport = if omission then gen_loss rng else (Omission.No_loss, false) in
+  let plan = gen_plan rng entry ~n ~alpha ~transport in
+  { Case.protocol = entry.name; n; alpha; seed; inputs; plan; loss; transport }
 
 let shrink_failure ?(n_floor = default_config.n_min) case findings =
   let still_fails c = Oracle.same_oracle findings (Case.findings c) in
@@ -86,7 +114,9 @@ let run ?(log = ignore) config =
     if i >= config.budget then { cases_run = i; failure = None }
     else begin
       let entry = entries.(i mod Array.length entries) in
-      let case = gen_case rng entry ~n_min:config.n_min ~n_max:config.n_max in
+      let case =
+        gen_case ~omission:config.omission rng entry ~n_min:config.n_min ~n_max:config.n_max
+      in
       match Case.run case with
       | Error e ->
           (* Generated cases are valid by construction; treat this as a

@@ -14,10 +14,15 @@ type config = {
   protocols : string list option;  (** Restrict to these catalog names. *)
   n_min : int;
   n_max : int;
+  omission : bool;
+      (** Also fuzz link-loss models: raw protocols under heavy loss
+          (accounting oracles only) and transport-wrapped protocols under
+          light loss (every oracle). Off by default, so existing seeds
+          reproduce the exact crash-only sweeps. *)
 }
 
 val default_config : config
-(** budget 100, seed 1, every protocol, n in [32, 96]. *)
+(** budget 100, seed 1, every protocol, n in [32, 96], no omission. *)
 
 type failure = {
   case : Case.t;  (** The original failing case. *)
@@ -29,11 +34,13 @@ type failure = {
 
 type report = { cases_run : int; failure : failure option }
 
-val gen_case : Ftc_rng.Rng.t -> Catalog.entry -> n_min:int -> n_max:int -> Case.t
+val gen_case :
+  ?omission:bool -> Ftc_rng.Rng.t -> Catalog.entry -> n_min:int -> n_max:int -> Case.t
 (** One random case: n, alpha in [0.5, 0.9], fresh seed, inputs matching
     the protocol's input kind, and — for crash-tolerant protocols — a
     random crash plan within the fault budget ([[]] for the fault-free
-    baselines). Exposed for tests. *)
+    baselines). With [~omission:true], also a loss model and possibly the
+    transport. Exposed for tests. *)
 
 val shrink_failure : ?n_floor:int -> Case.t -> Oracle.finding list -> failure
 (** Shrink a known-failing case against {!Oracle.same_oracle}. [n_floor]

@@ -29,25 +29,39 @@ let check_trace_metrics (r : Engine.result) =
   match r.trace with
   | None -> []
   | Some t ->
-      let sends = ref 0 and dropped = ref 0 and bits = ref 0 and crashes = ref 0 in
+      let sends = ref 0
+      and undelivered = ref 0
+      and bits = ref 0
+      and crashes = ref 0
+      and link_lost = ref 0
+      and unroutable = ref 0 in
       List.iter
         (function
           | Trace.Send { bits = b; delivered; _ } ->
               incr sends;
               bits := !bits + b;
-              if not delivered then incr dropped
-          | Trace.Crash _ -> incr crashes)
+              if not delivered then incr undelivered
+          | Trace.Crash _ -> incr crashes
+          | Trace.Link_lost _ -> incr link_lost
+          | Trace.Unroutable _ -> incr unroutable)
         (Trace.events t);
       let mismatch what a b = finding "trace-metrics" "%s: trace %d <> metrics %d" what a b in
       let crashed_count = Array.fold_left (fun acc c -> if c then acc + 1 else acc) 0 r.crashed in
+      (* Every link loss is also an undelivered Send event, so the trace's
+         undelivered count must cover both loss causes the metrics track. *)
+      let m = r.metrics in
       List.concat
         [
-          (if !sends <> r.metrics.msgs_sent then [ mismatch "sends" !sends r.metrics.msgs_sent ]
+          (if !sends <> m.msgs_sent then [ mismatch "sends" !sends m.msgs_sent ] else []);
+          (if !bits <> m.bits_sent then [ mismatch "bits" !bits m.bits_sent ] else []);
+          (if !undelivered <> m.msgs_dropped + m.msgs_lost_link then
+             [ mismatch "undelivered" !undelivered (m.msgs_dropped + m.msgs_lost_link) ]
            else []);
-          (if !bits <> r.metrics.bits_sent then [ mismatch "bits" !bits r.metrics.bits_sent ]
+          (if !link_lost <> m.msgs_lost_link then
+             [ mismatch "link-losses" !link_lost m.msgs_lost_link ]
            else []);
-          (if !dropped <> r.metrics.msgs_dropped then
-             [ mismatch "drops" !dropped r.metrics.msgs_dropped ]
+          (if !unroutable <> m.msgs_unroutable then
+             [ mismatch "unroutable" !unroutable m.msgs_unroutable ]
            else []);
           (if !crashes <> crashed_count then [ mismatch "crashes" !crashes crashed_count ] else []);
         ]
@@ -88,16 +102,24 @@ let check_agreement ~explicit ~inputs (r : Engine.result) =
         rep.valid;
     ]
 
-let check (entry : Catalog.entry) ~inputs (r : Engine.result) =
+let check ?(lossy_raw = false) (entry : Catalog.entry) ~inputs (r : Engine.result) =
   List.concat
     [
       check_model r;
       check_congest r;
-      check_termination entry r;
       check_trace_metrics r;
-      (match entry.kind with
-      | Catalog.Election -> check_election ~explicit:entry.explicit r
-      | Catalog.Agreement -> check_agreement ~explicit:entry.explicit ~inputs r);
+      (* A raw (transport-less) protocol under omission faults is outside
+         its own model: failing to elect/agree/terminate is measured
+         degradation, not a bug. Accounting invariants still apply. *)
+      (if lossy_raw then []
+       else
+         List.concat
+           [
+             check_termination entry r;
+             (match entry.kind with
+             | Catalog.Election -> check_election ~explicit:entry.explicit r
+             | Catalog.Agreement -> check_agreement ~explicit:entry.explicit ~inputs r);
+           ]);
     ]
 
 let pp ppf f = Format.fprintf ppf "[%s] %s" f.oracle f.detail

@@ -8,7 +8,9 @@
     - ["termination"] — the run did not exhaust its round budget with
       messages in flight (only for protocols that promise quiescence);
     - ["trace-metrics"] — the trace and the metrics describe the same
-      execution: send/drop/bit/crash counts agree;
+      execution: send/bit/crash counts agree, undelivered sends reconcile
+      with crash drops plus link losses, and the [Link_lost] /
+      [Unroutable] markers match their metric counters;
     - ["election"] / ["election-explicit"] / ["agreement"] /
       ["agreement-explicit"] — the problem specification (Definitions 1
       and 2 of the paper) via {!Ftc_core.Properties}.
@@ -21,9 +23,17 @@
 type finding = { oracle : string; detail : string }
 
 val check :
-  Catalog.entry -> inputs:int array -> Ftc_sim.Engine.result -> finding list
+  ?lossy_raw:bool ->
+  Catalog.entry ->
+  inputs:int array ->
+  Ftc_sim.Engine.result ->
+  finding list
 (** All applicable oracles, in a deterministic order; [[]] = clean run.
-    The trace oracle only fires when the run recorded a trace. *)
+    The trace oracle only fires when the run recorded a trace.
+    [~lossy_raw:true] (a raw protocol run under an omission model it was
+    never designed for) keeps only the accounting oracles — model, congest,
+    trace-metrics — since failing to elect or agree under loss is measured
+    degradation, not a bug. Transport-wrapped runs must pass everything. *)
 
 val pp : Format.formatter -> finding -> unit
 

@@ -1,7 +1,8 @@
 module Adversary = Ftc_sim.Adversary
+module Omission = Ftc_fault.Omission
 
 let magic = "ftc-chaos-replay"
-let version = 1
+let version = 2
 
 let to_string ?(expect = []) (case : Case.t) =
   let b = Buffer.create 256 in
@@ -16,6 +17,8 @@ let to_string ?(expect = []) (case : Case.t) =
   List.iter
     (fun (v, r, rule) -> line "crash %d %d %s" v r (Case.rule_to_string rule))
     case.plan;
+  if case.loss <> Omission.No_loss then line "loss %s" (Omission.spec_to_string case.loss);
+  if case.transport then line "transport on";
   List.iter (fun o -> line "expect %s" o) expect;
   Buffer.contents b
 
@@ -32,6 +35,23 @@ let rule_of_tokens = function
       | None -> Error ("bad keep-prefix count: " ^ k))
   | toks -> Error ("unknown drop rule: " ^ String.concat " " toks)
 
+let loss_of_tokens toks =
+  let rate name v k =
+    match float_of_string_opt v with
+    | Some r -> k r
+    | None -> Error (Printf.sprintf "bad %s rate: %s" name v)
+  in
+  match toks with
+  | [ "none" ] -> Ok Omission.No_loss
+  | [ "uniform"; p ] -> rate "uniform" p (fun r -> Ok (Omission.Uniform r))
+  | [ "burst"; p; len ] ->
+      rate "burst" p (fun rate ->
+          match float_of_string_opt len with
+          | Some mean_len -> Ok (Omission.Burst { rate; mean_len })
+          | None -> Error ("bad burst mean length: " ^ len))
+  | [ "targeted"; p ] -> rate "targeted" p (fun r -> Ok (Omission.Targeted r))
+  | toks -> Error ("unknown loss model: " ^ String.concat " " toks)
+
 let of_string s =
   let lines =
     String.split_on_char '\n' s
@@ -44,6 +64,8 @@ let of_string s =
   and seed = ref None
   and inputs = ref None
   and plan = ref []
+  and loss = ref Omission.No_loss
+  and transport = ref false
   and expect = ref [] in
   let int_field name v store =
     match int_of_string_opt v with
@@ -54,9 +76,12 @@ let of_string s =
   in
   let parse_line l =
     match String.split_on_char ' ' l |> List.filter (fun t -> t <> "") with
-    | m :: v :: _ when m = magic ->
-        if int_of_string_opt v = Some version then Ok ()
-        else Error ("unsupported replay version " ^ v)
+    | m :: v :: _ when m = magic -> (
+        (* Version 1 files are a strict subset of version 2 (no loss or
+           transport lines), so both parse with the same grammar. *)
+        match int_of_string_opt v with
+        | Some 1 | Some 2 -> Ok ()
+        | _ -> Error ("unsupported replay version " ^ v))
     | [ "protocol"; p ] ->
         protocol := Some p;
         Ok ()
@@ -81,6 +106,18 @@ let of_string s =
             Ok ()
         | _, _, Error e -> Error e
         | _ -> Error ("bad crash line: " ^ l))
+    | "loss" :: toks -> (
+        match loss_of_tokens toks with
+        | Ok spec ->
+            loss := spec;
+            Ok ()
+        | Error _ as e -> e)
+    | [ "transport"; "on" ] ->
+        transport := true;
+        Ok ()
+    | [ "transport"; "off" ] ->
+        transport := false;
+        Ok ()
     | [ "expect"; o ] ->
         expect := o :: !expect;
         Ok ()
@@ -103,7 +140,16 @@ let of_string s =
           | Some protocol, Some n, Some alpha, Some seed ->
               let inputs = match !inputs with Some a -> a | None -> Array.make n 0 in
               Ok
-                ( { Case.protocol; n; alpha; seed; inputs; plan = List.rev !plan },
+                ( {
+                    Case.protocol;
+                    n;
+                    alpha;
+                    seed;
+                    inputs;
+                    plan = List.rev !plan;
+                    loss = !loss;
+                    transport = !transport;
+                  },
                   List.rev !expect )
           | _ -> Error "missing protocol/n/alpha/seed header"))
 

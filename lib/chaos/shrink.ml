@@ -1,3 +1,5 @@
+module Omission = Ftc_fault.Omission
+
 type stats = { attempts : int }
 
 (* Remove [size]-wide windows of plan entries, left to right, keeping any
@@ -91,6 +93,40 @@ let reduce_rounds check case =
   done;
   (!cur, !changed)
 
+(* Simplify the omission dimension: no loss at all beats everything, then
+   losing the transport wrapper, then ever-gentler rates. A candidate that
+   changes what the oracles measure (e.g. raw+lossy skips correctness)
+   simply fails the check and is rejected. *)
+let reduce_loss check case =
+  let changed = ref false in
+  let cur = ref case in
+  let try_ cand =
+    if Case.equal cand !cur then false
+    else if check cand then begin
+      cur := cand;
+      changed := true;
+      true
+    end
+    else false
+  in
+  ignore (try_ { case with Case.loss = Omission.No_loss; transport = false });
+  ignore (try_ { !cur with Case.loss = Omission.No_loss });
+  ignore (try_ { !cur with Case.transport = false });
+  let halve = function
+    | Omission.No_loss -> None
+    | Omission.Uniform r -> if r < 1e-3 then None else Some (Omission.Uniform (r /. 2.))
+    | Omission.Burst { rate; mean_len } ->
+        if rate < 1e-3 then None else Some (Omission.Burst { rate = rate /. 2.; mean_len })
+    | Omission.Targeted r -> if r < 1e-3 then None else Some (Omission.Targeted (r /. 2.))
+  in
+  let continue_ = ref true in
+  while !continue_ do
+    match halve (!cur).Case.loss with
+    | None -> continue_ := false
+    | Some loss -> if not (try_ { !cur with Case.loss = loss }) then continue_ := false
+  done;
+  (!cur, !changed)
+
 let shrink ?(max_attempts = 500) ?(n_floor = 2) ~still_fails case =
   let attempts = ref 0 in
   let check c =
@@ -106,7 +142,8 @@ let shrink ?(max_attempts = 500) ?(n_floor = 2) ~still_fails case =
       let c, ch1 = drop_entries check case in
       let c, ch2 = reduce_n ~n_floor check c in
       let c, ch3 = reduce_rounds check c in
-      if ch1 || ch2 || ch3 then fix c (rounds_left - 1) else c
+      let c, ch4 = reduce_loss check c in
+      if ch1 || ch2 || ch3 || ch4 then fix c (rounds_left - 1) else c
     end
   in
   let shrunk = fix case 8 in

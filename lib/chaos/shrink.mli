@@ -13,7 +13,10 @@
       fuzzed network sizes a "failure" can be intrinsic to the protocol
       at tiny n rather than related to the original counterexample;
     - {b earlier rounds} — each surviving crash is pulled towards round
-      0, binary-searching downwards.
+      0, binary-searching downwards;
+    - {b simpler loss} — drop the omission model (and the transport
+      wrapper) entirely if the failure survives, else halve the loss rate
+      to a fixpoint.
 
     Every candidate is checked by a full deterministic re-run, so the
     result is always a genuine reproducer, never an extrapolation. *)

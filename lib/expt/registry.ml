@@ -13,6 +13,7 @@ let all =
     Scaling.f10;
     Gallery.f11;
     Gallery.f12;
+    Lossy.f13;
     Ablations.a1;
     Ablations.a2;
     Ablations.a3;

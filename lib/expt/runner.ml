@@ -10,6 +10,8 @@ type spec = {
   alpha : float;
   inputs : input_gen;
   adversary : unit -> Ftc_sim.Adversary.t;
+  link : unit -> Ftc_sim.Link.t;
+  transport : Ftc_transport.Transport.config option;
   congest : bool;
   record_trace : bool;
 }
@@ -21,11 +23,18 @@ let default_spec protocol ~n ~alpha =
     alpha;
     inputs = Zeros;
     adversary = Ftc_fault.Strategy.none;
+    link = (fun () -> Ftc_sim.Link.reliable);
+    transport = None;
     congest = true;
     record_trace = false;
   }
 
-type outcome = { result : Engine.result; inputs_used : int array; seed : int }
+type outcome = {
+  result : Engine.result;
+  inputs_used : int array;
+  seed : int;
+  transport_stats : Ftc_transport.Transport.stats option;
+}
 
 exception
   Model_violation of {
@@ -57,7 +66,17 @@ let materialize_inputs spec ~seed =
       Array.init spec.n (fun _ -> if Dist.bernoulli rng p then 1 else 0)
 
 let run spec ~seed =
-  let (module P : Ftc_sim.Protocol.S) = spec.protocol in
+  (* Transport framing lets a data message and an ack share an edge-round,
+     so wrapped runs get double the paper's per-edge budget — the framing
+     itself is O(log n), so the doubling is honest. *)
+  let protocol, transport_stats, congest_factor =
+    match spec.transport with
+    | None -> (spec.protocol, None, 1)
+    | Some config ->
+        let wrapped, stats = Ftc_transport.Transport.wrap ~config spec.protocol in
+        (wrapped, Some stats, 2)
+  in
+  let (module P : Ftc_sim.Protocol.S) = protocol in
   let module E = Engine.Make (P) in
   let inputs = materialize_inputs spec ~seed in
   let cfg =
@@ -67,13 +86,16 @@ let run spec ~seed =
       seed;
       inputs = Some inputs;
       adversary = spec.adversary ();
-      congest_limit = (if spec.congest then Some (Ftc_sim.Congest.default_limit ~n:spec.n) else None);
+      link = spec.link ();
+      congest_limit =
+        (if spec.congest then Some (congest_factor * Ftc_sim.Congest.default_limit ~n:spec.n)
+         else None);
       record_trace = spec.record_trace;
       max_rounds_override = None;
     }
   in
   let result = E.run cfg in
-  { result; inputs_used = inputs; seed }
+  { result; inputs_used = inputs; seed; transport_stats }
 
 let violations o = o.result.Engine.violations
 

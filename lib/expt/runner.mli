@@ -13,17 +13,25 @@ type spec = {
   alpha : float;
   inputs : input_gen;
   adversary : unit -> Ftc_sim.Adversary.t;
+  link : unit -> Ftc_sim.Link.t;  (** Fresh omission model per run. *)
+  transport : Ftc_transport.Transport.config option;
+      (** [Some _] wraps the protocol in the reliable transport (and doubles
+          the CONGEST budget: data and ack can share an edge-round). *)
   congest : bool;  (** false = LOCAL (no per-edge bit budget). *)
   record_trace : bool;
 }
 
 val default_spec : (module Ftc_sim.Protocol.S) -> n:int -> alpha:float -> spec
-(** Zero inputs, no adversary, CONGEST on, no trace. *)
+(** Zero inputs, no adversary, reliable links, no transport, CONGEST on,
+    no trace. *)
 
 type outcome = {
   result : Ftc_sim.Engine.result;
   inputs_used : int array;
   seed : int;
+  transport_stats : Ftc_transport.Transport.stats option;
+      (** The wrapper's overhead breakdown — [Some] iff the spec asked for
+          the transport. *)
 }
 
 exception

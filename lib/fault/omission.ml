@@ -1,0 +1,120 @@
+module Link = Ftc_sim.Link
+module Observation = Ftc_sim.Observation
+module Rng = Ftc_rng.Rng
+module Dist = Ftc_rng.Dist
+
+type spec =
+  | No_loss
+  | Uniform of float
+  | Burst of { rate : float; mean_len : float }
+  | Targeted of float
+
+let validate = function
+  | No_loss -> Ok ()
+  | Uniform rate ->
+      if rate < 0. || rate > 1. then
+        Error (Printf.sprintf "uniform loss rate %g outside [0,1]" rate)
+      else Ok ()
+  | Burst { rate; mean_len } ->
+      if rate < 0. || rate >= 1. then
+        Error (Printf.sprintf "burst loss rate %g outside [0,1)" rate)
+      else if mean_len < 1. then
+        Error (Printf.sprintf "burst mean length %g below 1" mean_len)
+      else Ok ()
+  | Targeted rate ->
+      if rate < 0. || rate > 1. then
+        Error (Printf.sprintf "targeted omission rate %g outside [0,1]" rate)
+      else Ok ()
+
+let spec_to_string = function
+  | No_loss -> "none"
+  | Uniform rate -> Printf.sprintf "uniform %.17g" rate
+  | Burst { rate; mean_len } -> Printf.sprintf "burst %.17g %.17g" rate mean_len
+  | Targeted rate -> Printf.sprintf "targeted %.17g" rate
+
+let pp_spec ppf s = Format.pp_print_string ppf (spec_to_string s)
+
+let lossy_uniform ~rate () =
+  {
+    Link.name = Printf.sprintf "lossy-uniform(%g)" rate;
+    drop = (fun rng _ -> Dist.bernoulli rng rate);
+  }
+
+(* Two-state Gilbert channel per directed edge: a good state that never
+   drops, a burst state that always does. Transitions fire per message;
+   p_exit = 1/mean_len gives bursts of the requested mean length, and
+   p_enter is solved from the stationary equation pi_burst = rate. *)
+let lossy_burst ~rate ~mean_len () =
+  let p_exit = 1. /. mean_len in
+  let p_enter = rate *. p_exit /. (1. -. rate) in
+  let in_burst : (int * int, unit) Hashtbl.t = Hashtbl.create 64 in
+  {
+    Link.name = Printf.sprintf "lossy-burst(%g,%g)" rate mean_len;
+    drop =
+      (fun rng view ->
+        let edge = (view.Link.src, view.Link.dst) in
+        let bursting = Hashtbl.mem in_burst edge in
+        let bursting =
+          if bursting then begin
+            if Dist.bernoulli rng p_exit then Hashtbl.remove in_burst edge;
+            true
+          end
+          else if Dist.bernoulli rng p_enter then begin
+            Hashtbl.replace in_burst edge ();
+            true
+          end
+          else false
+        in
+        bursting);
+  }
+
+(* The omission analogue of [Strategy.targeted_min_rank]: instead of
+   crashing the best candidate, starve it — drop each referee reply headed
+   for the minimum-rank live candidate with probability [rate], without
+   crashing anyone. The minimum is recomputed once per round from the same
+   omniscient observation view the crash adversary gets. *)
+let targeted_omission ?(rate = 0.75) () =
+  let cached_round = ref (-1) in
+  let cached_target = ref None in
+  let target_of view =
+    if !cached_round <> view.Link.round then begin
+      cached_round := view.Link.round;
+      let best = ref None in
+      Array.iteri
+        (fun node (obs : Observation.t) ->
+          match (obs.Observation.role, obs.Observation.rank) with
+          | Observation.Candidate, Some rank -> (
+              match !best with
+              | Some (_, best_rank) when best_rank <= rank -> ()
+              | _ -> best := Some (node, rank))
+          | _ -> ())
+        view.Link.observations;
+      cached_target := Option.map fst !best
+    end;
+    !cached_target
+  in
+  {
+    Link.name = Printf.sprintf "targeted-omission(%g)" rate;
+    drop =
+      (fun rng view ->
+        match target_of view with
+        | Some target
+          when view.Link.dst = target
+               && view.Link.observations.(view.Link.src).Observation.role
+                  = Observation.Referee ->
+            Dist.bernoulli rng rate
+        | _ -> false);
+  }
+
+let to_link = function
+  | No_loss -> Link.reliable
+  | Uniform rate -> lossy_uniform ~rate ()
+  | Burst { rate; mean_len } -> lossy_burst ~rate ~mean_len ()
+  | Targeted rate -> targeted_omission ~rate ()
+
+let all () =
+  [
+    ("uniform", fun () -> lossy_uniform ~rate:0.1 ());
+    ("burst", fun () -> lossy_burst ~rate:0.1 ~mean_len:3. ());
+    ("targeted", fun () -> targeted_omission ());
+  ]

@@ -1,0 +1,52 @@
+(** Omission adversaries: link-fault models for {!Ftc_sim.Link}.
+
+    Where {!Strategy} times crashes, these lose messages of nodes that
+    stay alive — the fault class the paper's model excludes and real
+    (permissionless) deployments exhibit. Every constructor returns a
+    fresh value carrying per-run mutable state (burst channels, per-round
+    target caches), so never reuse one value across runs.
+
+    A {!spec} is the pure, serialisable description of a loss model; the
+    chaos replay files and the CLI speak specs, and {!to_link} turns one
+    into a live model at run time. *)
+
+type spec =
+  | No_loss
+  | Uniform of float  (** Each live-link message lost i.i.d. with this rate. *)
+  | Burst of { rate : float; mean_len : float }
+      (** Gilbert channel per directed edge: stationary loss [rate],
+          mean burst length [mean_len] messages. *)
+  | Targeted of float
+      (** Drop each referee reply to the min-rank live candidate with
+          this probability; nobody crashes. *)
+
+val validate : spec -> (unit, string) result
+(** Rates in range ([0,1]; burst rate strictly below 1 so the stationary
+    equation is solvable), mean burst length at least 1. *)
+
+val spec_to_string : spec -> string
+(** ["none"], ["uniform <p>"], ["burst <p> <len>"], ["targeted <p>"] —
+    the replay-file spelling. *)
+
+val pp_spec : Format.formatter -> spec -> unit
+
+val to_link : spec -> Ftc_sim.Link.t
+(** A fresh live model for one run. [No_loss] maps to {!Ftc_sim.Link.reliable}. *)
+
+val lossy_uniform : rate:float -> unit -> Ftc_sim.Link.t
+(** Independent Bernoulli loss on every live-link message. *)
+
+val lossy_burst : rate:float -> mean_len:float -> unit -> Ftc_sim.Link.t
+(** Two-state Gilbert channel per directed edge, transitions per message:
+    loss comes in runs of mean length [mean_len] while the long-run loss
+    fraction stays [rate]. *)
+
+val targeted_omission : ?rate:float -> unit -> Ftc_sim.Link.t
+(** The omission analogue of {!Strategy.targeted_min_rank}: starve the
+    minimum-rank live candidate of its referees' replies (each dropped
+    with [rate], default 0.75) without crashing anyone — the worst case
+    for the election's confirmation machinery that the crash model cannot
+    express. *)
+
+val all : unit -> (string * (unit -> Ftc_sim.Link.t)) list
+(** Representative instances of every named model, for sweep drivers. *)

@@ -6,6 +6,7 @@ type config = {
   seed : int;
   inputs : int array option;
   adversary : Adversary.t;
+  link : Link.t;
   congest_limit : int option;
   record_trace : bool;
   max_rounds_override : int option;
@@ -31,6 +32,7 @@ let default_config ~n ~alpha ~seed =
     seed;
     inputs = None;
     adversary = Adversary.none;
+    link = Link.reliable;
     congest_limit = Some (Congest.default_limit ~n);
     record_trace = false;
     max_rounds_override = None;
@@ -115,7 +117,8 @@ type 'msg send = {
   dst : int;
   bits : int;
   payload : 'msg;
-  mutable dropped : bool;
+  mutable dropped : bool;  (* lost to the sender's crash *)
+  mutable link_dropped : bool;  (* lost on a live link *)
 }
 
 module Make (P : Protocol.S) = struct
@@ -126,6 +129,9 @@ module Make (P : Protocol.S) = struct
     let node_rngs = Rng.split_n root n in
     let wiring_rng = Rng.split root in
     let adv_rng = Rng.split root in
+    (* Split last so configs without link faults reproduce the streams of
+       runs recorded before the link stage existed. *)
+    let link_rng = Rng.split root in
     let violations = ref [] in
     let violation v = violations := v :: !violations in
     let inputs =
@@ -177,17 +183,21 @@ module Make (P : Protocol.S) = struct
     in
     let congest_key src dst = (src * n) + dst in
 
-    let resolve_dest src dest =
+    let resolve_dest ~round src dest =
       match dest with
       | Protocol.Fresh_port -> (
           (* Register the new port on the sender side so the protocol can
              re-use it: fresh ports are numbered consecutively from the
              sender's current port count, and the peer's later replies
              arrive through the same binding. Exhaustion (all n-1 peers
-             already known) silently drops the send — the only way it can
-             happen is a broadcast over-approximating its fresh count. *)
+             already known) drops the send — the only way it can happen is
+             a broadcast over-approximating its fresh count — but the drop
+             is counted and traced, never silent. *)
           match fresh_peer wiring_rng ports.(src) ~n ~self:src with
-          | None -> None
+          | None ->
+              Metrics.record_unroutable metrics;
+              trace_add (Trace.Unroutable { round; node = src });
+              None
           | Some peer ->
               let _port = port_to ports.(src) peer in
               Some peer)
@@ -228,10 +238,18 @@ module Make (P : Protocol.S) = struct
           let resolved =
             List.filter_map
               (fun { Protocol.dest; payload } ->
-                match resolve_dest i dest with
+                match resolve_dest ~round:r i dest with
                 | None -> None
                 | Some dst ->
-                    Some { src = i; dst; bits = P.msg_bits ~n payload; payload; dropped = false })
+                    Some
+                      {
+                        src = i;
+                        dst;
+                        bits = P.msg_bits ~n payload;
+                        payload;
+                        dropped = false;
+                        link_dropped = false;
+                      })
               actions
           in
           sends_by_node.(i) <- resolved;
@@ -291,19 +309,46 @@ module Make (P : Protocol.S) = struct
                 List.iteri (fun idx s -> if idx >= k then s.dropped <- true) mine)
           end)
         crash_orders;
-      (* 4. Count, trace, and deliver. *)
+      (* 4. Link faults: every message the crash stage left on the wire
+         traverses its (possibly lossy) link. Crash losses take precedence
+         in accounting: a message the crashing sender already lost never
+         reaches a link. *)
+      if config.link != Link.reliable then
+        List.iter
+          (fun s ->
+            if not s.dropped then
+              let view =
+                {
+                  Link.round = r;
+                  src = s.src;
+                  dst = s.dst;
+                  bits = s.bits;
+                  observations = all_observations;
+                }
+              in
+              if config.link.Link.drop link_rng view then s.link_dropped <- true)
+          sends;
+      (* 5. Count, trace, and deliver. *)
       List.iter
         (fun s ->
-          let delivered = not s.dropped in
-          Metrics.record_send metrics ~round:r ~bits:s.bits ~delivered;
-          trace_add (Trace.Send { round = r; src = s.src; dst = s.dst; bits = s.bits; delivered });
-          if delivered then begin
-            let from_port = port_to ports.(s.dst) s.src in
-            inboxes.(s.dst) <-
-              { Protocol.from_port; payload = s.payload } :: inboxes.(s.dst)
+          if s.link_dropped then begin
+            Metrics.record_link_loss metrics ~round:r ~bits:s.bits;
+            trace_add
+              (Trace.Send { round = r; src = s.src; dst = s.dst; bits = s.bits; delivered = false });
+            trace_add (Trace.Link_lost { round = r; src = s.src; dst = s.dst; bits = s.bits })
+          end
+          else begin
+            let delivered = not s.dropped in
+            Metrics.record_send metrics ~round:r ~bits:s.bits ~delivered;
+            trace_add (Trace.Send { round = r; src = s.src; dst = s.dst; bits = s.bits; delivered });
+            if delivered then begin
+              let from_port = port_to ports.(s.dst) s.src in
+              inboxes.(s.dst) <-
+                { Protocol.from_port; payload = s.payload } :: inboxes.(s.dst)
+            end
           end)
         sends;
-      (* 5. Early stop: network quiescent and every live node has decided. *)
+      (* 6. Early stop: network quiescent and every live node has decided. *)
       in_flight := sends <> [];
       if sends = [] then begin
         let all_decided = ref true in

@@ -10,6 +10,9 @@
     - a faulty node crashes in the round of the adversary's choosing, an
       adversary-chosen subset of its messages for that round is lost, and
       the node halts for ever after;
+    - beyond the paper's model, an optional {!Link} fault stage may lose
+      messages of *live* senders (omission faults); such losses are
+      counted apart from crash losses;
     - message and bit complexity are counted at send time (a lost message
       was still sent);
     - the per-edge-per-round CONGEST budget is checked when [congest_limit]
@@ -24,6 +27,7 @@ type config = {
   seed : int;
   inputs : int array option;  (** Per-node inputs (agreement); default 0. *)
   adversary : Adversary.t;
+  link : Link.t;  (** Omission-fault model for live links; {!Link.reliable} = paper model. *)
   congest_limit : int option;  (** Per-edge per-round bits; [None] = LOCAL. *)
   record_trace : bool;
   max_rounds_override : int option;
@@ -52,7 +56,8 @@ type result = {
 }
 
 val default_config : n:int -> alpha:float -> seed:int -> config
-(** CONGEST limit at {!Congest.default_limit}, no trace, no adversary. *)
+(** CONGEST limit at {!Congest.default_limit}, no trace, no adversary,
+    reliable links. *)
 
 val max_faulty : n:int -> alpha:float -> int
 (** [n - ceil(alpha * n)]: the largest faulty set leaving [alpha n]

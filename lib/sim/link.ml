@@ -1,0 +1,11 @@
+type view = {
+  round : int;
+  src : int;
+  dst : int;
+  bits : int;
+  observations : Observation.t array;
+}
+
+type t = { name : string; drop : Ftc_rng.Rng.t -> view -> bool }
+
+let reliable = { name = "reliable"; drop = (fun _ _ -> false) }

@@ -1,0 +1,39 @@
+(** Omission faults on live links.
+
+    The paper's adversary loses messages only as part of a crash (the
+    final-round sends of a crashing node). A link-fault model extends the
+    engine beyond that: after the crash stage of a round, every message
+    still on the wire traverses its link, and the model may drop it — the
+    sender stays alive and keeps executing. This is the omission-fault
+    regime the permissionless settings of the paper's motivation actually
+    live in, and the regime the [Ftc_transport] wrapper repairs.
+
+    A [Link.t] may carry per-run mutable state in its closure (burst
+    models track per-edge channel state), so construct a fresh value for
+    every run — the constructors in [Ftc_fault.Omission] do that. Losses
+    decided here are counted separately from crash losses
+    ([Metrics.msgs_lost_link]) and traced as {!Trace.Link_lost} events, so
+    the trace-vs-metrics oracle still balances. *)
+
+type view = {
+  round : int;
+  src : int;
+  dst : int;
+  bits : int;
+  observations : Observation.t array;
+      (** Every node's protocol-published observation this round, indexed
+          by node — the same omniscient view the crash adversary gets, so
+          omission adversaries can target roles (e.g. starve the min-rank
+          candidate's referee replies). *)
+}
+
+type t = {
+  name : string;
+  drop : Ftc_rng.Rng.t -> view -> bool;
+      (** Called once per message that survived the crash stage; [true]
+          loses the message. The rng is the engine's dedicated link
+          stream, split from the root seed, so runs stay reproducible. *)
+}
+
+val reliable : t
+(** Never drops anything — the paper's model; the default. *)

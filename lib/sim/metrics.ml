@@ -1,6 +1,8 @@
 type t = {
   mutable msgs_sent : int;
   mutable msgs_dropped : int;
+  mutable msgs_lost_link : int;
+  mutable msgs_unroutable : int;
   mutable bits_sent : int;
   mutable rounds_used : int;
   mutable congest_violations : int;
@@ -11,6 +13,8 @@ let create () =
   {
     msgs_sent = 0;
     msgs_dropped = 0;
+    msgs_lost_link = 0;
+    msgs_unroutable = 0;
     bits_sent = 0;
     rounds_used = 0;
     congest_violations = 0;
@@ -32,6 +36,15 @@ let record_send t ~round ~bits ~delivered =
   ensure_round t round;
   t.per_round_msgs.(round) <- t.per_round_msgs.(round) + 1
 
+let record_link_loss t ~round ~bits =
+  t.msgs_sent <- t.msgs_sent + 1;
+  t.bits_sent <- t.bits_sent + bits;
+  t.msgs_lost_link <- t.msgs_lost_link + 1;
+  ensure_round t round;
+  t.per_round_msgs.(round) <- t.per_round_msgs.(round) + 1
+
+let record_unroutable t = t.msgs_unroutable <- t.msgs_unroutable + 1
+
 let record_violation t = t.congest_violations <- t.congest_violations + 1
 
 let finish t ~rounds =
@@ -40,5 +53,8 @@ let finish t ~rounds =
     t.per_round_msgs <- Array.sub t.per_round_msgs 0 rounds
 
 let pp ppf t =
-  Format.fprintf ppf "msgs=%d (dropped %d), bits=%d, rounds=%d, congest_violations=%d"
-    t.msgs_sent t.msgs_dropped t.bits_sent t.rounds_used t.congest_violations
+  Format.fprintf ppf
+    "msgs=%d (dropped %d, link-lost %d, unroutable %d), bits=%d, rounds=%d, \
+     congest_violations=%d"
+    t.msgs_sent t.msgs_dropped t.msgs_lost_link t.msgs_unroutable t.bits_sent t.rounds_used
+    t.congest_violations

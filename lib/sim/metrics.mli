@@ -4,11 +4,18 @@
     by all the nodes throughout the execution", so a message lost to a
     crash still counts as sent. Bits are counted separately because the
     paper states the agreement bound in message *bits* (Theorem 5.1) and
-    Remark 1 notes the O(log n) factor between the two. *)
+    Remark 1 notes the O(log n) factor between the two. Link losses (the
+    omission-fault extension of {!Link}) likewise count as sent, but are
+    tallied apart from crash losses so experiments can separate the two
+    failure modes. *)
 
 type t = {
   mutable msgs_sent : int;  (** Messages sent (delivered or lost). *)
   mutable msgs_dropped : int;  (** Messages lost to crashes. *)
+  mutable msgs_lost_link : int;  (** Messages lost on live links ({!Link}). *)
+  mutable msgs_unroutable : int;
+      (** [Fresh_port] sends by a node that already knew all [n-1] peers;
+          never put on the wire, so not part of [msgs_sent]. *)
   mutable bits_sent : int;  (** Total payload bits sent. *)
   mutable rounds_used : int;  (** Rounds actually executed. *)
   mutable congest_violations : int;
@@ -17,7 +24,14 @@ type t = {
 }
 
 val create : unit -> t
+
 val record_send : t -> round:int -> bits:int -> delivered:bool -> unit
+(** One message put on the wire; [delivered:false] means a crash ate it. *)
+
+val record_link_loss : t -> round:int -> bits:int -> unit
+(** One message put on the wire and lost by the link-fault model. *)
+
+val record_unroutable : t -> unit
 val record_violation : t -> unit
 val finish : t -> rounds:int -> unit
 val pp : Format.formatter -> t -> unit

@@ -1,6 +1,8 @@
 type event =
   | Send of { round : int; src : int; dst : int; bits : int; delivered : bool }
   | Crash of { round : int; node : int }
+  | Link_lost of { round : int; src : int; dst : int; bits : int }
+  | Unroutable of { round : int; node : int }
 
 type t = { mutable rev_events : event list; mutable len : int }
 
@@ -19,3 +21,6 @@ let pp_event ppf = function
       Format.fprintf ppf "r%d: %d -> %d (%d bits%s)" round src dst bits
         (if delivered then "" else ", lost")
   | Crash { round; node } -> Format.fprintf ppf "r%d: crash %d" round node
+  | Link_lost { round; src; dst; bits } ->
+      Format.fprintf ppf "r%d: %d -> %d (%d bits, link lost)" round src dst bits
+  | Unroutable { round; node } -> Format.fprintf ppf "r%d: %d fresh-port send unroutable" round node

@@ -3,11 +3,21 @@
     The lower-bound proofs of the paper (Theorems 4.2 and 5.2) reason about
     the *communication graph* of an execution — who sent to whom, and the
     "influence clouds" reachable from initiator nodes. Recording a trace
-    lets [Ftc_analysis.Influence] compute those objects from real runs. *)
+    lets [Ftc_analysis.Influence] compute those objects from real runs.
+
+    A message lost on a live link produces two events: a [Send] with
+    [delivered = false] (it was sent and counts in the paper's message
+    complexity) and a [Link_lost] marker attributing the loss to the
+    {!Link} model rather than a crash — so send/drop counts from the trace
+    still reconcile exactly with {!Metrics}. *)
 
 type event =
   | Send of { round : int; src : int; dst : int; bits : int; delivered : bool }
   | Crash of { round : int; node : int }
+  | Link_lost of { round : int; src : int; dst : int; bits : int }
+      (** Emitted alongside the undelivered [Send] it explains. *)
+  | Unroutable of { round : int; node : int }
+      (** A [Fresh_port] send with no unknown peer left; never sent. *)
 
 type t
 (** An append-only event log. *)

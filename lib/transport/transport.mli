@@ -1,0 +1,66 @@
+(** Reliable delivery over omission-faulty links: an end-to-end
+    ack/retransmit layer packaged as a protocol functor.
+
+    {!wrap} turns any protocol [P] into a protocol that simulates [P] over
+    lossy links using a window synchronizer: inner round [k] of [P] runs at
+    engine round [k * w] (with [w] given by {!window}), and the rounds in
+    between carry acks and retransmissions. Every data message gets a
+    per-sender sequence number; the receiver acks each copy through the
+    reply port, deduplicates, and buffers the payload for the next inner
+    round. The sender retransmits on a doubling-timeout calendar (capped at
+    [backoff_cap]) until acked, out of budget, or out of window.
+
+    The wrapper preserves KT0 faithfulness: a [Fresh_port] send's first
+    transmission really opens the fresh port; the wrapper mirrors the
+    engine's deterministic port numbering (dense, in send/arrival order) to
+    learn which port that was, and retransmits through it via [Port].
+
+    The overhead is measured exactly, not estimated: the engine's metrics
+    charge every ack and retransmission like any other message (so wrapped
+    runs need roughly double the per-edge CONGEST budget — a data message
+    and an ack can share an edge-round), and {!stats} breaks the overhead
+    down by cause. *)
+
+type config = {
+  timeout : int;  (** Rounds before the first retransmission; >= 2 (the ack RTT). *)
+  backoff_cap : int;  (** Timeouts double up to this cap; >= [timeout]. *)
+  budget : int;  (** Maximum retransmissions per message; >= 0. *)
+}
+
+val default_config : config
+(** [{timeout = 2; backoff_cap = 8; budget = 4}] — a 24-round window. *)
+
+val validate_config : config -> (unit, string) result
+
+val window : config -> int
+(** Engine rounds per inner round: the last in-budget retransmission's
+    offset plus 2, so its ack can land before the next inner round. *)
+
+type stats = {
+  mutable data_sent : int;  (** First transmissions of tracked data messages. *)
+  mutable retransmissions : int;
+  mutable acks_sent : int;
+  mutable acked : int;  (** Distinct messages confirmed at their sender. *)
+  mutable delivered_unique : int;  (** Distinct messages delivered to inner inboxes. *)
+  mutable duplicates : int;  (** Copies suppressed by receiver-side dedup. *)
+  mutable gave_up : int;  (** Messages abandoned unacked (budget or window spent). *)
+  mutable unroutable : int;  (** Fresh-port sends past n-1 ports: forwarded untracked. *)
+  mutable max_timeout : int;  (** Largest timeout the calendar ever used. *)
+}
+
+val fresh_stats : unit -> stats
+val pp_stats : Format.formatter -> stats -> unit
+
+val seq_bits : n:int -> int
+(** Framing bits added to every data message and ack: [2 * Congest.id_bits]. *)
+
+val wrap :
+  ?config:config ->
+  (module Ftc_sim.Protocol.S) ->
+  (module Ftc_sim.Protocol.S) * stats
+(** [wrap (module P)] is [P] over the transport, plus the (initially zero)
+    stats record the wrapped module mutates as it runs — aggregate across
+    all nodes, valid for one run. The wrapped module keeps [P]'s knowledge
+    and decisions; its [max_rounds] is [window * P.max_rounds + 2] and its
+    name is [P.name ^ "+transport"]. Raises [Invalid_argument] on an
+    invalid config. *)

@@ -76,7 +76,7 @@ let test_trace_metrics_every_adversary () =
                   incr sends;
                   bits := !bits + b;
                   if delivered then delivered_bits := !delivered_bits + b else incr dropped
-              | Trace.Crash _ -> ())
+              | Trace.Crash _ | Trace.Link_lost _ | Trace.Unroutable _ -> ())
             (Trace.events t);
           Alcotest.(check int) (name ^ ": sends = msgs_sent") r.metrics.msgs_sent !sends;
           Alcotest.(check int) (name ^ ": drops = msgs_dropped") r.metrics.msgs_dropped !dropped;
@@ -97,6 +97,8 @@ let clean_case =
     seed = 5;
     inputs = Array.make 64 0;
     plan = [];
+    loss = Ftc_fault.Omission.No_loss;
+    transport = false;
   }
 
 let test_oracles_clean_on_good_run () =
@@ -131,6 +133,8 @@ let kutten_known_bad () =
       seed = 42;
       inputs = Array.make 48 0;
       plan = [];
+      loss = Ftc_fault.Omission.No_loss;
+      transport = false;
     }
   in
   let leader =
@@ -201,6 +205,87 @@ let test_shrink_drops_junk_and_replay_roundtrips () =
       | Ok (parsed, _) ->
           Alcotest.(check bool) "file round-trips" true (Case.equal shrunk parsed))
 
+(* -- omission faults in cases, oracles, replay -- *)
+
+let test_lossy_raw_is_degradation_not_bug () =
+  (* Starve a raw protocol with heavy loss: the run surely fails to elect,
+     but the oracles must treat that as measured degradation — only the
+     accounting invariants (model/congest/trace-metrics) apply, and those
+     must still hold. *)
+  let case = { clean_case with Case.loss = Ftc_fault.Omission.Uniform 0.9 } in
+  match Case.run case with
+  | Error e -> Alcotest.fail (Case.error_to_string e)
+  | Ok (r, findings) ->
+      Alcotest.(check bool) "losses actually happened" true (r.Engine.metrics.msgs_lost_link > 0);
+      Alcotest.(check (list string)) "no findings on a lossy raw run" []
+        (List.map (fun f -> f.Oracle.oracle) findings)
+
+let test_wrapped_case_survives_light_loss () =
+  (* The same protocol under the transport is held to every oracle and
+     must pass: 2% uniform loss is far inside the retransmission budget. *)
+  let case =
+    {
+      clean_case with
+      Case.loss = Ftc_fault.Omission.Uniform 0.02;
+      transport = true;
+      n = 48;
+      inputs = Array.make 48 0;
+    }
+  in
+  match Case.run case with
+  | Error e -> Alcotest.fail (Case.error_to_string e)
+  | Ok (r, findings) ->
+      Alcotest.(check bool) "losses actually happened" true (r.Engine.metrics.msgs_lost_link > 0);
+      Alcotest.(check (list string)) "wrapped run passes every oracle" []
+        (List.map (fun f -> Format.asprintf "%a" Oracle.pp f) findings)
+
+let test_replay_v2_roundtrip_with_loss () =
+  let case =
+    {
+      clean_case with
+      Case.loss = Ftc_fault.Omission.Burst { rate = 0.125; mean_len = 3. };
+      transport = true;
+    }
+  in
+  (match Chaos.Replay.of_string (Chaos.Replay.to_string case) with
+  | Error e -> Alcotest.fail e
+  | Ok (parsed, _) ->
+      Alcotest.(check bool) "loss and transport round-trip" true (Case.equal case parsed));
+  (* A version-1 file (no loss/transport lines) still loads, meaning
+     reliable links and no wrapper. *)
+  let v1 = "ftc-chaos-replay 1\nprotocol ft-agreement\nn 8\nalpha 0.5\nseed 3\n" in
+  match Chaos.Replay.of_string v1 with
+  | Error e -> Alcotest.fail e
+  | Ok (parsed, _) ->
+      Alcotest.(check bool) "v1 defaults to no loss" true
+        (parsed.Case.loss = Ftc_fault.Omission.No_loss && not parsed.Case.transport)
+
+let test_shrinker_discards_irrelevant_loss () =
+  (* Wrap the known-bad kutten case in the transport with 1% loss riding
+     along. The failure is caused by the crash, not the loss, so the
+     shrinker must strip both the loss model and the wrapper. (A *raw*
+     case with loss attached is out of scope here: it is judged by the
+     accounting oracles only, so the election oracle cannot fire.) *)
+  let _, _, bad = kutten_known_bad () in
+  let bad = { bad with Case.loss = Ftc_fault.Omission.Uniform 0.01; transport = true } in
+  let findings = Case.findings bad in
+  Alcotest.(check bool) "still fails with loss + transport attached" true (findings <> []);
+  let failure = Chaos.Fuzz.shrink_failure bad findings in
+  Alcotest.(check bool) "loss shrunk away" true
+    (failure.Chaos.Fuzz.shrunk.Case.loss = Ftc_fault.Omission.No_loss);
+  Alcotest.(check bool) "transport shrunk away" true
+    (not failure.Chaos.Fuzz.shrunk.Case.transport)
+
+let test_omission_fuzz_deterministic_and_clean () =
+  let config =
+    { Chaos.Fuzz.default_config with Chaos.Fuzz.budget = 20; seed = 2; omission = true }
+  in
+  let a = Chaos.Fuzz.run config in
+  let b = Chaos.Fuzz.run config in
+  Alcotest.(check int) "cases run" a.Chaos.Fuzz.cases_run b.Chaos.Fuzz.cases_run;
+  Alcotest.(check bool) "20 omission cases come back clean" true
+    (a.Chaos.Fuzz.failure = None && b.Chaos.Fuzz.failure = None)
+
 let test_replay_parser_rejects_garbage () =
   Alcotest.(check bool) "garbage" true (Result.is_error (Chaos.Replay.of_string "hello\nworld"));
   Alcotest.(check bool) "empty" true (Result.is_error (Chaos.Replay.of_string ""));
@@ -252,6 +337,17 @@ let () =
           Alcotest.test_case "shrink + replay round-trip" `Quick
             test_shrink_drops_junk_and_replay_roundtrips;
           Alcotest.test_case "parser rejects garbage" `Quick test_replay_parser_rejects_garbage;
+        ] );
+      ( "omission",
+        [
+          Alcotest.test_case "lossy raw = degradation" `Quick test_lossy_raw_is_degradation_not_bug;
+          Alcotest.test_case "wrapped survives light loss" `Quick
+            test_wrapped_case_survives_light_loss;
+          Alcotest.test_case "replay v2 round-trip" `Quick test_replay_v2_roundtrip_with_loss;
+          Alcotest.test_case "shrinker discards irrelevant loss" `Quick
+            test_shrinker_discards_irrelevant_loss;
+          Alcotest.test_case "omission fuzz deterministic + clean" `Slow
+            test_omission_fuzz_deterministic_and_clean;
         ] );
       ( "fuzzer",
         [

@@ -212,6 +212,119 @@ let test_trace_records_crash_and_sends () =
       in
       Alcotest.(check int) "lost send traced" 1 (List.length lost)
 
+(* -- omission-fault link stage -- *)
+
+let test_link_total_loss_balanced () =
+  let module E = Engine.Make (Beacon) in
+  let n = 32 in
+  let inputs = Array.make n 0 in
+  inputs.(7) <- 1;
+  let r =
+    E.run
+      {
+        (base_config ~n ~seed:9 ()) with
+        inputs = Some inputs;
+        link = Ftc_fault.Omission.lossy_uniform ~rate:1.0 ();
+        record_trace = true;
+      }
+  in
+  Alcotest.(check (list string)) "no errors" [] (List.map Ftc_sim.Violation.to_string r.violations);
+  (* Rounds 0..5: 4 + 1 + 1 + 1 + 1 + 1 sends, all eaten by the link. *)
+  Alcotest.(check int) "sends still counted" 9 r.metrics.msgs_sent;
+  Alcotest.(check int) "all lost on the link" 9 r.metrics.msgs_lost_link;
+  Alcotest.(check int) "crash drops distinct from link losses" 0 r.metrics.msgs_dropped;
+  let got =
+    Array.fold_left
+      (fun acc d -> match d with Decision.Agreed v -> acc + v | _ -> acc)
+      0 r.decisions
+  in
+  Alcotest.(check int) "nothing delivered" 0 got;
+  match r.trace with
+  | None -> Alcotest.fail "trace requested but absent"
+  | Some t ->
+      let events = Trace.events t in
+      let undelivered =
+        List.length
+          (List.filter (function Trace.Send { delivered = false; _ } -> true | _ -> false) events)
+      in
+      let link_lost =
+        List.length (List.filter (function Trace.Link_lost _ -> true | _ -> false) events)
+      in
+      Alcotest.(check int) "every send traced undelivered" 9 undelivered;
+      Alcotest.(check int) "every loss has a Link_lost marker" 9 link_lost
+
+let test_link_partial_loss_reconciles () =
+  let module E = Engine.Make (Beacon) in
+  let n = 32 in
+  let inputs = Array.make n 1 in
+  let r =
+    E.run
+      {
+        (base_config ~n ~seed:4 ()) with
+        inputs = Some inputs;
+        link = Ftc_fault.Omission.lossy_uniform ~rate:0.5 ();
+        record_trace = true;
+      }
+  in
+  Alcotest.(check bool) "some messages lost" true (r.metrics.msgs_lost_link > 0);
+  Alcotest.(check bool) "some messages survive" true
+    (r.metrics.msgs_lost_link < r.metrics.msgs_sent);
+  match r.trace with
+  | None -> Alcotest.fail "trace requested but absent"
+  | Some t ->
+      let sends = ref 0 and undelivered = ref 0 and link_lost = ref 0 in
+      List.iter
+        (function
+          | Trace.Send { delivered; _ } ->
+              incr sends;
+              if not delivered then incr undelivered
+          | Trace.Link_lost _ -> incr link_lost
+          | Trace.Crash _ | Trace.Unroutable _ -> ())
+        (Trace.events t);
+      Alcotest.(check int) "sends match metrics" r.metrics.msgs_sent !sends;
+      Alcotest.(check int) "losses match metrics" r.metrics.msgs_lost_link !link_lost;
+      Alcotest.(check int) "undelivered = drops + link losses"
+        (r.metrics.msgs_dropped + r.metrics.msgs_lost_link)
+        !undelivered
+
+let test_link_determinism_and_reliable_stream_unchanged () =
+  (* Same seed, same lossy link model -> identical executions; and the
+     explicit reliable link is the exact default-config behaviour. *)
+  let module E = Engine.Make (Beacon) in
+  let n = 24 in
+  let inputs = Array.make n 1 in
+  let run link =
+    E.run { (base_config ~n ~seed:21 ()) with inputs = Some inputs; link }
+  in
+  let a = run (Ftc_fault.Omission.lossy_burst ~rate:0.3 ~mean_len:3. ()) in
+  let b = run (Ftc_fault.Omission.lossy_burst ~rate:0.3 ~mean_len:3. ()) in
+  Alcotest.(check int) "same losses" a.metrics.msgs_lost_link b.metrics.msgs_lost_link;
+  Alcotest.(check int) "same msgs" a.metrics.msgs_sent b.metrics.msgs_sent;
+  let plain = run Ftc_sim.Link.reliable in
+  Alcotest.(check int) "reliable = paper model, no losses" 0 plain.metrics.msgs_lost_link
+
+(* Opens more fresh ports than the other n-1 nodes can supply; the excess
+   sends must be counted and traced, never silently swallowed. *)
+let test_unroutable_fresh_sends_counted () =
+  let module E = Engine.Make (Ping_pong) in
+  let n = 4 in
+  let fan = 7 in
+  let inputs = Array.make n 0 in
+  inputs.(3) <- fan;
+  let r = E.run { (base_config ~n ()) with inputs = Some inputs; record_trace = true } in
+  Alcotest.(check (list string)) "no errors" [] (List.map Ftc_sim.Violation.to_string r.violations);
+  (* n-1 = 3 pings routable (plus 3 pongs back); 4 pings unroutable. *)
+  Alcotest.(check int) "unroutable counted" (fan - (n - 1)) r.metrics.msgs_unroutable;
+  Alcotest.(check int) "routable sends counted" (2 * (n - 1)) r.metrics.msgs_sent;
+  match r.trace with
+  | None -> Alcotest.fail "trace requested but absent"
+  | Some t ->
+      let unroutable =
+        List.filter (function Trace.Unroutable { node = 3; _ } -> true | _ -> false)
+          (Trace.events t)
+      in
+      Alcotest.(check int) "unroutable events traced" (fan - (n - 1)) (List.length unroutable)
+
 let test_adversary_cannot_crash_non_faulty () =
   let module E = Engine.Make (Beacon) in
   let n = 8 in
@@ -546,6 +659,14 @@ let () =
           Alcotest.test_case "timed_out flag" `Quick test_timed_out_flag;
           Alcotest.test_case "non-faulty protected" `Quick test_adversary_cannot_crash_non_faulty;
           Alcotest.test_case "faulty budget enforced" `Quick test_adversary_budget_enforced;
+        ] );
+      ( "links",
+        [
+          Alcotest.test_case "total loss balanced" `Quick test_link_total_loss_balanced;
+          Alcotest.test_case "partial loss reconciles" `Quick test_link_partial_loss_reconciles;
+          Alcotest.test_case "deterministic, reliable unchanged" `Quick
+            test_link_determinism_and_reliable_stream_unchanged;
+          Alcotest.test_case "unroutable sends counted" `Quick test_unroutable_fresh_sends_counted;
         ] );
       ( "model",
         [

@@ -59,7 +59,9 @@ let trace_consistency name proto () =
           | Trace.Crash { node; round } ->
               incr crashes;
               Alcotest.(check bool) (name ^ ": crash flagged") true r.crashed.(node);
-              Alcotest.(check int) (name ^ ": crash round matches") round r.crash_round.(node))
+              Alcotest.(check int) (name ^ ": crash round matches") round r.crash_round.(node)
+          | Trace.Link_lost _ | Trace.Unroutable _ ->
+              Alcotest.fail (name ^ ": link events impossible on reliable links"))
         (Trace.events t);
       Alcotest.(check int) (name ^ ": trace sends = metrics") r.metrics.msgs_sent !sends;
       Alcotest.(check int) (name ^ ": trace drops = metrics") r.metrics.msgs_dropped !dropped;
