@@ -9,8 +9,17 @@
    2. The experiments themselves — each prints the rows/series the paper
       artefact contains (Table I and the theorem/lemma validations).
 
-   Usage: main.exe [T1 F1 ... | all] [--quick|--full] [--seed=N] [--no-bench]
-   Default: every experiment, full scale (the EXPERIMENTS.md settings). *)
+   Usage: main.exe [T1 F1 ... | all] [--quick|--full] [--seed=N] [--jobs=N] [--no-bench]
+   Default: every experiment, full scale (the EXPERIMENTS.md settings).
+
+   Timing is monotonic-clock and goes to stderr; stdout carries only the
+   experiment reports, which are bit-identical at every --jobs value —
+   CI diffs a --jobs 2 run against --jobs 1 to enforce exactly that.
+   Per-experiment wall times land in BENCH_perf.json. *)
+
+(* Bind the stub clock before [open Bechamel] shadows the module name
+   with bechamel's own (now-less) [Bechamel.Monotonic_clock]. *)
+let monotonic_now_ns = Monotonic_clock.now
 
 open Bechamel
 open Toolkit
@@ -181,6 +190,46 @@ let emit_f13_json rows =
 let starts_with ~prefix s =
   String.length s >= String.length prefix && String.sub s 0 (String.length prefix) = prefix
 
+(* Monotonic wall-clock seconds (bechamel's clock, ns resolution):
+   immune to NTP slews and wall-clock jumps, unlike Unix.gettimeofday. *)
+let now_s () = Int64.to_float (monotonic_now_ns ()) /. 1e9
+
+(* Throughput calibration for BENCH_perf.json: a fixed trial workload
+   through the parallel runner, timed as a whole, so the perf trajectory
+   records trials/sec at the jobs value CI ran with. *)
+let throughput_workload ~jobs =
+  let n = 256 and alpha = 0.7 and trials = 48 in
+  let spec =
+    {
+      (Ftc_expt.Runner.default_spec (le ()) ~n ~alpha) with
+      Ftc_expt.Runner.adversary = random_adv;
+    }
+  in
+  let seeds = Ftc_expt.Runner.seeds ~base:1 ~count:trials in
+  let t0 = now_s () in
+  ignore (Ftc_expt.Runner.run_many_par ~jobs spec ~seeds);
+  let dt = now_s () -. t0 in
+  (Printf.sprintf "leader-election n=%d alpha=%.1f random-crashes x%d trials" n alpha trials,
+   trials, dt)
+
+let emit_perf_json ~jobs ~experiment_times =
+  let workload, trials, dt = throughput_workload ~jobs in
+  let oc = open_out "BENCH_perf.json" in
+  Printf.fprintf oc "{\n  \"jobs\": %d,\n  \"clock\": \"monotonic\",\n" jobs;
+  Printf.fprintf oc "  \"throughput\": {\n    \"workload\": %S,\n    \"trials\": %d,\n"
+    workload trials;
+  Printf.fprintf oc "    \"seconds\": %.3f,\n    \"trials_per_sec\": %.1f\n  },\n" dt
+    (if dt > 0. then float_of_int trials /. dt else 0.);
+  Printf.fprintf oc "  \"experiments\": [\n";
+  List.iteri
+    (fun i (id, dt) ->
+      Printf.fprintf oc "    { \"id\": %S, \"seconds\": %.3f }%s\n" id dt
+        (if i = List.length experiment_times - 1 then "" else ","))
+    (List.rev experiment_times);
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc;
+  prerr_endline "Wrote BENCH_perf.json"
+
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let flags, ids_raw = List.partition (fun a -> String.length a > 0 && a.[0] = '-') args in
@@ -190,6 +239,15 @@ let () =
     | Some s -> int_of_string (String.sub s 7 (String.length s - 7))
     | None -> 1
   in
+  let jobs =
+    match List.find_opt (starts_with ~prefix:"--jobs=") flags with
+    | Some s -> int_of_string (String.sub s 7 (String.length s - 7))
+    | None -> 1
+  in
+  if jobs < 1 then begin
+    Printf.eprintf "--jobs must be at least 1 (got %d)\n" jobs;
+    exit 2
+  end;
   let all_ids = Ftc_expt.Registry.ids () in
   let ids =
     match ids_raw with
@@ -204,14 +262,20 @@ let () =
       end)
     ids;
   if not (List.mem "--no-bench" flags) then emit_f13_json (run_microbenches ids);
-  let ctx = { Ftc_expt.Def.scale; base_seed = seed } in
+  let ctx = { Ftc_expt.Def.scale; base_seed = seed; jobs } in
+  let experiment_times = ref [] in
   List.iter
     (fun id ->
       match Ftc_expt.Registry.find id with
       | None -> ()
       | Some e ->
-          let t0 = Unix.gettimeofday () in
+          let t0 = now_s () in
           print_string (e.Ftc_expt.Def.run ctx);
-          Printf.printf "[%s completed in %.1f s]\n\n%!" e.Ftc_expt.Def.id
-            (Unix.gettimeofday () -. t0))
-    ids
+          print_newline ();
+          let dt = now_s () -. t0 in
+          experiment_times := (e.Ftc_expt.Def.id, dt) :: !experiment_times;
+          (* Timing goes to stderr: stdout must be identical across
+             --jobs values so CI can diff parallel against sequential. *)
+          Printf.eprintf "[%s completed in %.1f s, %d job(s)]\n%!" e.Ftc_expt.Def.id dt jobs)
+    ids;
+  emit_perf_json ~jobs ~experiment_times:!experiment_times

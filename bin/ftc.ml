@@ -98,6 +98,24 @@ let parse_loss ~loss ~model =
 let trials_arg =
   Arg.(value & opt int 1 & info [ "trials" ] ~docv:"K" ~doc:"Number of seeded repetitions.")
 
+let jobs_arg =
+  Arg.(
+    value
+    & opt int 1
+    & info [ "j"; "jobs" ] ~docv:"JOBS"
+        ~doc:
+          "Worker domains for the trial loops. Trials are seed-independent, so any value \
+           produces bit-identical results; more jobs only finish sooner.")
+
+(* Shared by every command taking --jobs: a non-positive count is a usage
+   error (exit 2), like the other argument checks. *)
+let parse_jobs jobs =
+  if jobs < 1 then begin
+    Printf.eprintf "--jobs must be at least 1 (got %d)\n" jobs;
+    exit 2
+  end;
+  jobs
+
 let report_metrics (r : Ftc_sim.Engine.result) =
   Printf.printf "  rounds: %d   messages: %s   bits: %s   dropped: %d   link-lost: %d   crashed: %d\n"
     r.rounds_used
@@ -111,38 +129,50 @@ let report_transport (o : Ftc_expt.Runner.outcome) =
   | None -> ()
   | Some s -> Printf.printf "  transport: %s\n" (Format.asprintf "%a" Ftc_transport.Transport.pp_stats s)
 
-let run_spec ?(loss = Ftc_fault.Omission.No_loss) ?(transport_on = false) protocol ~n ~alpha
-    ~inputs ~adversary ~seed ~trace =
-  let spec =
-    {
-      (Ftc_expt.Runner.default_spec protocol ~n ~alpha) with
-      Ftc_expt.Runner.inputs;
-      adversary;
-      record_trace = trace;
-      link = (fun () -> Ftc_fault.Omission.to_link loss);
-      transport = (if transport_on then Some Ftc_transport.Transport.default_config else None);
-    }
-  in
-  Ftc_expt.Runner.run_exn spec ~seed
+let make_spec ?(loss = Ftc_fault.Omission.No_loss) ?(transport_on = false) protocol ~n ~alpha
+    ~inputs ~adversary ~trace =
+  {
+    (Ftc_expt.Runner.default_spec protocol ~n ~alpha) with
+    Ftc_expt.Runner.inputs;
+    adversary;
+    record_trace = trace;
+    link = (fun () -> Ftc_fault.Omission.to_link loss);
+    transport = (if transport_on then Some Ftc_transport.Transport.default_config else None);
+  }
+
+let run_spec ?loss ?transport_on protocol ~n ~alpha ~inputs ~adversary ~seed ~trace =
+  Ftc_expt.Runner.run_exn
+    (make_spec ?loss ?transport_on protocol ~n ~alpha ~inputs ~adversary ~trace)
+    ~seed
+
+(* The election/agreement trial loop: run all seeds (in parallel when
+   --jobs > 1 — per-trial results are bit-identical either way), then
+   report per seed in order. *)
+let run_trials ?loss ?transport_on protocol ~n ~alpha ~inputs ~adversary ~seed ~trials ~jobs =
+  let spec = make_spec ?loss ?transport_on protocol ~n ~alpha ~inputs ~adversary ~trace:false in
+  let seeds = List.init trials (fun i -> seed + i) in
+  List.combine seeds (Ftc_expt.Runner.run_many_par ~jobs spec ~seeds)
 
 (* -- election command -- *)
 
-let election n alpha seed adversary_name explicit trials loss loss_model transport_on =
+let election n alpha seed adversary_name explicit trials loss loss_model transport_on jobs =
   let loss = parse_loss ~loss ~model:loss_model in
+  let jobs = parse_jobs jobs in
   match adversary_of_name adversary_name with
   | Error e ->
       prerr_endline e;
       1
   | Ok adversary ->
       let ok = ref 0 in
-      for i = 0 to trials - 1 do
-        let o =
-          run_spec ~loss ~transport_on
-            (Ftc_core.Leader_election.make ~explicit params)
-            ~n ~alpha ~inputs:Ftc_expt.Runner.Zeros ~adversary ~seed:(seed + i) ~trace:false
-        in
+      let outcomes =
+        run_trials ~loss ~transport_on
+          (Ftc_core.Leader_election.make ~explicit params)
+          ~n ~alpha ~inputs:Ftc_expt.Runner.Zeros ~adversary ~seed ~trials ~jobs
+      in
+      List.iter
+        (fun (seed, (o : Ftc_expt.Runner.outcome)) ->
         let rep = Ftc_core.Properties.check_implicit_election o.result in
-        Printf.printf "seed %d: %s" (seed + i)
+        Printf.printf "seed %d: %s" seed
           (if rep.ok then "elected a unique leader" else "FAILED");
         (match rep.leader with
         | Some l ->
@@ -159,32 +189,34 @@ let election n alpha seed adversary_name explicit trials loss loss_model transpo
             (if er.ok then "everyone knows the leader" else "FAILED")
             er.live_unaware
         end;
-        if rep.ok then incr ok
-      done;
+        if rep.ok then incr ok)
+        outcomes;
       if trials > 1 then Printf.printf "success: %d/%d\n" !ok trials;
       if !ok = trials then 0 else 1
 
 (* -- agreement command -- *)
 
 let agreement n alpha seed adversary_name explicit trials ones_prob loss loss_model transport_on
-    =
+    jobs =
   let loss = parse_loss ~loss ~model:loss_model in
+  let jobs = parse_jobs jobs in
   match adversary_of_name adversary_name with
   | Error e ->
       prerr_endline e;
       1
   | Ok adversary ->
       let ok = ref 0 in
-      for i = 0 to trials - 1 do
-        let o =
-          run_spec ~loss ~transport_on
-            (Ftc_core.Agreement.make ~explicit params)
-            ~n ~alpha
-            ~inputs:(Ftc_expt.Runner.Random_bits ones_prob)
-            ~adversary ~seed:(seed + i) ~trace:false
-        in
+      let outcomes =
+        run_trials ~loss ~transport_on
+          (Ftc_core.Agreement.make ~explicit params)
+          ~n ~alpha
+          ~inputs:(Ftc_expt.Runner.Random_bits ones_prob)
+          ~adversary ~seed ~trials ~jobs
+      in
+      List.iter
+        (fun (seed, (o : Ftc_expt.Runner.outcome)) ->
         let rep = Ftc_core.Properties.check_implicit_agreement ~inputs:o.inputs_used o.result in
-        Printf.printf "seed %d: %s" (seed + i)
+        Printf.printf "seed %d: %s" seed
           (if rep.ok then
              Printf.sprintf "agreed on %s with %d deciders"
                (match rep.value with Some v -> string_of_int v | None -> "?")
@@ -201,14 +233,15 @@ let agreement n alpha seed adversary_name explicit trials ones_prob loss loss_mo
             (if er.ok then "everyone decided" else "FAILED")
             er.live_undecided
         end;
-        if rep.ok then incr ok
-      done;
+        if rep.ok then incr ok)
+        outcomes;
       if trials > 1 then Printf.printf "success: %d/%d\n" !ok trials;
       if !ok = trials then 0 else 1
 
 (* -- expt command -- *)
 
-let expt ids full seed =
+let expt ids full seed jobs =
+  let jobs = parse_jobs jobs in
   let all_ids = Ftc_expt.Registry.ids () in
   let ids = match ids with [] -> all_ids | ids -> List.map String.uppercase_ascii ids in
   let bad = List.filter (fun id -> Ftc_expt.Registry.find id = None) ids in
@@ -219,7 +252,7 @@ let expt ids full seed =
   end
   else begin
     let scale = if full then Ftc_expt.Def.Full else Ftc_expt.Def.Quick in
-    let ctx = { Ftc_expt.Def.scale; base_seed = seed } in
+    let ctx = { Ftc_expt.Def.scale; base_seed = seed; jobs } in
     List.iter
       (fun id ->
         match Ftc_expt.Registry.find id with
@@ -284,7 +317,8 @@ let clouds n alpha seed adversary_name scale_factor =
 let print_findings findings =
   List.iter (fun f -> Printf.printf "  %s\n" (Format.asprintf "%a" Ftc_chaos.Oracle.pp f)) findings
 
-let chaos budget seed n_min n_max protocols omission out =
+let chaos budget seed n_min n_max protocols omission out jobs =
+  let jobs = parse_jobs jobs in
   if budget < 0 then begin
     Printf.eprintf "chaos: --budget must be non-negative (got %d)\n" budget;
     exit 2
@@ -306,7 +340,7 @@ let chaos budget seed n_min n_max protocols omission out =
           end)
         ps);
   let config = { Ftc_chaos.Fuzz.budget; seed; protocols; n_min; n_max; omission } in
-  let report = Ftc_chaos.Fuzz.run ~log:print_endline config in
+  let report = Ftc_chaos.Fuzz.run ~log:print_endline ~jobs config in
   match report.Ftc_chaos.Fuzz.failure with
   | None ->
       Printf.printf "chaos: %d cases clean (seed %d)\n" report.Ftc_chaos.Fuzz.cases_run seed;
@@ -388,7 +422,7 @@ let election_cmd =
     (Cmd.info "election" ~doc)
     Term.(
       const election $ n_arg $ alpha_arg $ seed_arg $ adversary_arg $ explicit_arg $ trials_arg
-      $ loss_arg $ loss_model_arg $ transport_arg)
+      $ loss_arg $ loss_model_arg $ transport_arg $ jobs_arg)
 
 let agreement_cmd =
   let doc = "Run fault-tolerant implicit agreement (paper Sec. V-A)." in
@@ -402,13 +436,13 @@ let agreement_cmd =
     (Cmd.info "agreement" ~doc)
     Term.(
       const agreement $ n_arg $ alpha_arg $ seed_arg $ adversary_arg $ explicit_arg $ trials_arg
-      $ ones $ loss_arg $ loss_model_arg $ transport_arg)
+      $ ones $ loss_arg $ loss_model_arg $ transport_arg $ jobs_arg)
 
 let expt_cmd =
   let doc = "Run experiments by id (default: all, quick scale)." in
   let ids = Arg.(value & pos_all string [] & info [] ~docv:"ID") in
   let full = Arg.(value & flag & info [ "full" ] ~doc:"EXPERIMENTS.md scale.") in
-  Cmd.v (Cmd.info "expt" ~doc) Term.(const expt $ ids $ full $ seed_arg)
+  Cmd.v (Cmd.info "expt" ~doc) Term.(const expt $ ids $ full $ seed_arg $ jobs_arg)
 
 let clouds_cmd =
   let doc = "Trace a run and print its influence-cloud decomposition (Thm 4.2/5.2)." in
@@ -454,7 +488,7 @@ let chaos_cmd =
       & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Where to write the shrunk reproducer.")
   in
   Cmd.v (Cmd.info "chaos" ~doc)
-    Term.(const chaos $ budget $ seed_arg $ n_min $ n_max $ protocols $ omission $ out)
+    Term.(const chaos $ budget $ seed_arg $ n_min $ n_max $ protocols $ omission $ out $ jobs_arg)
 
 let replay_cmd =
   let doc =

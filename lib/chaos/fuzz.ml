@@ -101,7 +101,8 @@ let shrink_failure ?(n_floor = default_config.n_min) case findings =
     shrink_attempts = stats.Shrink.attempts;
   }
 
-let run ?(log = ignore) config =
+let run ?(log = ignore) ?(jobs = 1) config =
+  if jobs < 1 then invalid_arg "Fuzz.run: jobs must be >= 1";
   let entries =
     match config.protocols with
     | None -> Catalog.all
@@ -110,29 +111,48 @@ let run ?(log = ignore) config =
   if entries = [] then invalid_arg "Fuzz.run: no protocols selected";
   let rng = Rng.create config.seed in
   let entries = Array.of_list entries in
+  (* Case generation stays on the single fuzzer rng stream; only the
+     (pure) case executions fan out, a chunk at a time. Chunk results are
+     then scanned in generation order, so the report — cases_run, the
+     failing case, its findings — is identical at every job count, and
+     identical to what the pre-parallel sequential sweep produced. The
+     only parallel overshoot is inside the failing chunk: at most
+     [chunk - 1] cases past the first failure run and are discarded. *)
+  let chunk_size = if jobs = 1 then 1 else 4 * jobs in
+  let failure_of i case findings =
+    log
+      (Format.asprintf "case %d FAILED: %a — %s" i Case.pp case
+         (String.concat "; " (List.map (Format.asprintf "%a" Oracle.pp) findings)));
+    log "shrinking...";
+    let failure = shrink_failure ~n_floor:config.n_min case findings in
+    { cases_run = i + 1; failure = Some failure }
+  in
   let rec go i =
     if i >= config.budget then { cases_run = i; failure = None }
     else begin
-      let entry = entries.(i mod Array.length entries) in
-      let case =
-        gen_case ~omission:config.omission rng entry ~n_min:config.n_min ~n_max:config.n_max
+      let chunk = min chunk_size (config.budget - i) in
+      let cases =
+        List.init chunk (fun k ->
+            let entry = entries.((i + k) mod Array.length entries) in
+            gen_case ~omission:config.omission rng entry ~n_min:config.n_min
+              ~n_max:config.n_max)
       in
-      match Case.run case with
-      | Error e ->
-          (* Generated cases are valid by construction; treat this as a
-             generator bug and surface it loudly. *)
-          invalid_arg ("Fuzz.run: generated an invalid case: " ^ Case.error_to_string e)
-      | Ok (_, []) ->
-          if (i + 1) mod 25 = 0 then log (Printf.sprintf "%d/%d cases clean" (i + 1) config.budget);
-          go (i + 1)
-      | Ok (_, findings) ->
-          log
-            (Format.asprintf "case %d FAILED: %a — %s" i Case.pp case
-               (String.concat "; "
-                  (List.map (Format.asprintf "%a" Oracle.pp) findings)));
-          log "shrinking...";
-          let failure = shrink_failure ~n_floor:config.n_min case findings in
-          { cases_run = i + 1; failure = Some failure }
+      let results =
+        Ftc_parallel.Pool.run_map ~jobs (fun case -> (case, Case.run case)) cases
+      in
+      let rec scan k = function
+        | [] -> go (i + chunk)
+        | (_, Error e) :: _ ->
+            (* Generated cases are valid by construction; treat this as a
+               generator bug and surface it loudly. *)
+            invalid_arg ("Fuzz.run: generated an invalid case: " ^ Case.error_to_string e)
+        | (_, Ok (_, [])) :: rest ->
+            if (i + k + 1) mod 25 = 0 then
+              log (Printf.sprintf "%d/%d cases clean" (i + k + 1) config.budget);
+            scan (k + 1) rest
+        | (case, Ok (_, findings)) :: _ -> failure_of (i + k) case findings
+      in
+      scan 0 results
     end
   in
   go 0

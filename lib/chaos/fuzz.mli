@@ -47,7 +47,12 @@ val shrink_failure : ?n_floor:int -> Case.t -> Oracle.finding list -> failure
     (default [default_config.n_min]) keeps the reducer inside the fuzzed
     network-size regime, where the w.h.p. oracles are meaningful. *)
 
-val run : ?log:(string -> unit) -> config -> report
+val run : ?log:(string -> unit) -> ?jobs:int -> config -> report
 (** Stops at the first failing case (after shrinking it); [failure =
     None] means every case came back clean. Raises [Invalid_argument] if
-    [protocols] selects nothing. *)
+    [protocols] selects nothing, or if [jobs < 1].
+
+    [jobs] (default 1) fans case execution out over that many domains, a
+    chunk at a time; generation stays on the single seed-derived rng
+    stream and chunk results are scanned in generation order, so the
+    report is identical at every job count. *)

@@ -35,7 +35,8 @@ let a1 =
               in
               let le =
                 Runner.aggregate ~ok:le_ok
-                  (Runner.run_many le_spec ~seeds:(Runner.seeds ~base:ctx.base_seed ~count:trials))
+                  (Runner.run_many_par ~jobs:ctx.jobs le_spec
+                     ~seeds:(Runner.seeds ~base:ctx.base_seed ~count:trials))
               in
               let ag_spec =
                 {
@@ -46,7 +47,7 @@ let a1 =
               in
               let ag =
                 Runner.aggregate ~ok:ag_ok
-                  (Runner.run_many ag_spec
+                  (Runner.run_many_par ~jobs:ctx.jobs ag_spec
                      ~seeds:(Runner.seeds ~base:(ctx.base_seed + 5) ~count:trials))
               in
               [
@@ -96,14 +97,15 @@ let a2 =
         in
         let binary =
           Runner.aggregate ~ok:ag_ok
-            (Runner.run_many binary_spec ~seeds:(Runner.seeds ~base:ctx.base_seed ~count:trials))
+            (Runner.run_many_par ~jobs:ctx.jobs binary_spec
+               ~seeds:(Runner.seeds ~base:ctx.base_seed ~count:trials))
         in
         let rows =
           List.map
             (fun bound ->
               let seeds = Runner.seeds ~base:(ctx.base_seed + bound) ~count:trials in
               let outcomes =
-                List.map
+                Ftc_parallel.Pool.run_map ~jobs:ctx.jobs
                   (fun seed ->
                     let rng = Ftc_rng.Rng.create (seed lxor 0x9e37) in
                     let inputs = Array.init n (fun _ -> Ftc_rng.Rng.int rng bound) in
@@ -165,7 +167,8 @@ let a3 =
               in
               let agg =
                 Runner.aggregate ~ok:le_ok
-                  (Runner.run_many spec ~seeds:(Runner.seeds ~base:ctx.base_seed ~count:trials))
+                  (Runner.run_many_par ~jobs:ctx.jobs spec
+                     ~seeds:(Runner.seeds ~base:ctx.base_seed ~count:trials))
               in
               [
                 string_of_int quiet;

@@ -16,25 +16,27 @@ let a4 =
           List.map
             (fun b ->
               let violated = ref 0 and decided_zero_total = ref 0 and msgs = ref 0 in
+              (* Honest nodes all hold 1; attackers are marked by the
+                 sentinel input. *)
+              let inputs = Array.make n 1 in
+              for i = 0 to b - 1 do
+                inputs.(i) <- Ftc_core.Byzantine_probe.byzantine_input
+              done;
+              let spec =
+                {
+                  (Runner.default_spec
+                     (Ftc_core.Byzantine_probe.make Ftc_core.Params.default)
+                     ~n ~alpha)
+                  with
+                  inputs = Runner.Exact inputs;
+                }
+              in
+              let outcomes =
+                Runner.run_many_par_raw ~jobs:ctx.jobs spec
+                  ~seeds:(Runner.seeds ~base:ctx.base_seed ~count:trials)
+              in
               List.iter
-                (fun seed ->
-                  (* Honest nodes all hold 1; attackers are marked by the
-                     sentinel input. *)
-                  let inputs = Array.make n 1 in
-                  for i = 0 to b - 1 do
-                    inputs.(i) <- Ftc_core.Byzantine_probe.byzantine_input
-                  done;
-                  let o =
-                    Runner.run
-                      {
-                        (Runner.default_spec
-                           (Ftc_core.Byzantine_probe.make Ftc_core.Params.default)
-                           ~n ~alpha)
-                        with
-                        inputs = Runner.Exact inputs;
-                      }
-                      ~seed
-                  in
+                (fun (o : Runner.outcome) ->
                   msgs := !msgs + o.result.Ftc_sim.Engine.metrics.Ftc_sim.Metrics.msgs_sent;
                   let honest_zero = ref 0 in
                   Array.iteri
@@ -47,7 +49,7 @@ let a4 =
                     o.result.Ftc_sim.Engine.decisions;
                   decided_zero_total := !decided_zero_total + !honest_zero;
                   if !honest_zero > 0 then incr violated)
-                (Runner.seeds ~base:ctx.base_seed ~count:trials);
+                outcomes;
               [
                 string_of_int b;
                 Printf.sprintf "%d/%d" !violated trials;

@@ -1,6 +1,6 @@
 type scale = Quick | Full
 
-type ctx = { scale : scale; base_seed : int }
+type ctx = { scale : scale; base_seed : int; jobs : int }
 
 type t = { id : string; title : string; paper : string; run : ctx -> string }
 

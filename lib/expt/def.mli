@@ -5,7 +5,13 @@ type scale =
   | Quick  (** Small n, few trials — smoke-check the shapes in seconds. *)
   | Full  (** The sizes and trial counts used for EXPERIMENTS.md. *)
 
-type ctx = { scale : scale; base_seed : int }
+type ctx = {
+  scale : scale;
+  base_seed : int;
+  jobs : int;
+      (** Worker domains for the trial loops ({!Runner.run_many_par});
+          1 = sequential. Outcomes are identical at any value. *)
+}
 
 type t = {
   id : string;  (** e.g. "T1", "F9"; stable, used by the CLI and bench. *)

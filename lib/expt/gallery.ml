@@ -26,7 +26,8 @@ let f11 =
             let le =
               Runner.aggregate
                 ~ok:(fun o -> (Ftc_core.Properties.check_implicit_election o.result).ok)
-                (Runner.run_many le_spec ~seeds:(Runner.seeds ~base:ctx.base_seed ~count:trials))
+                (Runner.run_many_par ~jobs:ctx.jobs le_spec
+                   ~seeds:(Runner.seeds ~base:ctx.base_seed ~count:trials))
             in
             let ag_spec =
               {
@@ -40,7 +41,7 @@ let f11 =
                 ~ok:(fun o ->
                   (Ftc_core.Properties.check_implicit_agreement ~inputs:o.inputs_used o.result)
                     .ok)
-                (Runner.run_many ag_spec
+                (Runner.run_many_par ~jobs:ctx.jobs ag_spec
                    ~seeds:(Runner.seeds ~base:(ctx.base_seed + 3) ~count:trials))
             in
             rows :=
@@ -86,7 +87,8 @@ let f12 =
               in
               let agg =
                 Runner.aggregate ~ok
-                  (Runner.run_many spec ~seeds:(Runner.seeds ~base:ctx.base_seed ~count:trials))
+                  (Runner.run_many_par ~jobs:ctx.jobs spec
+                     ~seeds:(Runner.seeds ~base:ctx.base_seed ~count:trials))
               in
               [
                 string_of_int n;

@@ -82,7 +82,8 @@ let f7 =
                   }
                 in
                 let outcomes =
-                  Runner.run_many spec ~seeds:(Runner.seeds ~base:ctx.base_seed ~count:trials)
+                  Runner.run_many_par ~jobs:ctx.jobs spec
+                    ~seeds:(Runner.seeds ~base:ctx.base_seed ~count:trials)
                 in
                 let elected = ref 0 and non_faulty = ref 0 and ok = ref 0 in
                 List.iter
@@ -202,7 +203,7 @@ let f8 =
               let agg =
                 Runner.aggregate
                   ~ok:(fun o -> (Ftc_core.Properties.check_implicit_election o.result).ok)
-                  (Runner.run_many spec
+                  (Runner.run_many_par ~jobs:ctx.jobs spec
                      ~seeds:(Runner.seeds ~base:(ctx.base_seed + 31) ~count:proto_trials))
               in
               [

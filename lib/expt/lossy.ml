@@ -21,8 +21,9 @@ let ag_ok (o : Runner.outcome) =
   (Ftc_core.Properties.check_implicit_agreement ~inputs:o.inputs_used o.result).ok
 
 (* Lossy raw runs are outside the protocols' model, so violations are not
-   fatal here: use Runner.run and fold failures into the success column. *)
-let outcomes spec ~seeds = List.map (fun seed -> Runner.run spec ~seed) seeds
+   fatal here: use the raw runner and fold failures into the success
+   column. *)
+let outcomes ~jobs spec ~seeds = Runner.run_many_par_raw ~jobs spec ~seeds
 
 let mean_retx outs =
   let xs =
@@ -39,7 +40,7 @@ let total_gave_up outs =
       match o.transport_stats with Some s -> acc + s.Transport.gave_up | None -> acc)
     0 outs
 
-let sweep ~protocol ~inputs ~ok ~n ~alpha ~rates ~trials ~base_seed =
+let sweep ~jobs ~protocol ~inputs ~ok ~n ~alpha ~rates ~trials ~base_seed =
   List.map
     (fun rate ->
       let loss = if rate = 0. then Omission.No_loss else Omission.Uniform rate in
@@ -52,8 +53,8 @@ let sweep ~protocol ~inputs ~ok ~n ~alpha ~rates ~trials ~base_seed =
         }
       in
       let seeds = Runner.seeds ~base:base_seed ~count:trials in
-      let raw = outcomes (spec None) ~seeds in
-      let wrapped = outcomes (spec (Some Transport.default_config)) ~seeds in
+      let raw = outcomes ~jobs (spec None) ~seeds in
+      let wrapped = outcomes ~jobs (spec (Some Transport.default_config)) ~seeds in
       let agg outs = Runner.aggregate ~ok outs in
       let ra = agg raw and wa = agg wrapped in
       let overhead =
@@ -99,12 +100,12 @@ let f13 =
         in
         let params = Ftc_core.Params.default in
         let le_rows =
-          sweep
+          sweep ~jobs:ctx.Def.jobs
             ~protocol:(fun () -> Ftc_core.Leader_election.make params)
             ~inputs:Runner.Zeros ~ok:le_ok ~n ~alpha ~rates ~trials ~base_seed:ctx.Def.base_seed
         in
         let ag_rows =
-          sweep
+          sweep ~jobs:ctx.Def.jobs
             ~protocol:(fun () -> Ftc_core.Agreement.make params)
             ~inputs:(Runner.Random_bits 0.5) ~ok:ag_ok ~n ~alpha ~rates ~trials
             ~base_seed:(ctx.Def.base_seed + 7)

@@ -84,7 +84,11 @@ let f9 =
         let ag_rows =
           List.map
             (fun s ->
-              let probes = List.map (fun seed -> probe_agreement ~n ~alpha ~seed s) seeds in
+              let probes =
+                Ftc_parallel.Pool.run_map ~jobs:ctx.Def.jobs
+                  (fun seed -> probe_agreement ~n ~alpha ~seed s)
+                  seeds
+              in
               let k, oks, msgs, multi = summarise_probes probes in
               [
                 Table.fmt_float ~digits:2 s;
@@ -98,7 +102,11 @@ let f9 =
         let le_rows =
           List.map
             (fun s ->
-              let probes = List.map (fun seed -> probe_election ~n ~alpha ~seed s) seeds in
+              let probes =
+                Ftc_parallel.Pool.run_map ~jobs:ctx.Def.jobs
+                  (fun seed -> probe_election ~n ~alpha ~seed s)
+                  seeds
+              in
               let k, oks, msgs, _ = summarise_probes probes in
               [
                 Table.fmt_float ~digits:2 s;

@@ -99,17 +99,37 @@ let run spec ~seed =
 
 let violations o = o.result.Engine.violations
 
-let run_exn spec ~seed =
-  let o = run spec ~seed in
-  (match violations o with
+let ensure_clean spec o =
+  match violations o with
   | [] -> ()
   | vs ->
       let (module P : Ftc_sim.Protocol.S) = spec.protocol in
       raise
-        (Model_violation { protocol = P.name; n = spec.n; alpha = spec.alpha; seed; violations = vs }));
+        (Model_violation
+           { protocol = P.name; n = spec.n; alpha = spec.alpha; seed = o.seed; violations = vs })
+
+let run_exn spec ~seed =
+  let o = run spec ~seed in
+  ensure_clean spec o;
   o
 
 let run_many spec ~seeds = List.map (fun seed -> run_exn spec ~seed) seeds
+
+(* Trials are independent by construction — every run builds its own rng
+   tree from its seed, and the adversary/link/transport factories are
+   invoked per run — so a parallel map over seeds produces bit-identical
+   outcomes to the sequential path. The violation check happens after the
+   map, walking outcomes in seed order, so the caller observes the same
+   exception (the first violating seed's) as [run_many] would. *)
+let run_many_par ~jobs spec ~seeds =
+  if jobs < 1 then invalid_arg "Runner.run_many_par: jobs must be >= 1";
+  let outcomes = Ftc_parallel.Pool.run_map ~jobs (fun seed -> run spec ~seed) seeds in
+  List.iter (ensure_clean spec) outcomes;
+  outcomes
+
+let run_many_par_raw ~jobs spec ~seeds =
+  if jobs < 1 then invalid_arg "Runner.run_many_par_raw: jobs must be >= 1";
+  Ftc_parallel.Pool.run_map ~jobs (fun seed -> run spec ~seed) seeds
 
 type aggregate = {
   trials : int;
@@ -120,20 +140,29 @@ type aggregate = {
   rounds : Ftc_analysis.Stats.summary;
 }
 
+(* One pass over the outcomes: counts and the three metric series are
+   accumulated together (reversed, then re-reversed so the summaries see
+   trial order and float accumulation is unchanged). *)
 let aggregate ~ok outcomes =
-  let trials = List.length outcomes in
-  if trials = 0 then invalid_arg "Runner.aggregate: no outcomes";
-  let successes = List.length (List.filter ok outcomes) in
-  let msgs = List.map (fun o -> float_of_int o.result.Engine.metrics.msgs_sent) outcomes in
-  let bits = List.map (fun o -> float_of_int o.result.Engine.metrics.bits_sent) outcomes in
-  let rounds = List.map (fun o -> float_of_int o.result.Engine.rounds_used) outcomes in
+  let trials = ref 0 and successes = ref 0 in
+  let msgs = ref [] and bits = ref [] and rounds = ref [] in
+  List.iter
+    (fun o ->
+      incr trials;
+      if ok o then incr successes;
+      let m = o.result.Engine.metrics in
+      msgs := float_of_int m.Ftc_sim.Metrics.msgs_sent :: !msgs;
+      bits := float_of_int m.Ftc_sim.Metrics.bits_sent :: !bits;
+      rounds := float_of_int o.result.Engine.rounds_used :: !rounds)
+    outcomes;
+  if !trials = 0 then invalid_arg "Runner.aggregate: no outcomes";
   {
-    trials;
-    successes;
-    success_rate = float_of_int successes /. float_of_int trials;
-    msgs = Ftc_analysis.Stats.summarize msgs;
-    bits = Ftc_analysis.Stats.summarize bits;
-    rounds = Ftc_analysis.Stats.summarize rounds;
+    trials = !trials;
+    successes = !successes;
+    success_rate = float_of_int !successes /. float_of_int !trials;
+    msgs = Ftc_analysis.Stats.summarize (List.rev !msgs);
+    bits = Ftc_analysis.Stats.summarize (List.rev !bits);
+    rounds = Ftc_analysis.Stats.summarize (List.rev !rounds);
   }
 
 let seeds ~base ~count = List.init count (fun i -> base + (1009 * i))

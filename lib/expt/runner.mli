@@ -59,6 +59,21 @@ val run_exn : spec -> seed:int -> outcome
 val run_many : spec -> seeds:int list -> outcome list
 (** Runs every seed through {!run_exn}. *)
 
+val run_many_par : jobs:int -> spec -> seeds:int list -> outcome list
+(** As {!run_many}, but the trials run on a pool of [jobs] domains
+    ({!Ftc_parallel.Pool}). The determinism contract: per-trial outcomes
+    are bit-identical to the sequential path — trials share no state, so
+    only the execution interleaving differs, and results are returned in
+    seed order regardless. On violations, raises the same
+    {!Model_violation} (first violating seed) the sequential path would.
+    [jobs = 1] is exactly [run_many] (no domains spawned). Raises
+    [Invalid_argument] when [jobs < 1]. *)
+
+val run_many_par_raw : jobs:int -> spec -> seeds:int list -> outcome list
+(** As {!run_many_par}, but through {!run}: violations stay in the
+    outcomes, never raised — for experiments (lossy raw, Byzantine probe)
+    that treat model violations as data. *)
+
 type aggregate = {
   trials : int;
   successes : int;

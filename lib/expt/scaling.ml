@@ -29,11 +29,13 @@ let ag_explicit_ok (o : Runner.outcome) =
 
 type point = { x : float; agg : Runner.aggregate }
 
-let sweep ~spec_of ~ok ~xs ~trials ~base_seed =
+let sweep ~jobs ~spec_of ~ok ~xs ~trials ~base_seed =
   List.map
     (fun x ->
       let spec = spec_of x in
-      let outcomes = Runner.run_many spec ~seeds:(Runner.seeds ~base:base_seed ~count:trials) in
+      let outcomes =
+        Runner.run_many_par ~jobs spec ~seeds:(Runner.seeds ~base:base_seed ~count:trials)
+      in
       { x; agg = Runner.aggregate ~ok outcomes })
     xs
 
@@ -79,7 +81,7 @@ let f1 =
         let trials = Def.trials ctx ~quick:3 ~full:8 in
         let alpha = 0.7 in
         let points =
-          sweep
+          sweep ~jobs:ctx.jobs
             ~spec_of:(fun n -> le_spec ~n:(int_of_float n) ~alpha ())
             ~ok:le_ok ~xs:(List.map float_of_int ns) ~trials ~base_seed:ctx.base_seed
         in
@@ -111,7 +113,7 @@ let f2 =
         let alphas = [ 0.3; 0.4; 0.5; 0.65; 0.8; 1.0 ] in
         let trials = Def.trials ctx ~quick:3 ~full:8 in
         let points =
-          sweep
+          sweep ~jobs:ctx.jobs
             ~spec_of:(fun alpha -> le_spec ~n ~alpha ())
             ~ok:le_ok ~xs:alphas ~trials ~base_seed:ctx.base_seed
         in
@@ -149,12 +151,12 @@ let f3 =
               (fun alpha ->
                 let le =
                   Runner.aggregate ~ok:le_ok
-                    (Runner.run_many (le_spec ~n ~alpha ())
+                    (Runner.run_many_par ~jobs:ctx.jobs (le_spec ~n ~alpha ())
                        ~seeds:(Runner.seeds ~base:ctx.base_seed ~count:trials))
                 in
                 let ag =
                   Runner.aggregate ~ok:ag_ok
-                    (Runner.run_many (ag_spec ~n ~alpha ())
+                    (Runner.run_many_par ~jobs:ctx.jobs (ag_spec ~n ~alpha ())
                        ~seeds:(Runner.seeds ~base:(ctx.base_seed + 7) ~count:trials))
                 in
                 let budget = Float.log (float_of_int n) /. alpha in
@@ -199,7 +201,7 @@ let f4 =
         let trials = Def.trials ctx ~quick:3 ~full:8 in
         let alpha = 0.7 in
         let points =
-          sweep
+          sweep ~jobs:ctx.jobs
             ~spec_of:(fun n -> ag_spec ~n:(int_of_float n) ~alpha ())
             ~ok:ag_ok ~xs:(List.map float_of_int ns) ~trials ~base_seed:ctx.base_seed
         in
@@ -229,7 +231,7 @@ let f5 =
         let alphas = [ 0.3; 0.4; 0.5; 0.65; 0.8; 1.0 ] in
         let trials = Def.trials ctx ~quick:3 ~full:8 in
         let points =
-          sweep
+          sweep ~jobs:ctx.jobs
             ~spec_of:(fun alpha -> ag_spec ~n ~alpha ())
             ~ok:ag_ok ~xs:alphas ~trials ~base_seed:ctx.base_seed
         in
@@ -260,12 +262,12 @@ let f10 =
         let trials = Def.trials ctx ~quick:3 ~full:6 in
         let alpha = 0.7 in
         let le_points =
-          sweep
+          sweep ~jobs:ctx.jobs
             ~spec_of:(fun n -> le_spec ~explicit:true ~n:(int_of_float n) ~alpha ())
             ~ok:le_explicit_ok ~xs:(List.map float_of_int ns) ~trials ~base_seed:ctx.base_seed
         in
         let ag_points =
-          sweep
+          sweep ~jobs:ctx.jobs
             ~spec_of:(fun n -> ag_spec ~explicit:true ~n:(int_of_float n) ~alpha ())
             ~ok:ag_explicit_ok ~xs:(List.map float_of_int ns) ~trials
             ~base_seed:(ctx.base_seed + 13)

@@ -87,7 +87,8 @@ let t1 =
                 in
                 let agg =
                   Runner.aggregate ~ok:c.check
-                    (Runner.run_many spec ~seeds:(Runner.seeds ~base:ctx.base_seed ~count:trials))
+                    (Runner.run_many_par ~jobs:ctx.jobs spec
+                       ~seeds:(Runner.seeds ~base:ctx.base_seed ~count:trials))
                 in
                 rows :=
                   [

@@ -1,0 +1,119 @@
+type t = {
+  lock : Mutex.t;
+  work_ready : Condition.t;
+  queue : (unit -> unit) Queue.t;
+  mutable stopping : bool;
+  mutable workers : unit Domain.t list;
+  jobs : int;
+}
+
+let jobs t = t.jobs
+
+(* Workers park on [work_ready] until a job or the shutdown flag shows
+   up. A worker only exits once the flag is set AND the queue is drained,
+   so shutdown never strands submitted work. *)
+let worker_loop pool () =
+  let rec loop () =
+    Mutex.lock pool.lock;
+    while Queue.is_empty pool.queue && not pool.stopping do
+      Condition.wait pool.work_ready pool.lock
+    done;
+    match Queue.take_opt pool.queue with
+    | None ->
+        (* stopping && empty *)
+        Mutex.unlock pool.lock
+    | Some job ->
+        Mutex.unlock pool.lock;
+        (try job () with _ -> ());
+        loop ()
+  in
+  loop ()
+
+let create ~jobs =
+  if jobs < 1 then invalid_arg "Pool.create: jobs must be >= 1";
+  let pool =
+    {
+      lock = Mutex.create ();
+      work_ready = Condition.create ();
+      queue = Queue.create ();
+      stopping = false;
+      workers = [];
+      jobs;
+    }
+  in
+  pool.workers <- List.init jobs (fun _ -> Domain.spawn (worker_loop pool));
+  pool
+
+let submit pool job =
+  Mutex.lock pool.lock;
+  if pool.stopping then begin
+    Mutex.unlock pool.lock;
+    invalid_arg "Pool.submit: pool is shut down"
+  end;
+  Queue.push job pool.queue;
+  Condition.signal pool.work_ready;
+  Mutex.unlock pool.lock
+
+let shutdown pool =
+  Mutex.lock pool.lock;
+  pool.stopping <- true;
+  Condition.broadcast pool.work_ready;
+  Mutex.unlock pool.lock;
+  List.iter Domain.join pool.workers;
+  pool.workers <- []
+
+let with_pool ~jobs f =
+  let pool = create ~jobs in
+  Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)
+
+let map pool f xs =
+  let items = Array.of_list xs in
+  let count = Array.length items in
+  if count = 0 then []
+  else begin
+    (* Result slots are written by worker domains at distinct indices and
+       read by the caller only after the done-latch below, whose mutex
+       gives the necessary happens-before edge. *)
+    let results = Array.make count None in
+    let failure = Atomic.make None in
+    let done_lock = Mutex.create () in
+    let all_done = Condition.create () in
+    let pending = ref count in
+    let job_done () =
+      Mutex.lock done_lock;
+      decr pending;
+      if !pending = 0 then Condition.signal all_done;
+      Mutex.unlock done_lock
+    in
+    Array.iteri
+      (fun i x ->
+        submit pool (fun () ->
+            (* First failure cancels jobs that have not started yet; the
+               completed slots are discarded with the whole map. *)
+            (if Atomic.get failure = None then
+               match f x with
+               | v -> results.(i) <- Some v
+               | exception e ->
+                   let bt = Printexc.get_raw_backtrace () in
+                   ignore (Atomic.compare_and_set failure None (Some (e, bt))));
+            job_done ()))
+      items;
+    Mutex.lock done_lock;
+    while !pending > 0 do
+      Condition.wait all_done done_lock
+    done;
+    Mutex.unlock done_lock;
+    (match Atomic.get failure with
+    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+    | None -> ());
+    Array.to_list
+      (Array.map
+         (function
+           | Some v -> v
+           | None -> assert false (* no failure => every slot was filled *))
+         results)
+  end
+
+let run_map ~jobs f xs =
+  if jobs < 1 then invalid_arg "Pool.run_map: jobs must be >= 1";
+  if jobs = 1 then List.map f xs else with_pool ~jobs (fun pool -> map pool f xs)

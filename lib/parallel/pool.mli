@@ -1,0 +1,51 @@
+(** A fixed-size pool of OCaml 5 domains behind a shared work queue.
+
+    The pool exists to parallelise {e independent} trials — every job is a
+    closure with no ordering constraints against the others — while keeping
+    results deterministic: {!map} returns its results in submission order,
+    whatever order the workers finished in, so a parallel map over
+    pure-per-item work is observationally identical to [List.map].
+
+    No dependencies beyond the stdlib: workers are [Domain.spawn]ed at
+    {!create} and parked on a [Condition] until work arrives or the pool
+    shuts down. *)
+
+type t
+
+val create : jobs:int -> t
+(** Spawn [jobs] worker domains (so up to [jobs] closures run at once;
+    the submitting domain only coordinates). Raises [Invalid_argument]
+    when [jobs < 1]. *)
+
+val jobs : t -> int
+(** The worker count the pool was created with. *)
+
+val submit : t -> (unit -> unit) -> unit
+(** Enqueue one fire-and-forget closure. The closure must not raise —
+    {!map} wraps user work in its own handler; raw [submit] jobs that
+    raise have their exception swallowed by the worker loop. Raises
+    [Invalid_argument] on a pool that was {!shutdown}. *)
+
+val map : t -> ('a -> 'b) -> 'a list -> 'b list
+(** [map pool f xs] runs [f] on every element of [xs] across the pool's
+    workers and returns the results {e in submission order}: slot [i] of
+    the result always holds [f (List.nth xs i)].
+
+    Every element is attempted at most once; if some [f x] raises, the
+    first exception (in completion time) wins, jobs that have not started
+    yet are cancelled (their [f] never runs), already-running jobs finish,
+    and the exception is re-raised in the caller with its original
+    backtrace. The pool survives a raising map and can be reused. *)
+
+val shutdown : t -> unit
+(** Let workers drain the queue, then join every domain. Idempotent.
+    After shutdown, {!submit} and {!map} raise [Invalid_argument]. *)
+
+val with_pool : jobs:int -> (t -> 'a) -> 'a
+(** [with_pool ~jobs f] runs [f] over a fresh pool and shuts it down on
+    every exit path. *)
+
+val run_map : jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** One-shot convenience: [with_pool ~jobs (fun p -> map p f xs)], except
+    that [jobs = 1] short-circuits to a plain sequential [List.map] — no
+    domain is spawned, so single-job callers pay nothing. *)

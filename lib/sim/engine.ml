@@ -119,6 +119,7 @@ type 'msg send = {
   payload : 'msg;
   mutable dropped : bool;  (* lost to the sender's crash *)
   mutable link_dropped : bool;  (* lost on a live link *)
+  mutable from_port : int;  (* receiver-side port, set at delivery accounting *)
 }
 
 module Make (P : Protocol.S) = struct
@@ -175,6 +176,8 @@ module Make (P : Protocol.S) = struct
     let metrics = Metrics.create () in
     let trace = if config.record_trace then Some (Trace.create ()) else None in
     let trace_add e = match trace with Some t -> Trace.add t e | None -> () in
+    (* Inboxes are kept in arrival order (the delivery pass below conses
+       in reverse), so step consumes them without a per-round reversal. *)
     let inboxes : P.msg Protocol.incoming list array = Array.make n [] in
     let max_rounds =
       match config.max_rounds_override with
@@ -222,16 +225,28 @@ module Make (P : Protocol.S) = struct
     let round = ref 0 in
     let finished = ref false in
     let in_flight = ref false in
+    (* Hot-path buffers reused across rounds: the per-round edge-bit table
+       (cleared, never re-created, so its bucket array is allocated once)
+       and the per-node send lists. *)
+    let edge_bits : (int, int) Hashtbl.t = Hashtbl.create 256 in
+    let sends_by_node : P.msg send list array = Array.make n [] in
+    (* Iterate this round's sends in the order the combined send list used
+       to be built: node 0..n-1, each node's sends in action order. *)
+    let iter_sends f =
+      for i = 0 to n - 1 do
+        List.iter f sends_by_node.(i)
+      done
+    in
     (* Sends of the most recent round: if the round budget runs out right
        after a sending round, those messages sit in inboxes for ever. *)
     while (not !finished) && !round < max_rounds do
       let r = !round in
       (* 1. Step every live node on its inbox; collect sends. *)
-      let sends : P.msg send list ref = ref [] in
-      let sends_by_node = Array.make n [] in
+      let total_sends = ref 0 in
       for i = 0 to n - 1 do
+        sends_by_node.(i) <- [];
         if alive i then begin
-          let inbox = List.rev inboxes.(i) in
+          let inbox = inboxes.(i) in
           inboxes.(i) <- [];
           let state', actions = P.step ctxs.(i) states.(i) ~round:r ~inbox in
           states.(i) <- state';
@@ -241,6 +256,7 @@ module Make (P : Protocol.S) = struct
                 match resolve_dest ~round:r i dest with
                 | None -> None
                 | Some dst ->
+                    incr total_sends;
                     Some
                       {
                         src = i;
@@ -249,28 +265,25 @@ module Make (P : Protocol.S) = struct
                         payload;
                         dropped = false;
                         link_dropped = false;
+                        from_port = -1;
                       })
               actions
           in
-          sends_by_node.(i) <- resolved;
-          sends := List.rev_append resolved !sends
+          sends_by_node.(i) <- resolved
         end
         else inboxes.(i) <- []
       done;
-      let sends = List.rev !sends in
       (* 2. CONGEST accounting: flag each (edge, round) over budget once. *)
       (match config.congest_limit with
       | None -> ()
       | Some limit ->
-          let edge_bits = Hashtbl.create 64 in
-          List.iter
-            (fun s ->
+          Hashtbl.clear edge_bits;
+          iter_sends (fun s ->
               let key = congest_key s.src s.dst in
               let prev = Option.value ~default:0 (Hashtbl.find_opt edge_bits key) in
               let total = prev + s.bits in
               if prev <= limit && total > limit then Metrics.record_violation metrics;
-              Hashtbl.replace edge_bits key total)
-            sends);
+              Hashtbl.replace edge_bits key total));
       (* 3. Adversary decides this round's crashes. *)
       let all_observations = Array.map P.observe states in
       let alive_faulty =
@@ -314,8 +327,7 @@ module Make (P : Protocol.S) = struct
          in accounting: a message the crashing sender already lost never
          reaches a link. *)
       if config.link != Link.reliable then
-        List.iter
-          (fun s ->
+        iter_sends (fun s ->
             if not s.dropped then
               let view =
                 {
@@ -326,11 +338,13 @@ module Make (P : Protocol.S) = struct
                   observations = all_observations;
                 }
               in
-              if config.link.Link.drop link_rng view then s.link_dropped <- true)
-          sends;
-      (* 5. Count, trace, and deliver. *)
-      List.iter
-        (fun s ->
+              if config.link.Link.drop link_rng view then s.link_dropped <- true);
+      (* 5. Count, trace, and deliver. Two passes: the forward pass keeps
+         the metric/trace/port-opening order of the old combined send
+         list; the backward pass conses each delivery so every inbox ends
+         up in arrival order directly — no [List.rev] per inbox per
+         round. *)
+      iter_sends (fun s ->
           if s.link_dropped then begin
             Metrics.record_link_loss metrics ~round:r ~bits:s.bits;
             trace_add
@@ -341,16 +355,22 @@ module Make (P : Protocol.S) = struct
             let delivered = not s.dropped in
             Metrics.record_send metrics ~round:r ~bits:s.bits ~delivered;
             trace_add (Trace.Send { round = r; src = s.src; dst = s.dst; bits = s.bits; delivered });
-            if delivered then begin
-              let from_port = port_to ports.(s.dst) s.src in
+            if delivered then s.from_port <- port_to ports.(s.dst) s.src
+          end);
+      let rec deliver_rev = function
+        | [] -> ()
+        | s :: rest ->
+            deliver_rev rest;
+            if s.from_port >= 0 && not (s.dropped || s.link_dropped) then
               inboxes.(s.dst) <-
-                { Protocol.from_port; payload = s.payload } :: inboxes.(s.dst)
-            end
-          end)
-        sends;
+                { Protocol.from_port = s.from_port; payload = s.payload } :: inboxes.(s.dst)
+      in
+      for i = n - 1 downto 0 do
+        deliver_rev sends_by_node.(i)
+      done;
       (* 6. Early stop: network quiescent and every live node has decided. *)
-      in_flight := sends <> [];
-      if sends = [] then begin
+      in_flight := !total_sends > 0;
+      if !total_sends = 0 then begin
         let all_decided = ref true in
         for i = 0 to n - 1 do
           if alive i && P.decide states.(i) = Decision.Undecided then all_decided := false

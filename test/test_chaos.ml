@@ -286,6 +286,55 @@ let test_omission_fuzz_deterministic_and_clean () =
   Alcotest.(check bool) "20 omission cases come back clean" true
     (a.Chaos.Fuzz.failure = None && b.Chaos.Fuzz.failure = None)
 
+(* Engine hot-path regression: handwritten v1 and v2 replay files — the
+   exact artifacts a past CI failure would have left behind — must still
+   load, validate against the catalog, and replay with every accounting
+   oracle (model / congest / trace-metrics) balanced after the engine's
+   allocation refactor. [Case.run] records a trace, so a clean finding
+   list means the trace reconciles exactly with the metrics counters. *)
+let test_replay_fixture_files_still_validate_and_balance () =
+  let fixtures =
+    [
+      ( "v1 crash-only",
+        "ftc-chaos-replay 1\n\
+         protocol ft-leader-election\n\
+         n 48\n\
+         alpha 0.7\n\
+         seed 11\n\
+         crash 3 1 drop-all\n\
+         crash 7 2 keep-prefix 2\n",
+        false );
+      ( "v2 lossy wrapped",
+        "ftc-chaos-replay 2\n\
+         # saved by an older fuzzer run\n\
+         protocol ft-leader-election\n\
+         n 48\n\
+         alpha 0.7\n\
+         seed 4\n\
+         crash 5 1 drop-random 0.5\n\
+         loss uniform 0.02\n\
+         transport on\n",
+        true )
+    ]
+  in
+  List.iter
+    (fun (name, text, lossy) ->
+      match Chaos.Replay.of_string text with
+      | Error e -> Alcotest.failf "%s: parse failed: %s" name e
+      | Ok (case, expect) -> (
+          Alcotest.(check (list string)) (name ^ ": no expect lines") [] expect;
+          Alcotest.(check bool) (name ^ ": validates") true
+            (Result.is_ok (Case.validate case));
+          match Case.run case with
+          | Error e -> Alcotest.failf "%s: %s" name (Case.error_to_string e)
+          | Ok (r, findings) ->
+              if lossy then
+                Alcotest.(check bool) (name ^ ": losses happened") true
+                  (r.Engine.metrics.msgs_lost_link > 0);
+              Alcotest.(check (list string)) (name ^ ": accounting balances") []
+                (List.map (fun f -> Format.asprintf "%a" Oracle.pp f) findings)))
+    fixtures
+
 let test_replay_parser_rejects_garbage () =
   Alcotest.(check bool) "garbage" true (Result.is_error (Chaos.Replay.of_string "hello\nworld"));
   Alcotest.(check bool) "empty" true (Result.is_error (Chaos.Replay.of_string ""));
@@ -337,6 +386,8 @@ let () =
           Alcotest.test_case "shrink + replay round-trip" `Quick
             test_shrink_drops_junk_and_replay_roundtrips;
           Alcotest.test_case "parser rejects garbage" `Quick test_replay_parser_rejects_garbage;
+          Alcotest.test_case "fixture files validate + balance" `Quick
+            test_replay_fixture_files_still_validate_and_balance;
         ] );
       ( "omission",
         [

@@ -642,6 +642,57 @@ let qcheck_engine_deterministic =
       && a.metrics.bits_sent = b.metrics.bits_sent
       && a.crashed = b.crashed)
 
+(* A KT1 protocol pinning the inbox arrival-order contract the delivery
+   refactor must preserve: messages arrive grouped by ascending sender id,
+   and within one sender in the order its action list sent them. Every
+   node with a non-zero input [v] sends [v*10], [v*10+1] to node 1 in
+   round 0; node 1 folds its round-1 inbox into a digit string. *)
+module Inbox_order = struct
+  type msg = int
+  type state = { mutable folded : int; mutable decision : Decision.t }
+
+  let name = "inbox-order"
+  let knowledge = `KT1
+  let msg_bits ~n:_ _ = 8
+  let max_rounds ~n:_ ~alpha:_ = 3
+  let init _ctx = { folded = 0; decision = Decision.Undecided }
+
+  let step (ctx : Protocol.ctx) st ~round ~inbox =
+    List.iter
+      (fun { Protocol.payload; _ } -> st.folded <- (st.folded * 100) + payload)
+      inbox;
+    let actions =
+      if round = 0 && ctx.input > 0 && ctx.self <> Some 1 then
+        [
+          { Protocol.dest = Protocol.Node 1; payload = ctx.input * 10 };
+          { Protocol.dest = Protocol.Node 1; payload = (ctx.input * 10) + 1 };
+        ]
+      else []
+    in
+    if round >= 1 then st.decision <- Decision.Agreed st.folded;
+    (st, actions)
+
+  let decide st = st.decision
+
+  let observe st =
+    { Observation.bystander with has_decided = st.decision <> Decision.Undecided }
+end
+
+let test_inbox_arrival_order () =
+  let module E = Engine.Make (Inbox_order) in
+  let n = 8 in
+  let inputs = Array.make n 0 in
+  inputs.(0) <- 1;
+  inputs.(2) <- 2;
+  inputs.(5) <- 3;
+  let r = E.run { (base_config ~n ()) with inputs = Some inputs } in
+  Alcotest.(check (list string)) "no errors" [] (List.map Ftc_sim.Violation.to_string r.violations);
+  match r.decisions.(1) with
+  | Decision.Agreed v ->
+      (* Sender order 0, 2, 5; per sender: v*10 then v*10+1. *)
+      Alcotest.(check int) "arrival order 10 11 20 21 30 31" 101120213031 v
+  | d -> Alcotest.failf "unexpected decision %s" (Decision.to_string d)
+
 let () =
   Alcotest.run "engine"
     [
@@ -684,6 +735,7 @@ let () =
           Alcotest.test_case "determinism" `Quick test_determinism;
           Alcotest.test_case "max_faulty" `Quick test_max_faulty;
           Alcotest.test_case "bad inputs" `Quick test_bad_inputs_rejected;
+          Alcotest.test_case "inbox arrival order" `Quick test_inbox_arrival_order;
         ] );
       ("properties", List.map QCheck_alcotest.to_alcotest [ qcheck_engine_deterministic ]);
     ]

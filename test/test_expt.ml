@@ -70,7 +70,7 @@ let test_quick_experiment_runs () =
   match Registry.find "F6" with
   | None -> Alcotest.fail "F6 missing"
   | Some e ->
-      let report = e.Def.run { Def.scale = Def.Quick; base_seed = 3 } in
+      let report = e.Def.run { Def.scale = Def.Quick; base_seed = 3; jobs = 1 } in
       Alcotest.(check bool) "produces a table" true
         (Astring.String.is_infix ~affix:"whp band" report)
 
