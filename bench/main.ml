@@ -10,7 +10,11 @@
       artefact contains (Table I and the theorem/lemma validations).
 
    Usage: main.exe [T1 F1 ... | all] [--quick|--full] [--seed=N] [--jobs=N] [--no-bench]
+                   [--keep-going]
    Default: every experiment, full scale (the EXPERIMENTS.md settings).
+   --keep-going runs the remaining experiments when one fails, reports the
+   failures on stderr, and exits 3 (partial) or 1 (nothing completed)
+   instead of raising.
 
    Timing is monotonic-clock and goes to stderr; stdout carries only the
    experiment reports, which are bit-identical at every --jobs value —
@@ -261,21 +265,35 @@ let () =
         exit 1
       end)
     ids;
+  let keep_going = List.mem "--keep-going" flags in
   if not (List.mem "--no-bench" flags) then emit_f13_json (run_microbenches ids);
-  let ctx = { Ftc_expt.Def.scale; base_seed = seed; jobs } in
+  let ctx = { Ftc_expt.Def.scale; base_seed = seed; jobs; journal = None } in
   let experiment_times = ref [] in
+  let failures = ref [] in
   List.iter
     (fun id ->
       match Ftc_expt.Registry.find id with
       | None -> ()
-      | Some e ->
+      | Some e -> (
           let t0 = now_s () in
-          print_string (e.Ftc_expt.Def.run ctx);
-          print_newline ();
-          let dt = now_s () -. t0 in
-          experiment_times := (e.Ftc_expt.Def.id, dt) :: !experiment_times;
-          (* Timing goes to stderr: stdout must be identical across
-             --jobs values so CI can diff parallel against sequential. *)
-          Printf.eprintf "[%s completed in %.1f s, %d job(s)]\n%!" e.Ftc_expt.Def.id dt jobs)
+          match e.Ftc_expt.Def.run ctx with
+          | report ->
+              print_string report;
+              print_newline ();
+              let dt = now_s () -. t0 in
+              experiment_times := (e.Ftc_expt.Def.id, dt) :: !experiment_times;
+              (* Timing goes to stderr: stdout must be identical across
+                 --jobs values so CI can diff parallel against sequential. *)
+              Printf.eprintf "[%s completed in %.1f s, %d job(s)]\n%!" e.Ftc_expt.Def.id dt jobs
+          | exception exn when keep_going ->
+              failures := e.Ftc_expt.Def.id :: !failures;
+              Printf.eprintf "[%s FAILED: %s]\n%!" e.Ftc_expt.Def.id (Printexc.to_string exn)))
     ids;
-  emit_perf_json ~jobs ~experiment_times:!experiment_times
+  emit_perf_json ~jobs ~experiment_times:!experiment_times;
+  match List.rev !failures with
+  | [] -> ()
+  | failed ->
+      Printf.eprintf "failed experiments: %s\n%!" (String.concat " " failed);
+      (* Same contract as the supervised ftc sweeps: 3 = partial results,
+         1 = nothing completed. *)
+      exit (if !experiment_times = [] then 1 else 3)

@@ -3,15 +3,25 @@
    Subcommands:
      election   — run one fault-tolerant leader election and report it
      agreement  — run one fault-tolerant agreement and report it
+     sweep      — run a seeded trial sweep of any catalog protocol under
+                  the crash-safe supervisor (journal/resume/quarantine)
      expt       — run experiments from DESIGN.md's index (T1, F1..F12)
      clouds     — run a protocol with tracing and print its influence-cloud
                   decomposition (the lower-bound object)
      chaos      — fuzz adversaries across every registered protocol; on a
                   violation, shrink and write a replay file
-     replay     — deterministically re-execute a saved chaos reproducer
-     list       — list experiments, protocols and adversaries *)
+     replay     — deterministically re-execute a saved chaos reproducer,
+                  or every entry of a quarantine file
+     list       — list experiments, protocols and adversaries
+
+   Exit codes of supervised sweeps (election/agreement/sweep): 0 = every
+   trial completed and passed, 3 = partial (some trials failed or were
+   skipped, at least one completed), 1 = nothing usable, 2 = usage error
+   (including resuming against a journal of a different sweep). *)
 
 open Cmdliner
+module Supervise = Ftc_expt.Supervise
+module Json = Ftc_journal.Json
 
 let params = Ftc_core.Params.default
 
@@ -116,18 +126,175 @@ let parse_jobs jobs =
   end;
   jobs
 
-let report_metrics (r : Ftc_sim.Engine.result) =
-  Printf.printf "  rounds: %d   messages: %s   bits: %s   dropped: %d   link-lost: %d   crashed: %d\n"
+(* Report fragments are built as strings, not printed directly: the
+   supervised trial loop journals each trial's rendered report verbatim,
+   which is what makes a resumed sweep's stdout byte-identical to an
+   uninterrupted one. *)
+let metrics_lines (r : Ftc_sim.Engine.result) =
+  Printf.sprintf
+    "  rounds: %d   messages: %s   bits: %s   dropped: %d   link-lost: %d   crashed: %d\n"
     r.rounds_used
     (Ftc_analysis.Table.fmt_int r.metrics.msgs_sent)
     (Ftc_analysis.Table.fmt_int r.metrics.bits_sent)
     r.metrics.msgs_dropped r.metrics.msgs_lost_link
     (Array.fold_left (fun acc c -> if c then acc + 1 else acc) 0 r.crashed)
 
-let report_transport (o : Ftc_expt.Runner.outcome) =
+let report_metrics r = print_string (metrics_lines r)
+
+let transport_lines (o : Ftc_expt.Runner.outcome) =
   match o.transport_stats with
-  | None -> ()
-  | Some s -> Printf.printf "  transport: %s\n" (Format.asprintf "%a" Ftc_transport.Transport.pp_stats s)
+  | None -> ""
+  | Some s ->
+      Printf.sprintf "  transport: %s\n" (Format.asprintf "%a" Ftc_transport.Transport.pp_stats s)
+
+(* -- sweep supervision (election, agreement, sweep) -- *)
+
+let journal_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "journal" ] ~docv:"FILE"
+        ~doc:
+          "Write-ahead trial journal: every completed trial is appended and flushed as it \
+           finishes, so a killed sweep can be resumed with $(b,--resume) $(docv) and re-runs \
+           only the missing seeds.")
+
+let resume_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "resume" ] ~docv:"FILE"
+        ~doc:
+          "Resume from the journal of an interrupted run of the $(i,same) sweep: journaled \
+           seeds are skipped, the rest run and are appended to $(docv). The output is \
+           bit-identical to an uninterrupted run. A journal recorded for a different sweep \
+           is rejected (exit 2).")
+
+let keep_going_arg =
+  Arg.(
+    value
+    & flag
+    & info [ "keep-going" ]
+        ~doc:
+          "Do not abort the sweep on a failed trial: record the failure in the quarantine \
+           file and keep running the remaining seeds. Exit 3 signals partial results.")
+
+let trial_timeout_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "trial-timeout" ] ~docv:"SECS"
+        ~doc:
+          "Per-trial wall-clock budget. A trial past it is stopped cooperatively at the next \
+           round boundary and classified as a watchdog failure.")
+
+let quarantine_arg =
+  Arg.(
+    value
+    & opt string "quarantine.jsonl"
+    & info [ "quarantine" ] ~docv:"FILE"
+        ~doc:
+          "Where failed trials are recorded (one JSON object per line, with an embedded \
+           replay document when one exists). Written atomically, only when there are \
+           failures. Re-run them with $(b,ftc replay --quarantine) $(docv).")
+
+let supervise_config ~jobs ~keep_going ~journal ~resume ~quarantine ~trial_timeout =
+  (match trial_timeout with
+  | Some t when t <= 0. ->
+      Printf.eprintf "--trial-timeout must be positive (got %g)\n" t;
+      exit 2
+  | _ -> ());
+  let journal, resume =
+    match (journal, resume) with
+    | Some _, Some _ ->
+        prerr_endline "--journal and --resume are mutually exclusive";
+        exit 2
+    | None, Some path -> (Some path, true)
+    | j, None -> (j, false)
+  in
+  {
+    Supervise.jobs;
+    keep_going;
+    journal;
+    resume;
+    quarantine = Some quarantine;
+    trial_timeout;
+  }
+
+(* The journaled payload of one completed trial: its rendered report and
+   whether the trial's own check passed. *)
+type trial_payload = { report : string; success : bool }
+
+let encode_payload seed p =
+  Json.Obj
+    [
+      ("seed", Json.Int seed);
+      ("success", Json.Bool p.success);
+      ("report", Json.String p.report);
+    ]
+
+let decode_payload j =
+  match
+    ( Option.bind (Json.member "seed" j) Json.to_int,
+      Option.bind (Json.member "success" j) Json.to_bool,
+      Option.bind (Json.member "report" j) Json.to_str )
+  with
+  | Some seed, Some success, Some report -> Some (seed, { report; success })
+  | _ -> None
+
+let spec_hash_of parts = Ftc_journal.Journal.spec_hash (String.concat "\n" parts)
+
+(* Print a finished sweep: per-seed reports in seed order (journaled ones
+   verbatim — stdout is byte-identical under resume), failures inline,
+   the usual success summary, and the supervision summary on stderr so
+   reference/resumed stdout diffs stay clean. *)
+let render_sweep ~trials sweep =
+  let successes = ref 0 in
+  List.iter
+    (fun (seed, t) ->
+      match t with
+      | Supervise.Completed p ->
+          print_string p.report;
+          if p.success then incr successes
+      | Supervise.Failed f ->
+          Printf.printf "seed %d: FAILED (%s)\n" seed (Supervise.class_to_string f.class_)
+      | Supervise.Skipped -> ())
+    sweep.Supervise.trials;
+  if trials > 1 then Printf.printf "success: %d/%d\n" !successes trials;
+  List.iter
+    (fun (f : Supervise.failure) ->
+      Printf.eprintf "seed %d [%s]: %s\n" f.seed (Supervise.class_to_string f.class_) f.detail)
+    sweep.Supervise.failed;
+  if sweep.Supervise.resumed > 0 then
+    Printf.eprintf "resumed: %d trial(s) restored from the journal\n" sweep.Supervise.resumed;
+  if sweep.Supervise.skipped > 0 then
+    Printf.eprintf "skipped: %d trial(s) not run after the first failure (use --keep-going)\n"
+      sweep.Supervise.skipped;
+  (match sweep.Supervise.quarantined with
+  | Some path ->
+      Printf.eprintf "quarantined: %d failed trial(s) recorded in %s\n"
+        (List.length sweep.Supervise.failed) path
+  | None -> ());
+  Supervise.exit_code ~ok:(!successes = sweep.Supervise.completed) sweep
+
+let run_supervised config ~spec_hash ?replay_doc ~run_trial ~seed ~trials () =
+  let seeds = List.init trials (fun i -> seed + i) in
+  match
+    Supervise.run config ~spec_hash ~encode:encode_payload ~decode:decode_payload ?replay_doc
+      ~run_trial ~seeds ()
+  with
+  | sweep -> render_sweep ~trials sweep
+  | exception Supervise.Resume_error msg ->
+      Printf.eprintf "cannot resume: %s\n" msg;
+      exit 2
+
+(* Violations and watchdog expiry are supervision failures; a trial that
+   merely misses its property (no leader, disagreement) is a completed,
+   unsuccessful trial — exactly what the plain runs always reported. *)
+let classify_for_cli o =
+  match Supervise.classify_outcome o with
+  | Some ((Supervise.Violation | Supervise.Watchdog_expired), _) as c -> c
+  | _ -> None
 
 let make_spec ?(loss = Ftc_fault.Omission.No_loss) ?(transport_on = false) protocol ~n ~alpha
     ~inputs ~adversary ~trace =
@@ -145,17 +312,39 @@ let run_spec ?loss ?transport_on protocol ~n ~alpha ~inputs ~adversary ~seed ~tr
     (make_spec ?loss ?transport_on protocol ~n ~alpha ~inputs ~adversary ~trace)
     ~seed
 
-(* The election/agreement trial loop: run all seeds (in parallel when
-   --jobs > 1 — per-trial results are bit-identical either way), then
-   report per seed in order. *)
-let run_trials ?loss ?transport_on protocol ~n ~alpha ~inputs ~adversary ~seed ~trials ~jobs =
-  let spec = make_spec ?loss ?transport_on protocol ~n ~alpha ~inputs ~adversary ~trace:false in
-  let seeds = List.init trials (fun i -> seed + i) in
-  List.combine seeds (Ftc_expt.Runner.run_many_par ~jobs spec ~seeds)
-
 (* -- election command -- *)
 
-let election n alpha seed adversary_name explicit trials loss loss_model transport_on jobs =
+let election_report ~explicit seed (o : Ftc_expt.Runner.outcome) =
+  let b = Buffer.create 256 in
+  let rep = Ftc_core.Properties.check_implicit_election o.result in
+  Buffer.add_string b
+    (Printf.sprintf "seed %d: %s" seed (if rep.ok then "elected a unique leader" else "FAILED"));
+  (match rep.leader with
+  | Some l ->
+      Buffer.add_string b
+        (Printf.sprintf " (node %d, %s)" l
+           (if Option.value ~default:false rep.leader_was_faulty then "faulty" else "non-faulty"))
+  | None ->
+      Buffer.add_string b
+        (Printf.sprintf " (leaders: %d, undecided: %d)" rep.live_leaders rep.live_undecided));
+  Buffer.add_char b '\n';
+  Buffer.add_string b (metrics_lines o.result);
+  Buffer.add_string b (transport_lines o);
+  let success =
+    if explicit then begin
+      let er = Ftc_core.Properties.check_explicit_election o.result in
+      Buffer.add_string b
+        (Printf.sprintf "  explicit: %s (unaware: %d)\n"
+           (if er.ok then "everyone knows the leader" else "FAILED")
+           er.live_unaware);
+      rep.ok
+    end
+    else rep.ok
+  in
+  { report = Buffer.contents b; success }
+
+let election n alpha seed adversary_name explicit trials loss loss_model transport_on jobs
+    keep_going journal resume quarantine trial_timeout =
   let loss = parse_loss ~loss ~model:loss_model in
   let jobs = parse_jobs jobs in
   match adversary_of_name adversary_name with
@@ -163,41 +352,66 @@ let election n alpha seed adversary_name explicit trials loss loss_model transpo
       prerr_endline e;
       1
   | Ok adversary ->
-      let ok = ref 0 in
-      let outcomes =
-        run_trials ~loss ~transport_on
-          (Ftc_core.Leader_election.make ~explicit params)
-          ~n ~alpha ~inputs:Ftc_expt.Runner.Zeros ~adversary ~seed ~trials ~jobs
+      let config =
+        supervise_config ~jobs ~keep_going ~journal ~resume ~quarantine ~trial_timeout
       in
-      List.iter
-        (fun (seed, (o : Ftc_expt.Runner.outcome)) ->
-        let rep = Ftc_core.Properties.check_implicit_election o.result in
-        Printf.printf "seed %d: %s" seed
-          (if rep.ok then "elected a unique leader" else "FAILED");
-        (match rep.leader with
-        | Some l ->
-            Printf.printf " (node %d, %s)" l
-              (if Option.value ~default:false rep.leader_was_faulty then "faulty"
-               else "non-faulty")
-        | None -> Printf.printf " (leaders: %d, undecided: %d)" rep.live_leaders rep.live_undecided);
-        print_newline ();
-        report_metrics o.result;
-        report_transport o;
-        if explicit then begin
-          let er = Ftc_core.Properties.check_explicit_election o.result in
-          Printf.printf "  explicit: %s (unaware: %d)\n"
-            (if er.ok then "everyone knows the leader" else "FAILED")
-            er.live_unaware
-        end;
-        if rep.ok then incr ok)
-        outcomes;
-      if trials > 1 then Printf.printf "success: %d/%d\n" !ok trials;
-      if !ok = trials then 0 else 1
+      let spec =
+        {
+          (make_spec ~loss ~transport_on
+             (Ftc_core.Leader_election.make ~explicit params)
+             ~n ~alpha ~inputs:Ftc_expt.Runner.Zeros ~adversary ~trace:false)
+          with
+          Ftc_expt.Runner.trial_timeout;
+        }
+      in
+      let spec_hash =
+        spec_hash_of
+          [
+            "election";
+            Printf.sprintf "explicit=%b" explicit;
+            Printf.sprintf "n=%d" n;
+            Printf.sprintf "alpha=%.17g" alpha;
+            "adversary=" ^ adversary_name;
+            "loss=" ^ Ftc_fault.Omission.spec_to_string loss;
+            Printf.sprintf "transport=%b" transport_on;
+          ]
+      in
+      let run_trial seed =
+        let o = Ftc_expt.Runner.run spec ~seed in
+        match classify_for_cli o with
+        | Some failure -> Error failure
+        | None -> Ok (election_report ~explicit seed o)
+      in
+      run_supervised config ~spec_hash ~run_trial ~seed ~trials ()
 
 (* -- agreement command -- *)
 
+let agreement_report ~explicit seed (o : Ftc_expt.Runner.outcome) =
+  let b = Buffer.create 256 in
+  let rep = Ftc_core.Properties.check_implicit_agreement ~inputs:o.inputs_used o.result in
+  Buffer.add_string b
+    (Printf.sprintf "seed %d: %s" seed
+       (if rep.ok then
+          Printf.sprintf "agreed on %s with %d deciders"
+            (match rep.value with Some v -> string_of_int v | None -> "?")
+            rep.live_deciders
+        else
+          Printf.sprintf "FAILED (values: %s)"
+            (String.concat "," (List.map string_of_int rep.distinct_values))));
+  Buffer.add_char b '\n';
+  Buffer.add_string b (metrics_lines o.result);
+  Buffer.add_string b (transport_lines o);
+  if explicit then begin
+    let er = Ftc_core.Properties.check_explicit_agreement ~inputs:o.inputs_used o.result in
+    Buffer.add_string b
+      (Printf.sprintf "  explicit: %s (undecided: %d)\n"
+         (if er.ok then "everyone decided" else "FAILED")
+         er.live_undecided)
+  end;
+  { report = Buffer.contents b; success = rep.ok }
+
 let agreement n alpha seed adversary_name explicit trials ones_prob loss loss_model transport_on
-    jobs =
+    jobs keep_going journal resume quarantine trial_timeout =
   let loss = parse_loss ~loss ~model:loss_model in
   let jobs = parse_jobs jobs in
   match adversary_of_name adversary_name with
@@ -205,42 +419,131 @@ let agreement n alpha seed adversary_name explicit trials ones_prob loss loss_mo
       prerr_endline e;
       1
   | Ok adversary ->
-      let ok = ref 0 in
-      let outcomes =
-        run_trials ~loss ~transport_on
-          (Ftc_core.Agreement.make ~explicit params)
-          ~n ~alpha
-          ~inputs:(Ftc_expt.Runner.Random_bits ones_prob)
-          ~adversary ~seed ~trials ~jobs
+      let config =
+        supervise_config ~jobs ~keep_going ~journal ~resume ~quarantine ~trial_timeout
       in
-      List.iter
-        (fun (seed, (o : Ftc_expt.Runner.outcome)) ->
-        let rep = Ftc_core.Properties.check_implicit_agreement ~inputs:o.inputs_used o.result in
-        Printf.printf "seed %d: %s" seed
-          (if rep.ok then
-             Printf.sprintf "agreed on %s with %d deciders"
-               (match rep.value with Some v -> string_of_int v | None -> "?")
-               rep.live_deciders
-           else
-             Printf.sprintf "FAILED (values: %s)"
-               (String.concat "," (List.map string_of_int rep.distinct_values)));
-        print_newline ();
-        report_metrics o.result;
-        report_transport o;
-        if explicit then begin
-          let er = Ftc_core.Properties.check_explicit_agreement ~inputs:o.inputs_used o.result in
-          Printf.printf "  explicit: %s (undecided: %d)\n"
-            (if er.ok then "everyone decided" else "FAILED")
-            er.live_undecided
-        end;
-        if rep.ok then incr ok)
-        outcomes;
-      if trials > 1 then Printf.printf "success: %d/%d\n" !ok trials;
-      if !ok = trials then 0 else 1
+      let spec =
+        {
+          (make_spec ~loss ~transport_on
+             (Ftc_core.Agreement.make ~explicit params)
+             ~n ~alpha
+             ~inputs:(Ftc_expt.Runner.Random_bits ones_prob)
+             ~adversary ~trace:false)
+          with
+          Ftc_expt.Runner.trial_timeout;
+        }
+      in
+      let spec_hash =
+        spec_hash_of
+          [
+            "agreement";
+            Printf.sprintf "explicit=%b" explicit;
+            Printf.sprintf "n=%d" n;
+            Printf.sprintf "alpha=%.17g" alpha;
+            "adversary=" ^ adversary_name;
+            Printf.sprintf "ones=%.17g" ones_prob;
+            "loss=" ^ Ftc_fault.Omission.spec_to_string loss;
+            Printf.sprintf "transport=%b" transport_on;
+          ]
+      in
+      let run_trial seed =
+        let o = Ftc_expt.Runner.run spec ~seed in
+        match classify_for_cli o with
+        | Some failure -> Error failure
+        | None -> Ok (agreement_report ~explicit seed o)
+      in
+      run_supervised config ~spec_hash ~run_trial ~seed ~trials ()
+
+(* -- sweep command -- *)
+
+(* Per-seed inputs for a catalog protocol, drawn from a stream distinct
+   from the engine's (same xor tweak as [Runner.materialize_inputs]). *)
+let sweep_inputs (entry : Ftc_chaos.Catalog.entry) ~n ~seed =
+  let rng = Ftc_rng.Rng.create (seed lxor 0x5bd1e995) in
+  match entry.inputs with
+  | Ftc_chaos.Catalog.No_inputs -> Array.make n 0
+  | Ftc_chaos.Catalog.Bits -> Array.init n (fun _ -> if Ftc_rng.Rng.bool rng then 1 else 0)
+  | Ftc_chaos.Catalog.Values bound -> Array.init n (fun _ -> Ftc_rng.Rng.int rng (bound + 1))
+
+let sweep_report seed (result : Ftc_sim.Engine.result) =
+  { report = Printf.sprintf "seed %d: clean\n%s" seed (metrics_lines result); success = true }
+
+let sweep protocol_name n alpha seed adversary_name trials loss loss_model transport_on jobs
+    keep_going journal resume quarantine trial_timeout =
+  let loss = parse_loss ~loss ~model:loss_model in
+  let jobs = parse_jobs jobs in
+  (match Ftc_chaos.Catalog.find protocol_name with
+  | None ->
+      Printf.eprintf "unknown protocol %s (known: %s)\n" protocol_name
+        (String.concat ", " (Ftc_chaos.Catalog.names ()));
+      exit 2
+  | Some _ -> ());
+  if not (List.mem_assoc adversary_name (Ftc_fault.Strategy.all ())) then begin
+    Printf.eprintf "unknown adversary %s (known: %s)\n" adversary_name
+      (String.concat ", " (List.map fst (Ftc_fault.Strategy.all ())));
+    exit 2
+  end;
+  let entry = Option.get (Ftc_chaos.Catalog.find protocol_name) in
+  let config = supervise_config ~jobs ~keep_going ~journal ~resume ~quarantine ~trial_timeout in
+  let mk_case seed =
+    {
+      Ftc_chaos.Case.protocol = protocol_name;
+      n;
+      alpha;
+      seed;
+      inputs = sweep_inputs entry ~n ~seed;
+      plan = [];
+      adversary = Some adversary_name;
+      loss;
+      transport = transport_on;
+    }
+  in
+  let spec_hash =
+    spec_hash_of
+      [
+        "sweep";
+        "protocol=" ^ protocol_name;
+        Printf.sprintf "n=%d" n;
+        Printf.sprintf "alpha=%.17g" alpha;
+        "adversary=" ^ adversary_name;
+        "loss=" ^ Ftc_fault.Omission.spec_to_string loss;
+        Printf.sprintf "transport=%b" transport_on;
+      ]
+  in
+  let watchdog_for () =
+    match config.Supervise.trial_timeout with
+    | None -> None
+    | Some limit ->
+        let start = Unix.gettimeofday () in
+        Some (fun () -> Unix.gettimeofday () -. start >= limit)
+  in
+  let run_trial seed =
+    let case = mk_case seed in
+    match Ftc_chaos.Case.run ?watchdog:(watchdog_for ()) case with
+    | Error e -> Error (Supervise.Exception, Ftc_chaos.Case.error_to_string e)
+    | Ok (result, findings) -> (
+        if result.Ftc_sim.Engine.watchdog_expired then
+          Error
+            ( Supervise.Watchdog_expired,
+              Printf.sprintf "trial exceeded its wall-clock budget after %d rounds"
+                result.Ftc_sim.Engine.rounds_used )
+        else
+          match findings with
+          | [] -> Ok (sweep_report seed result)
+          | fs ->
+              Error
+                ( Supervise.Violation,
+                  String.concat "; "
+                    (List.map (fun f -> Format.asprintf "%a" Ftc_chaos.Oracle.pp f) fs) ))
+  in
+  (* Failed trials get a chaos replay document in the quarantine record,
+     so each can be re-executed in isolation. *)
+  let replay_doc seed = Some (Ftc_chaos.Replay.to_string (mk_case seed)) in
+  run_supervised config ~spec_hash ~replay_doc ~run_trial ~seed ~trials ()
 
 (* -- expt command -- *)
 
-let expt ids full seed jobs =
+let expt ids full seed jobs journal resume =
   let jobs = parse_jobs jobs in
   let all_ids = Ftc_expt.Registry.ids () in
   let ids = match ids with [] -> all_ids | ids -> List.map String.uppercase_ascii ids in
@@ -252,13 +555,37 @@ let expt ids full seed jobs =
   end
   else begin
     let scale = if full then Ftc_expt.Def.Full else Ftc_expt.Def.Quick in
-    let ctx = { Ftc_expt.Def.scale; base_seed = seed; jobs } in
-    List.iter
-      (fun id ->
-        match Ftc_expt.Registry.find id with
-        | Some e -> print_string (e.Ftc_expt.Def.run ctx)
-        | None -> ())
-      ids;
+    (* The shared journal's spec hash covers everything the per-trial
+       records depend on besides their own key: scale and base seed. The
+       experiment selection is deliberately excluded — records are keyed
+       per experiment, so a resumed run may cover a different subset. *)
+    let spec_hash =
+      spec_hash_of
+        [ "expt"; (if full then "scale=full" else "scale=quick"); Printf.sprintf "seed=%d" seed ]
+    in
+    let journal =
+      match (journal, resume) with
+      | Some _, Some _ ->
+          prerr_endline "--journal and --resume are mutually exclusive";
+          exit 2
+      | None, None -> None
+      | Some path, None -> Some (Supervise.open_shared ~path ~resume:false ~spec_hash)
+      | None, Some path -> (
+          try Some (Supervise.open_shared ~path ~resume:true ~spec_hash)
+          with Supervise.Resume_error msg ->
+            Printf.eprintf "cannot resume: %s\n" msg;
+            exit 2)
+    in
+    let ctx = { Ftc_expt.Def.scale; base_seed = seed; jobs; journal } in
+    Fun.protect
+      ~finally:(fun () -> Option.iter Supervise.close_shared journal)
+      (fun () ->
+        List.iter
+          (fun id ->
+            match Ftc_expt.Registry.find id with
+            | Some e -> print_string (e.Ftc_expt.Def.run ctx)
+            | None -> ())
+          ids);
     0
   end
 
@@ -328,14 +655,18 @@ let chaos budget seed n_min n_max protocols omission out jobs =
     exit 2
   end;
   let protocols = match protocols with [] -> None | ps -> Some ps in
+  (* Only [Catalog.all] is fuzzable; [Catalog.extras] entries (e.g. the
+     deliberately faulty probe) are replay/sweep-only, so naming one here
+     is a usage error, not a silent no-op. *)
+  let fuzzable = List.map (fun (e : Ftc_chaos.Catalog.entry) -> e.name) Ftc_chaos.Catalog.all in
   (match protocols with
   | None -> ()
   | Some ps ->
       List.iter
         (fun p ->
-          if Ftc_chaos.Catalog.find p = None then begin
-            Printf.eprintf "unknown protocol %s (known: %s)\n" p
-              (String.concat ", " (Ftc_chaos.Catalog.names ()));
+          if not (List.mem p fuzzable) then begin
+            Printf.eprintf "chaos: %s is not fuzzable (fuzzable: %s)\n" p
+              (String.concat ", " fuzzable);
             exit 2
           end)
         ps);
@@ -362,7 +693,71 @@ let chaos budget seed n_min n_max protocols omission out jobs =
 
 (* -- replay command -- *)
 
-let replay path =
+(* Re-execute every quarantined trial of a supervised sweep. Entries
+   without an embedded replay document (e.g. exceptions) are only
+   listed. Exit 1 when any entry still fails, 0 when all are clean,
+   2 on a malformed quarantine file. *)
+let replay_quarantine path =
+  let read_lines () =
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let rec go acc =
+          match input_line ic with
+          | line -> go (line :: acc)
+          | exception End_of_file -> List.rev acc
+        in
+        go [])
+  in
+  match read_lines () with
+  | exception Sys_error e ->
+      Printf.eprintf "replay: %s\n" e;
+      2
+  | lines ->
+      let malformed = ref false and reproduced = ref 0 in
+      List.iteri
+        (fun i line ->
+          if String.trim line <> "" then begin
+            match Json.of_string line with
+            | Error e ->
+                Printf.eprintf "replay: %s:%d: %s\n" path (i + 1) e;
+                malformed := true
+            | Ok j -> (
+                match
+                  ( Option.bind (Json.member "seed" j) Json.to_int,
+                    Option.bind (Json.member "class" j) Json.to_str,
+                    Option.bind (Json.member "detail" j) Json.to_str )
+                with
+                | Some seed, Some class_, Some detail -> (
+                    Printf.printf "seed %d [%s]: %s\n" seed class_ detail;
+                    match Option.bind (Json.member "replay" j) Json.to_str with
+                    | None -> print_endline "  (no replay document; not re-run)"
+                    | Some doc -> (
+                        match Ftc_chaos.Replay.of_string doc with
+                        | Error e ->
+                            Printf.eprintf "replay: %s:%d: bad replay document: %s\n" path (i + 1)
+                              e;
+                            malformed := true
+                        | Ok (case, _expect) -> (
+                            match Ftc_chaos.Case.run case with
+                            | Error e ->
+                                Printf.eprintf "replay: %s:%d: %s\n" path (i + 1)
+                                  (Ftc_chaos.Case.error_to_string e);
+                                malformed := true
+                            | Ok (_result, []) -> print_endline "  re-run: clean"
+                            | Ok (_result, findings) ->
+                                incr reproduced;
+                                print_endline "  re-run: still failing";
+                                print_findings findings)))
+                | _ ->
+                    Printf.eprintf "replay: %s:%d: not a quarantine record\n" path (i + 1);
+                    malformed := true)
+          end)
+        lines;
+      if !malformed then 2 else if !reproduced > 0 then 1 else 0
+
+let replay_file path =
   match Ftc_chaos.Replay.load path with
   | Error e ->
       Printf.eprintf "replay: %s\n" e;
@@ -398,6 +793,17 @@ let replay path =
             end
           end)
 
+let replay file quarantine =
+  match (file, quarantine) with
+  | Some path, None -> replay_file path
+  | None, Some path -> replay_quarantine path
+  | Some _, Some _ ->
+      prerr_endline "replay: give either a reproducer FILE or --quarantine, not both";
+      2
+  | None, None ->
+      prerr_endline "replay: need a reproducer FILE or --quarantine FILE";
+      2
+
 (* -- list command -- *)
 
 let list_all () =
@@ -412,6 +818,9 @@ let list_all () =
     (fun (e : Ftc_chaos.Catalog.entry) ->
       Printf.printf "  %s%s\n" e.name (if e.crash_tolerant then " *" else ""))
     Ftc_chaos.Catalog.all;
+  List.iter
+    (fun (e : Ftc_chaos.Catalog.entry) -> Printf.printf "  %s (sweep/replay only)\n" e.name)
+    Ftc_chaos.Catalog.extras;
   0
 
 (* -- command wiring -- *)
@@ -422,7 +831,8 @@ let election_cmd =
     (Cmd.info "election" ~doc)
     Term.(
       const election $ n_arg $ alpha_arg $ seed_arg $ adversary_arg $ explicit_arg $ trials_arg
-      $ loss_arg $ loss_model_arg $ transport_arg $ jobs_arg)
+      $ loss_arg $ loss_model_arg $ transport_arg $ jobs_arg $ keep_going_arg $ journal_arg
+      $ resume_arg $ quarantine_arg $ trial_timeout_arg)
 
 let agreement_cmd =
   let doc = "Run fault-tolerant implicit agreement (paper Sec. V-A)." in
@@ -436,13 +846,52 @@ let agreement_cmd =
     (Cmd.info "agreement" ~doc)
     Term.(
       const agreement $ n_arg $ alpha_arg $ seed_arg $ adversary_arg $ explicit_arg $ trials_arg
-      $ ones $ loss_arg $ loss_model_arg $ transport_arg $ jobs_arg)
+      $ ones $ loss_arg $ loss_model_arg $ transport_arg $ jobs_arg $ keep_going_arg $ journal_arg
+      $ resume_arg $ quarantine_arg $ trial_timeout_arg)
+
+let sweep_cmd =
+  let doc =
+    "Run a seeded trial sweep of any catalog protocol under the crash-safe supervisor: \
+     journaled completions ($(b,--journal)), resume of a killed run ($(b,--resume)), per-trial \
+     watchdog ($(b,--trial-timeout)), and quarantine of failed trials replayable with \
+     $(b,ftc replay --quarantine)."
+  in
+  let protocol =
+    Arg.(
+      value
+      & opt string "ft-leader-election"
+      & info [ "protocol" ] ~docv:"NAME" ~doc:"A chaos-catalog protocol name (see $(b,ftc list)).")
+  in
+  Cmd.v (Cmd.info "sweep" ~doc)
+    Term.(
+      const sweep $ protocol $ n_arg $ alpha_arg $ seed_arg $ adversary_arg $ trials_arg
+      $ loss_arg $ loss_model_arg $ transport_arg $ jobs_arg $ keep_going_arg $ journal_arg
+      $ resume_arg $ quarantine_arg $ trial_timeout_arg)
 
 let expt_cmd =
   let doc = "Run experiments by id (default: all, quick scale)." in
   let ids = Arg.(value & pos_all string [] & info [] ~docv:"ID") in
   let full = Arg.(value & flag & info [ "full" ] ~doc:"EXPERIMENTS.md scale.") in
-  Cmd.v (Cmd.info "expt" ~doc) Term.(const expt $ ids $ full $ seed_arg $ jobs_arg)
+  let journal =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "journal" ] ~docv:"FILE"
+          ~doc:
+            "Journal every completed trial of every experiment to $(docv), so a killed run can \
+             be resumed with $(b,--resume) $(docv).")
+  in
+  let resume =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "resume" ] ~docv:"FILE"
+          ~doc:
+            "Resume from the journal of an interrupted run with the same scale and seed: \
+             journaled trials are skipped, reports are identical to an uninterrupted run.")
+  in
+  Cmd.v (Cmd.info "expt" ~doc)
+    Term.(const expt $ ids $ full $ seed_arg $ jobs_arg $ journal $ resume)
 
 let clouds_cmd =
   let doc = "Trace a run and print its influence-cloud decomposition (Thm 4.2/5.2)." in
@@ -496,8 +945,17 @@ let replay_cmd =
      violation (still) reproduces, 0 when the run is clean or the expectation no longer \
      fails, 2 on a malformed file."
   in
-  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
-  Cmd.v (Cmd.info "replay" ~doc) Term.(const replay $ file)
+  let file = Arg.(value & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let quarantine =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "quarantine" ] ~docv:"FILE"
+          ~doc:
+            "Re-execute every entry of a sweep quarantine file (as written by the supervised \
+             commands) instead of a single reproducer.")
+  in
+  Cmd.v (Cmd.info "replay" ~doc) Term.(const replay $ file $ quarantine)
 
 let list_cmd =
   Cmd.v (Cmd.info "list" ~doc:"List experiments, protocols and adversaries.")
@@ -506,6 +964,7 @@ let list_cmd =
 let main =
   let doc = "fault-tolerant leader election and agreement (Kumar & Molla, PODC'21/TPDS'23)" in
   Cmd.group (Cmd.info "ftc" ~version:"1.0.0" ~doc)
-    [ election_cmd; agreement_cmd; expt_cmd; clouds_cmd; chaos_cmd; replay_cmd; list_cmd ]
+    [ election_cmd; agreement_cmd; sweep_cmd; expt_cmd; clouds_cmd; chaos_cmd; replay_cmd;
+      list_cmd ]
 
 let () = exit (Cmd.eval' main)

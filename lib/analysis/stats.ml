@@ -9,6 +9,9 @@ type summary = {
   p90 : float;
 }
 
+let empty =
+  { count = 0; mean = 0.; stddev = 0.; min = 0.; max = 0.; median = 0.; p10 = 0.; p90 = 0. }
+
 let mean xs =
   match xs with
   | [] -> invalid_arg "Stats.mean: empty"

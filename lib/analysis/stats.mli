@@ -11,6 +11,10 @@ type summary = {
   p90 : float;
 }
 
+val empty : summary
+(** The zero-sample summary ([count = 0], every statistic [0.]) — what an
+    aggregate over no data reports, rather than raising. *)
+
 val summarize : float list -> summary
 (** @raise Invalid_argument on an empty list. *)
 

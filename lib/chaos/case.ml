@@ -11,13 +11,15 @@ type t = {
   seed : int;
   inputs : int array;
   plan : (int * int * Adversary.drop_rule) list;
+  adversary : string option;
   loss : Omission.spec;
   transport : bool;
 }
 
 let equal a b =
   a.protocol = b.protocol && a.n = b.n && a.alpha = b.alpha && a.seed = b.seed
-  && a.inputs = b.inputs && a.plan = b.plan && a.loss = b.loss && a.transport = b.transport
+  && a.inputs = b.inputs && a.plan = b.plan && a.adversary = b.adversary && a.loss = b.loss
+  && a.transport = b.transport
 
 type error = Unknown_protocol of string | Invalid_case of string
 
@@ -46,23 +48,37 @@ let validate case =
       else begin
         match Omission.validate case.loss with
         | Error msg -> Error (Invalid_case msg)
-        | Ok () ->
-            let (module P : Ftc_sim.Protocol.S) = materialize entry case in
-            let f = Engine.max_faulty ~n:case.n ~alpha:case.alpha in
-            let max_round = P.max_rounds ~n:case.n ~alpha:case.alpha - 1 in
-            (match Strategy.validate_plan ~n:case.n ~f ~max_round case.plan with
-            | Error msg -> Error (Invalid_case msg)
-            | Ok () -> Ok entry)
+        | Ok () -> (
+            match case.adversary with
+            | Some name when case.plan <> [] ->
+                Error
+                  (Invalid_case
+                     (Printf.sprintf
+                        "adversary %s and an explicit crash plan are mutually exclusive" name))
+            | Some name when not (List.mem_assoc name (Strategy.all ())) ->
+                Error
+                  (Invalid_case
+                     (Printf.sprintf "unknown adversary %s (known: %s)" name
+                        (String.concat ", " (List.map fst (Strategy.all ())))))
+            | _ ->
+                let (module P : Ftc_sim.Protocol.S) = materialize entry case in
+                let f = Engine.max_faulty ~n:case.n ~alpha:case.alpha in
+                let max_round = P.max_rounds ~n:case.n ~alpha:case.alpha - 1 in
+                (match Strategy.validate_plan ~n:case.n ~f ~max_round case.plan with
+                | Error msg -> Error (Invalid_case msg)
+                | Ok () -> Ok entry))
       end
 
-let run case =
+let run ?watchdog case =
   match validate case with
   | Error _ as e -> e
   | Ok entry ->
       let (module P : Ftc_sim.Protocol.S) = materialize entry case in
       let module E = Engine.Make (P) in
       let adversary =
-        if case.plan = [] then Adversary.none else Strategy.scheduled case.plan ()
+        match case.adversary with
+        | Some name -> (List.assoc name (Strategy.all ())) ()
+        | None -> if case.plan = [] then Adversary.none else Strategy.scheduled case.plan ()
       in
       (* Wrapped runs get double the per-edge budget: transport framing
          lets a data message and an ack share an edge-round. *)
@@ -79,6 +95,7 @@ let run case =
             congest_limit = Some (congest_factor * Ftc_sim.Congest.default_limit ~n:case.n);
             record_trace = true;
             max_rounds_override = None;
+            watchdog;
           }
       in
       let lossy_raw = case.loss <> Omission.No_loss && not case.transport in
@@ -93,11 +110,12 @@ let rule_to_string = function
   | Adversary.Keep_prefix k -> Printf.sprintf "keep-prefix %d" k
 
 let pp ppf case =
-  Format.fprintf ppf "%s n=%d alpha=%g seed=%d plan=[%s] loss=%s transport=%b" case.protocol
+  Format.fprintf ppf "%s n=%d alpha=%g seed=%d plan=[%s]%s loss=%s transport=%b" case.protocol
     case.n case.alpha case.seed
     (String.concat "; "
        (List.map
           (fun (v, r, rule) -> Printf.sprintf "%d@r%d %s" v r (rule_to_string rule))
           case.plan))
+    (match case.adversary with None -> "" | Some a -> " adversary=" ^ a)
     (Omission.spec_to_string case.loss)
     case.transport

@@ -13,6 +13,13 @@ type t = {
   inputs : int array;  (** Always length [n]; all-zero for elections. *)
   plan : (int * int * Ftc_sim.Adversary.drop_rule) list;
       (** [(node, round, rule)] triples; empty = fault-free. *)
+  adversary : string option;
+      (** A named {!Ftc_fault.Strategy} adversary ([Strategy.all] name)
+          instead of an explicit plan. The adversary draws its own coins
+          from the case seed, so the case is still fully reproducible.
+          Mutually exclusive with a non-empty [plan]; used by [ftc sweep]
+          where trials run under randomized adversaries but must remain
+          replayable from the quarantine file. *)
   loss : Ftc_fault.Omission.spec;  (** Omission model on live links. *)
   transport : bool;
       (** Run the protocol wrapped in {!Ftc_transport.Transport} (with a
@@ -30,11 +37,17 @@ val validate : t -> (Catalog.entry, error) result
     protocol's fault budget and round range — the {e wrapped} round range
     when the case uses the transport — without running anything. *)
 
-val run : t -> (Ftc_sim.Engine.result * Oracle.finding list, error) result
+val run :
+  ?watchdog:(unit -> bool) ->
+  t ->
+  (Ftc_sim.Engine.result * Oracle.finding list, error) result
 (** Deterministically executes the case (with tracing, so the
     trace-metrics oracle applies) and judges it against every applicable
     oracle. A lossy case without the transport is judged by the accounting
-    oracles only (see {!Oracle.check}'s [lossy_raw]). *)
+    oracles only (see {!Oracle.check}'s [lossy_raw]). [watchdog] is passed
+    through to {!Ftc_sim.Engine.config.watchdog}: the sweep supervisor's
+    per-trial wall-clock budget; it never changes what the simulation
+    computes, only whether it is cut short. *)
 
 val findings : t -> Oracle.finding list
 (** [findings c] = oracle findings of [run c], [[]] if the case itself is

@@ -117,6 +117,48 @@ let all =
     };
   ]
 
-let find name = List.find_opt (fun e -> e.name = name) all
+(* A deliberately broken protocol: declares KT0 but addresses by node id
+   in round 0, so the engine reports one [Kt0_node_addressing] violation
+   per node on every seed. It exists to exercise the failure path end to
+   end — sweep supervision, quarantine, replay — deterministically, the
+   way a real model bug would. *)
+module Faulty_probe = struct
+  type state = unit
+  type msg = unit
 
-let names () = List.map (fun e -> e.name) all
+  let name = "faulty-probe"
+  let knowledge = `KT0
+  let msg_bits ~n:_ () = 1
+  let max_rounds ~n:_ ~alpha:_ = 2
+  let init _ = ()
+
+  let step _ () ~round ~inbox:_ =
+    if round = 0 then ((), [ { Ftc_sim.Protocol.dest = Ftc_sim.Protocol.Node 0; payload = () } ])
+    else ((), [])
+
+  let decide () = Ftc_sim.Decision.Agreed 0
+
+  let observe () =
+    { Ftc_sim.Observation.role = Ftc_sim.Observation.Bystander; rank = None; has_decided = true }
+end
+
+(* Runnable via [find] (so [ftc sweep]/[ftc replay] can name them) but
+   deliberately NOT in [all]: the fuzzer cycles deterministically through
+   [all], and growing that list would silently reshuffle every recorded
+   fuzz stream. *)
+let extras =
+  [
+    {
+      name = "faulty-probe";
+      make = (fun () -> (module Faulty_probe : Ftc_sim.Protocol.S));
+      kind = Agreement;
+      explicit = true;
+      inputs = Bits;
+      crash_tolerant = false;
+      quiesces = true;
+    };
+  ]
+
+let find name = List.find_opt (fun e -> e.name = name) (all @ extras)
+
+let names () = List.map (fun e -> e.name) (all @ extras)

@@ -30,7 +30,19 @@ type entry = {
 }
 
 val all : entry list
+(** The fuzzable protocols. The fuzzer's deterministic case stream cycles
+    through this list by index, so its membership and order are part of
+    the reproducibility contract — never grow it for a protocol that is
+    not meant to be fuzzed; that is what {!extras} is for. *)
+
+val extras : entry list
+(** Runnable-but-not-fuzzed entries: diagnostic protocols such as
+    [faulty-probe] (a KT0 protocol that addresses by node id, violating
+    the model on every seed — the deterministic failure generator the
+    supervision tests and the quarantine CI demo are built on).
+    {!find}/{!names} see them; the fuzzer never does. *)
 
 val find : string -> entry option
+(** Searches [all] then [extras]. *)
 
 val names : unit -> string list

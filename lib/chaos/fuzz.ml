@@ -88,7 +88,7 @@ let gen_case ?(omission = false) rng (entry : Catalog.entry) ~n_min ~n_max =
      rng stream of configs recorded before omission fuzzing existed. *)
   let loss, transport = if omission then gen_loss rng else (Omission.No_loss, false) in
   let plan = gen_plan rng entry ~n ~alpha ~transport in
-  { Case.protocol = entry.name; n; alpha; seed; inputs; plan; loss; transport }
+  { Case.protocol = entry.name; n; alpha; seed; inputs; plan; adversary = None; loss; transport }
 
 let shrink_failure ?(n_floor = default_config.n_min) case findings =
   let still_fails c = Oracle.same_oracle findings (Case.findings c) in

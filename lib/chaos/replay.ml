@@ -2,7 +2,7 @@ module Adversary = Ftc_sim.Adversary
 module Omission = Ftc_fault.Omission
 
 let magic = "ftc-chaos-replay"
-let version = 2
+let version = 3
 
 let to_string ?(expect = []) (case : Case.t) =
   let b = Buffer.create 256 in
@@ -17,6 +17,7 @@ let to_string ?(expect = []) (case : Case.t) =
   List.iter
     (fun (v, r, rule) -> line "crash %d %d %s" v r (Case.rule_to_string rule))
     case.plan;
+  (match case.adversary with None -> () | Some a -> line "adversary %s" a);
   if case.loss <> Omission.No_loss then line "loss %s" (Omission.spec_to_string case.loss);
   if case.transport then line "transport on";
   List.iter (fun o -> line "expect %s" o) expect;
@@ -64,6 +65,7 @@ let of_string s =
   and seed = ref None
   and inputs = ref None
   and plan = ref []
+  and adversary = ref None
   and loss = ref Omission.No_loss
   and transport = ref false
   and expect = ref [] in
@@ -78,9 +80,10 @@ let of_string s =
     match String.split_on_char ' ' l |> List.filter (fun t -> t <> "") with
     | m :: v :: _ when m = magic -> (
         (* Version 1 files are a strict subset of version 2 (no loss or
-           transport lines), so both parse with the same grammar. *)
+           transport lines), which is a strict subset of version 3 (no
+           adversary line), so all three parse with the same grammar. *)
         match int_of_string_opt v with
-        | Some 1 | Some 2 -> Ok ()
+        | Some 1 | Some 2 | Some 3 -> Ok ()
         | _ -> Error ("unsupported replay version " ^ v))
     | [ "protocol"; p ] ->
         protocol := Some p;
@@ -106,6 +109,9 @@ let of_string s =
             Ok ()
         | _, _, Error e -> Error e
         | _ -> Error ("bad crash line: " ^ l))
+    | [ "adversary"; a ] ->
+        adversary := Some a;
+        Ok ()
     | "loss" :: toks -> (
         match loss_of_tokens toks with
         | Ok spec ->
@@ -147,6 +153,7 @@ let of_string s =
                     seed;
                     inputs;
                     plan = List.rev !plan;
+                    adversary = !adversary;
                     loss = !loss;
                     transport = !transport;
                   },

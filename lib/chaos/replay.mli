@@ -3,13 +3,14 @@
 
     Format (one item per line, [#] comments and blank lines ignored):
     {v
-    ftc-chaos-replay 2
+    ftc-chaos-replay 3
     protocol ft-agreement
     n 64
     alpha 0.69999999999999996
     seed 123456789
     inputs 0 1 1 0 ...
     crash <node> <round> drop-all|drop-none|drop-random <p>|keep-prefix <k>
+    adversary <strategy-name>
     loss none|uniform <p>|burst <p> <len>|targeted <p>
     transport on|off
     expect <oracle-id>
@@ -20,7 +21,8 @@
     Alpha and loss rates are printed with 17 significant digits, so the
     parsed case is bit-identical to the saved one and the replay is exact.
     Version 1 files (no [loss]/[transport] lines, meaning reliable links
-    and no wrapper) still load. *)
+    and no wrapper) and version 2 files (no [adversary] line) still
+    load. *)
 
 val to_string : ?expect:string list -> Case.t -> string
 

@@ -1,6 +1,11 @@
 type scale = Quick | Full
 
-type ctx = { scale : scale; base_seed : int; jobs : int }
+type ctx = {
+  scale : scale;
+  base_seed : int;
+  jobs : int;
+  journal : Supervise.shared option;
+}
 
 type t = { id : string; title : string; paper : string; run : ctx -> string }
 

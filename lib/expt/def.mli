@@ -11,6 +11,12 @@ type ctx = {
   jobs : int;
       (** Worker domains for the trial loops ({!Runner.run_many_par});
           1 = sequential. Outcomes are identical at any value. *)
+  journal : Supervise.shared option;
+      (** When set, experiments journal each completed trial through
+          {!Supervise.run_many_journaled} and skip trials already
+          journaled — crash-safe resume for [ftc expt]. [None] runs
+          exactly as before. Experiments that treat violations as data
+          (lossy raw, Byzantine probe) ignore it. *)
 }
 
 type t = {

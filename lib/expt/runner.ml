@@ -14,6 +14,7 @@ type spec = {
   transport : Ftc_transport.Transport.config option;
   congest : bool;
   record_trace : bool;
+  trial_timeout : float option;
 }
 
 let default_spec protocol ~n ~alpha =
@@ -27,6 +28,7 @@ let default_spec protocol ~n ~alpha =
     transport = None;
     congest = true;
     record_trace = false;
+    trial_timeout = None;
   }
 
 type outcome = {
@@ -58,7 +60,12 @@ let materialize_inputs spec ~seed =
   match spec.inputs with
   | Zeros -> Array.make spec.n 0
   | All_ones -> Array.make spec.n 1
-  | Exact a -> a
+  | Exact a ->
+      if Array.length a <> spec.n then
+        invalid_arg
+          (Printf.sprintf "Runner.materialize_inputs: Exact inputs length %d <> spec.n = %d"
+             (Array.length a) spec.n);
+      a
   | Random_bits p ->
       (* A distinct stream from the engine's seed, so inputs do not
          correlate with node coins. *)
@@ -92,6 +99,15 @@ let run spec ~seed =
          else None);
       record_trace = spec.record_trace;
       max_rounds_override = None;
+      watchdog =
+        (* Wall-clock deadline, armed when the trial starts. The engine
+           polls it between rounds; the simulation itself stays a pure
+           function of the seed — only how far it got can differ. *)
+        (match spec.trial_timeout with
+        | None -> None
+        | Some limit ->
+            let start = Unix.gettimeofday () in
+            Some (fun () -> Unix.gettimeofday () -. start >= limit));
     }
   in
   let result = E.run cfg in
@@ -131,6 +147,17 @@ let run_many_par_raw ~jobs spec ~seeds =
   if jobs < 1 then invalid_arg "Runner.run_many_par_raw: jobs must be >= 1";
   Ftc_parallel.Pool.run_map ~jobs (fun seed -> run spec ~seed) seeds
 
+type trial_stats = { success : bool; msgs : int; bits : int; rounds : int }
+
+let stats_of ~ok o =
+  let m = o.result.Engine.metrics in
+  {
+    success = ok o;
+    msgs = m.Ftc_sim.Metrics.msgs_sent;
+    bits = m.Ftc_sim.Metrics.bits_sent;
+    rounds = o.result.Engine.rounds_used;
+  }
+
 type aggregate = {
   trials : int;
   successes : int;
@@ -140,29 +167,37 @@ type aggregate = {
   rounds : Ftc_analysis.Stats.summary;
 }
 
-(* One pass over the outcomes: counts and the three metric series are
+let empty_aggregate =
+  let e = Ftc_analysis.Stats.empty in
+  { trials = 0; successes = 0; success_rate = 0.; msgs = e; bits = e; rounds = e }
+
+(* One pass over the stats: counts and the three metric series are
    accumulated together (reversed, then re-reversed so the summaries see
-   trial order and float accumulation is unchanged). *)
-let aggregate ~ok outcomes =
+   trial order and float accumulation is unchanged). An empty sweep — every
+   trial failed or was skipped under --keep-going — aggregates to the
+   structured zero rather than raising, so partial reports always render. *)
+let aggregate_stats stats =
   let trials = ref 0 and successes = ref 0 in
   let msgs = ref [] and bits = ref [] and rounds = ref [] in
   List.iter
-    (fun o ->
+    (fun s ->
       incr trials;
-      if ok o then incr successes;
-      let m = o.result.Engine.metrics in
-      msgs := float_of_int m.Ftc_sim.Metrics.msgs_sent :: !msgs;
-      bits := float_of_int m.Ftc_sim.Metrics.bits_sent :: !bits;
-      rounds := float_of_int o.result.Engine.rounds_used :: !rounds)
-    outcomes;
-  if !trials = 0 then invalid_arg "Runner.aggregate: no outcomes";
-  {
-    trials = !trials;
-    successes = !successes;
-    success_rate = float_of_int !successes /. float_of_int !trials;
-    msgs = Ftc_analysis.Stats.summarize (List.rev !msgs);
-    bits = Ftc_analysis.Stats.summarize (List.rev !bits);
-    rounds = Ftc_analysis.Stats.summarize (List.rev !rounds);
-  }
+      if s.success then incr successes;
+      msgs := float_of_int s.msgs :: !msgs;
+      bits := float_of_int s.bits :: !bits;
+      rounds := float_of_int s.rounds :: !rounds)
+    stats;
+  if !trials = 0 then empty_aggregate
+  else
+    {
+      trials = !trials;
+      successes = !successes;
+      success_rate = float_of_int !successes /. float_of_int !trials;
+      msgs = Ftc_analysis.Stats.summarize (List.rev !msgs);
+      bits = Ftc_analysis.Stats.summarize (List.rev !bits);
+      rounds = Ftc_analysis.Stats.summarize (List.rev !rounds);
+    }
+
+let aggregate ~ok outcomes = aggregate_stats (List.map (stats_of ~ok) outcomes)
 
 let seeds ~base ~count = List.init count (fun i -> base + (1009 * i))

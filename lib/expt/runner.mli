@@ -19,6 +19,13 @@ type spec = {
           the CONGEST budget: data and ack can share an edge-round). *)
   congest : bool;  (** false = LOCAL (no per-edge bit budget). *)
   record_trace : bool;
+  trial_timeout : float option;
+      (** Wall-clock budget in seconds for one trial. When set, {!run}
+          arms a cooperative watchdog ({!Ftc_sim.Engine.config.watchdog})
+          that stops the engine at the first round boundary past the
+          deadline; the outcome comes back with
+          [result.watchdog_expired = true] and the supervisor classifies
+          the trial as [Watchdog_expired]. [None] (default) = no budget. *)
 }
 
 val default_spec : (module Ftc_sim.Protocol.S) -> n:int -> alpha:float -> spec
@@ -52,6 +59,11 @@ val run : spec -> seed:int -> outcome
 
 val violations : outcome -> Ftc_sim.Violation.t list
 
+val ensure_clean : spec -> outcome -> unit
+(** Raise {!Model_violation} iff the outcome recorded any violation. This
+    is the check {!run_exn} applies; the supervisor calls it per trial so
+    a violating seed fails (or quarantines) just that trial. *)
+
 val run_exn : spec -> seed:int -> outcome
 (** As {!run}, but raises {!Model_violation} when the engine reported any
     violation — experiments must be model-clean. *)
@@ -74,6 +86,13 @@ val run_many_par_raw : jobs:int -> spec -> seeds:int list -> outcome list
     outcomes, never raised — for experiments (lossy raw, Byzantine probe)
     that treat model violations as data. *)
 
+type trial_stats = { success : bool; msgs : int; bits : int; rounds : int }
+(** The per-trial facts an aggregate is built from — exactly what the
+    trial journal records, so a resumed sweep aggregates journaled trials
+    and fresh ones identically. *)
+
+val stats_of : ok:(outcome -> bool) -> outcome -> trial_stats
+
 type aggregate = {
   trials : int;
   successes : int;
@@ -83,6 +102,17 @@ type aggregate = {
   rounds : Ftc_analysis.Stats.summary;
 }
 
+val empty_aggregate : aggregate
+(** [trials = 0], [success_rate = 0.], every summary {!Ftc_analysis.Stats.empty}. *)
+
+val aggregate_stats : trial_stats list -> aggregate
+(** Aggregate per-trial stats in list order (float accumulation order is
+    part of the determinism contract). An empty list yields
+    {!empty_aggregate} instead of raising — a sweep whose every trial
+    failed under [--keep-going] still reports structure. *)
+
 val aggregate : ok:(outcome -> bool) -> outcome list -> aggregate
+(** [aggregate_stats (List.map (stats_of ~ok) outcomes)]. Empty input
+    yields {!empty_aggregate}. *)
 
 val seeds : base:int -> count:int -> int list

@@ -29,14 +29,21 @@ let ag_explicit_ok (o : Runner.outcome) =
 
 type point = { x : float; agg : Runner.aggregate }
 
-let sweep ~jobs ~spec_of ~ok ~xs ~trials ~base_seed =
+(* Each sweep point runs through the journaled path: with no journal in
+   the ctx it degrades to the plain parallel runner; with one, completed
+   trials are recorded under a key naming the experiment and the x value
+   (17 significant digits, so the key is bit-stable) and an interrupted
+   [ftc expt --journal]/[--resume] run re-runs only the missing trials. *)
+let sweep ~(ctx : Def.ctx) ~id ~spec_of ~ok ~xs ~trials ?(base_seed_offset = 0) () =
   List.map
     (fun x ->
       let spec = spec_of x in
-      let outcomes =
-        Runner.run_many_par ~jobs spec ~seeds:(Runner.seeds ~base:base_seed ~count:trials)
+      let key = Printf.sprintf "%s:x=%.17g" id x in
+      let stats =
+        Supervise.run_many_journaled ~jobs:ctx.Def.jobs ~journal:ctx.Def.journal ~key ~ok spec
+          ~seeds:(Runner.seeds ~base:(ctx.Def.base_seed + base_seed_offset) ~count:trials)
       in
-      { x; agg = Runner.aggregate ~ok outcomes })
+      { x; agg = Runner.aggregate_stats stats })
     xs
 
 let row_of_point label fmt_x p =
@@ -81,9 +88,9 @@ let f1 =
         let trials = Def.trials ctx ~quick:3 ~full:8 in
         let alpha = 0.7 in
         let points =
-          sweep ~jobs:ctx.jobs
+          sweep ~ctx ~id:"F1"
             ~spec_of:(fun n -> le_spec ~n:(int_of_float n) ~alpha ())
-            ~ok:le_ok ~xs:(List.map float_of_int ns) ~trials ~base_seed:ctx.base_seed
+            ~ok:le_ok ~xs:(List.map float_of_int ns) ~trials ()
         in
         let fit =
           Fit.power_law_divided_polylog ~log_power:2.5 (metric_pairs points msgs_mean)
@@ -113,9 +120,9 @@ let f2 =
         let alphas = [ 0.3; 0.4; 0.5; 0.65; 0.8; 1.0 ] in
         let trials = Def.trials ctx ~quick:3 ~full:8 in
         let points =
-          sweep ~jobs:ctx.jobs
+          sweep ~ctx ~id:"F2"
             ~spec_of:(fun alpha -> le_spec ~n ~alpha ())
-            ~ok:le_ok ~xs:alphas ~trials ~base_seed:ctx.base_seed
+            ~ok:le_ok ~xs:alphas ~trials ()
         in
         let fit = Fit.power_law (metric_pairs points msgs_mean) in
         Def.section "F2" "leader election: messages vs alpha"
@@ -150,13 +157,17 @@ let f3 =
             List.iter
               (fun alpha ->
                 let le =
-                  Runner.aggregate ~ok:le_ok
-                    (Runner.run_many_par ~jobs:ctx.jobs (le_spec ~n ~alpha ())
+                  Runner.aggregate_stats
+                    (Supervise.run_many_journaled ~jobs:ctx.jobs ~journal:ctx.journal
+                       ~key:(Printf.sprintf "F3:le:n=%d:alpha=%.17g" n alpha)
+                       ~ok:le_ok (le_spec ~n ~alpha ())
                        ~seeds:(Runner.seeds ~base:ctx.base_seed ~count:trials))
                 in
                 let ag =
-                  Runner.aggregate ~ok:ag_ok
-                    (Runner.run_many_par ~jobs:ctx.jobs (ag_spec ~n ~alpha ())
+                  Runner.aggregate_stats
+                    (Supervise.run_many_journaled ~jobs:ctx.jobs ~journal:ctx.journal
+                       ~key:(Printf.sprintf "F3:ag:n=%d:alpha=%.17g" n alpha)
+                       ~ok:ag_ok (ag_spec ~n ~alpha ())
                        ~seeds:(Runner.seeds ~base:(ctx.base_seed + 7) ~count:trials))
                 in
                 let budget = Float.log (float_of_int n) /. alpha in
@@ -201,9 +212,9 @@ let f4 =
         let trials = Def.trials ctx ~quick:3 ~full:8 in
         let alpha = 0.7 in
         let points =
-          sweep ~jobs:ctx.jobs
+          sweep ~ctx ~id:"F4"
             ~spec_of:(fun n -> ag_spec ~n:(int_of_float n) ~alpha ())
-            ~ok:ag_ok ~xs:(List.map float_of_int ns) ~trials ~base_seed:ctx.base_seed
+            ~ok:ag_ok ~xs:(List.map float_of_int ns) ~trials ()
         in
         let fit =
           Fit.power_law_divided_polylog ~log_power:1.5 (metric_pairs points bits_mean)
@@ -231,9 +242,9 @@ let f5 =
         let alphas = [ 0.3; 0.4; 0.5; 0.65; 0.8; 1.0 ] in
         let trials = Def.trials ctx ~quick:3 ~full:8 in
         let points =
-          sweep ~jobs:ctx.jobs
+          sweep ~ctx ~id:"F5"
             ~spec_of:(fun alpha -> ag_spec ~n ~alpha ())
-            ~ok:ag_ok ~xs:alphas ~trials ~base_seed:ctx.base_seed
+            ~ok:ag_ok ~xs:alphas ~trials ()
         in
         let fit = Fit.power_law (metric_pairs points msgs_mean) in
         Def.section "F5" "agreement: messages vs alpha"
@@ -262,15 +273,14 @@ let f10 =
         let trials = Def.trials ctx ~quick:3 ~full:6 in
         let alpha = 0.7 in
         let le_points =
-          sweep ~jobs:ctx.jobs
+          sweep ~ctx ~id:"F10:le"
             ~spec_of:(fun n -> le_spec ~explicit:true ~n:(int_of_float n) ~alpha ())
-            ~ok:le_explicit_ok ~xs:(List.map float_of_int ns) ~trials ~base_seed:ctx.base_seed
+            ~ok:le_explicit_ok ~xs:(List.map float_of_int ns) ~trials ()
         in
         let ag_points =
-          sweep ~jobs:ctx.jobs
+          sweep ~ctx ~id:"F10:ag"
             ~spec_of:(fun n -> ag_spec ~explicit:true ~n:(int_of_float n) ~alpha ())
-            ~ok:ag_explicit_ok ~xs:(List.map float_of_int ns) ~trials
-            ~base_seed:(ctx.base_seed + 13)
+            ~ok:ag_explicit_ok ~xs:(List.map float_of_int ns) ~trials ~base_seed_offset:13 ()
         in
         let le_fit = Fit.power_law (metric_pairs le_points msgs_mean) in
         let ag_fit = Fit.power_law (metric_pairs ag_points msgs_mean) in

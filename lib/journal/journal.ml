@@ -1,0 +1,131 @@
+let magic = "ftc-trial-journal"
+let version = 1
+
+let spec_hash s = Digest.to_hex (Digest.string s)
+
+type header = { version : int; spec_hash : string }
+
+type loaded = { header : header; entries : Json.t list; torn_tail : bool }
+
+let header_line ~spec_hash =
+  Json.to_string
+    (Json.Obj
+       [
+         ("magic", Json.String magic);
+         ("version", Json.Int version);
+         ("spec", Json.String spec_hash);
+       ])
+
+let parse_header line =
+  match Json.of_string line with
+  | Error e -> Error ("bad journal header: " ^ e)
+  | Ok j -> (
+      match
+        ( Option.bind (Json.member "magic" j) Json.to_str,
+          Option.bind (Json.member "version" j) Json.to_int,
+          Option.bind (Json.member "spec" j) Json.to_str )
+      with
+      | Some m, _, _ when m <> magic -> Error (Printf.sprintf "not a %s file" magic)
+      | _, Some v, _ when v > version -> Error (Printf.sprintf "unsupported journal version %d" v)
+      | Some _, Some version, Some spec_hash -> Ok { version; spec_hash }
+      | _ -> Error "journal header is missing magic/version/spec")
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let load ~path =
+  match read_file path with
+  | exception Sys_error e -> Error e
+  | contents -> (
+      let lines = String.split_on_char '\n' contents in
+      (* A complete record line always ends in '\n', so splitting leaves a
+         trailing "" for an intact file; anything else in the final slot is
+         a torn append. Blank interior lines are tolerated (they cannot be
+         produced by [append], but a hand-edited journal may have them). *)
+      let rec split_last acc = function
+        | [] -> (List.rev acc, "")
+        | [ last ] -> (List.rev acc, last)
+        | l :: rest -> split_last (l :: acc) rest
+      in
+      let body, tail = split_last [] lines in
+      match body with
+      | [] -> Error "empty journal"
+      | header_text :: record_lines -> (
+          match parse_header header_text with
+          | Error _ as e -> e
+          | Ok header -> (
+              let parse_records lines =
+                let rec go acc = function
+                  | [] -> Ok (List.rev acc)
+                  | "" :: rest -> go acc rest
+                  | l :: rest -> (
+                      match Json.of_string l with
+                      | Ok j -> go (j :: acc) rest
+                      | Error e -> Error (Printf.sprintf "corrupt journal record %S: %s" l e))
+                in
+                go [] lines
+              in
+              match parse_records record_lines with
+              | Error _ as e -> e
+              | Ok entries -> (
+                  (* The unterminated tail: keep it if it happens to parse
+                     (killed after the bytes but before the newline),
+                     otherwise drop it as torn. *)
+                  match tail with
+                  | "" -> Ok { header; entries; torn_tail = false }
+                  | t -> (
+                      match Json.of_string t with
+                      | Ok j -> Ok { header; entries = entries @ [ j ]; torn_tail = false }
+                      | Error _ -> Ok { header; entries; torn_tail = true })))))
+
+type t = { oc : out_channel }
+
+let create ~path ~spec_hash =
+  let oc = open_out_bin path in
+  output_string oc (header_line ~spec_hash);
+  output_char oc '\n';
+  flush oc;
+  { oc }
+
+let write_atomic ~path content =
+  let dir = Filename.dirname path in
+  let tmp = Filename.temp_file ~temp_dir:dir (Filename.basename path) ".tmp" in
+  let oc = open_out_bin tmp in
+  (match output_string oc content with
+  | () -> close_out oc
+  | exception e ->
+      close_out_noerr oc;
+      (try Sys.remove tmp with Sys_error _ -> ());
+      raise e);
+  Sys.rename tmp path
+
+(* Appending to a file whose final line is unterminated would glue the
+   next record onto it, corrupting both. Normalise first: a torn tail
+   that still parses gets its newline; one that doesn't is cut at the
+   last complete line (atomically, so a crash here loses nothing). *)
+let normalise_tail ~path =
+  let contents = read_file path in
+  let len = String.length contents in
+  if len = 0 || contents.[len - 1] = '\n' then ()
+  else
+    let tail_start =
+      match String.rindex_opt contents '\n' with Some i -> i + 1 | None -> 0
+    in
+    let tail = String.sub contents tail_start (len - tail_start) in
+    match Json.of_string tail with
+    | Ok _ -> write_atomic ~path (contents ^ "\n")
+    | Error _ -> write_atomic ~path (String.sub contents 0 tail_start)
+
+let reopen ~path =
+  normalise_tail ~path;
+  { oc = open_out_gen [ Open_wronly; Open_append; Open_binary ] 0o644 path }
+
+let append t record =
+  output_string t.oc (Json.to_string record);
+  output_char t.oc '\n';
+  flush t.oc
+
+let close t = close_out_noerr t.oc

@@ -1,0 +1,61 @@
+(** The write-ahead trial journal: an append-only JSONL file that makes
+    long experiment sweeps crash-safe.
+
+    Layout: the first line is a header object
+    [{"magic":"ftc-trial-journal","version":1,"spec":"<hex hash>"}]; every
+    following line is one record (one completed trial), appended and
+    flushed the moment the trial finishes. A sweep killed at any point —
+    including mid-write, leaving a torn final line — loses at most the
+    trial that was being written; {!load} tolerates the torn tail and a
+    resumed sweep re-runs only the missing seeds.
+
+    The [spec] hash names the sweep configuration the journal belongs to
+    (protocol, n, alpha, adversary, loss, ...). Resuming against a journal
+    whose hash differs from the current sweep's is a hard error: silently
+    mixing trials from two different experiments is exactly the corruption
+    this layer exists to prevent. *)
+
+val magic : string
+val version : int
+
+val spec_hash : string -> string
+(** Hex digest of a canonical spec description. Stable across runs and
+    processes; the caller is responsible for making the description
+    canonical (field order, formatting). *)
+
+type header = { version : int; spec_hash : string }
+
+type loaded = {
+  header : header;
+  entries : Json.t list;  (** Every well-formed record, in append order. *)
+  torn_tail : bool;
+      (** The final line was incomplete (the writer was killed mid-append)
+          and has been dropped. Any malformed line {e before} the final
+      one is corruption and makes {!load} fail instead. *)
+}
+
+val load : path:string -> (loaded, string) result
+
+type t
+(** An open journal handle. Appends are line-buffered and flushed per
+    record; handles are not thread-safe — serialise {!append} calls. *)
+
+val create : path:string -> spec_hash:string -> t
+(** Truncate/create [path] and write the header line. *)
+
+val reopen : path:string -> t
+(** Open an existing journal for appending (no header validation — pair
+    with {!load} first). A torn final line is repaired first — terminated
+    if it parses, cut otherwise — so the next {!append} cannot glue onto
+    it. *)
+
+val append : t -> Json.t -> unit
+(** Write one record line and flush it to the OS, so a later SIGKILL
+    cannot lose it. *)
+
+val close : t -> unit
+
+val write_atomic : path:string -> string -> unit
+(** Write [content] to a temporary file in [path]'s directory and rename
+    it over [path]: readers see either the old artifact or the complete
+    new one, never a partial write. *)

@@ -1,0 +1,37 @@
+(** A minimal JSON codec for one-line journal records.
+
+    Deliberately tiny: just enough to write and read back the flat objects
+    the trial journal and quarantine files are made of, without pulling a
+    JSON dependency into the build. Supports the full value grammar
+    (objects, arrays, strings with escapes, ints, floats, bools, null) but
+    no streaming — a value is encoded to and decoded from one string.
+
+    Integers round-trip exactly ([Int] is emitted without an exponent or
+    decimal point and parsed back as [Int]), which is what makes journal
+    resume bit-identical: metric counters are stored as the integers they
+    are, never through a float. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Single-line encoding: no newlines are ever emitted (they are escaped
+    inside strings), so one journal record is always exactly one line. *)
+
+val of_string : string -> (t, string) result
+
+val member : string -> t -> t option
+(** [member k (Obj fields)] is the value under [k]; [None] on a missing
+    key or a non-object. *)
+
+val to_int : t -> int option
+val to_bool : t -> bool option
+val to_str : t -> string option
+val to_float : t -> float option
+(** [to_float] accepts both [Float] and [Int] (widening). *)

@@ -5,9 +5,13 @@ type t = {
   mutable stopping : bool;
   mutable workers : unit Domain.t list;
   jobs : int;
+  dropped : int Atomic.t;
+  sink : (exn -> Printexc.raw_backtrace -> unit) Atomic.t;
 }
 
 let jobs t = t.jobs
+let dropped_exceptions t = Atomic.get t.dropped
+let set_exception_sink t f = Atomic.set t.sink f
 
 (* Workers park on [work_ready] until a job or the shutdown flag shows
    up. A worker only exits once the flag is set AND the queue is drained,
@@ -24,7 +28,14 @@ let worker_loop pool () =
         Mutex.unlock pool.lock
     | Some job ->
         Mutex.unlock pool.lock;
-        (try job () with _ -> ());
+        (try job ()
+         with e ->
+           (* A raw [submit] job escaped with an exception. Losing it
+              silently hid real bugs (issue: supervision); count it and
+              hand it to the pool's sink so the caller can at least log. *)
+           let bt = Printexc.get_raw_backtrace () in
+           Atomic.incr pool.dropped;
+           (try (Atomic.get pool.sink) e bt with _ -> ()));
         loop ()
   in
   loop ()
@@ -39,6 +50,8 @@ let create ~jobs =
       stopping = false;
       workers = [];
       jobs;
+      dropped = Atomic.make 0;
+      sink = Atomic.make (fun _ _ -> ());
     }
   in
   pool.workers <- List.init jobs (fun _ -> Domain.spawn (worker_loop pool));
@@ -117,3 +130,51 @@ let map pool f xs =
 let run_map ~jobs f xs =
   if jobs < 1 then invalid_arg "Pool.run_map: jobs must be >= 1";
   if jobs = 1 then List.map f xs else with_pool ~jobs (fun pool -> map pool f xs)
+
+(* Like [map], but nothing is cancelled and nothing re-raised: every job
+   runs to completion and each slot records its own outcome. This is the
+   primitive the sweep supervisor's --keep-going mode is built on. *)
+let map_results pool f xs =
+  let items = Array.of_list xs in
+  let count = Array.length items in
+  if count = 0 then []
+  else begin
+    let results = Array.make count None in
+    let done_lock = Mutex.create () in
+    let all_done = Condition.create () in
+    let pending = ref count in
+    let job_done () =
+      Mutex.lock done_lock;
+      decr pending;
+      if !pending = 0 then Condition.signal all_done;
+      Mutex.unlock done_lock
+    in
+    Array.iteri
+      (fun i x ->
+        submit pool (fun () ->
+            (match f x with
+            | v -> results.(i) <- Some (Ok v)
+            | exception e ->
+                let bt = Printexc.get_raw_backtrace () in
+                results.(i) <- Some (Error (e, bt)));
+            job_done ()))
+      items;
+    Mutex.lock done_lock;
+    while !pending > 0 do
+      Condition.wait all_done done_lock
+    done;
+    Mutex.unlock done_lock;
+    Array.to_list
+      (Array.map (function Some r -> r | None -> assert false) results)
+  end
+
+let run_map_results ~jobs f xs =
+  if jobs < 1 then invalid_arg "Pool.run_map_results: jobs must be >= 1";
+  if jobs = 1 then
+    List.map
+      (fun x ->
+        match f x with
+        | v -> Ok v
+        | exception e -> Error (e, Printexc.get_raw_backtrace ()))
+      xs
+  else with_pool ~jobs (fun pool -> map_results pool f xs)

@@ -21,10 +21,23 @@ val jobs : t -> int
 (** The worker count the pool was created with. *)
 
 val submit : t -> (unit -> unit) -> unit
-(** Enqueue one fire-and-forget closure. The closure must not raise —
-    {!map} wraps user work in its own handler; raw [submit] jobs that
-    raise have their exception swallowed by the worker loop. Raises
-    [Invalid_argument] on a pool that was {!shutdown}. *)
+(** Enqueue one fire-and-forget closure. The closure should not raise —
+    {!map} and {!map_results} wrap user work in their own handlers. A raw
+    [submit] job that does raise is not silently swallowed: the exception
+    is counted (see {!dropped_exceptions}) and forwarded to the pool's
+    exception sink (see {!set_exception_sink}), and the worker keeps
+    going. Raises [Invalid_argument] on a pool that was {!shutdown}. *)
+
+val dropped_exceptions : t -> int
+(** How many exceptions have escaped raw {!submit} jobs so far. A
+    non-zero value after a run means some job crashed without anyone
+    observing it — the supervisor surfaces this as a warning. *)
+
+val set_exception_sink : t -> (exn -> Printexc.raw_backtrace -> unit) -> unit
+(** Install a callback invoked (from the worker domain) for every
+    exception escaping a raw {!submit} job, replacing the previous sink.
+    The default sink does nothing. The sink itself must not raise; if it
+    does, that exception is discarded. *)
 
 val map : t -> ('a -> 'b) -> 'a list -> 'b list
 (** [map pool f xs] runs [f] on every element of [xs] across the pool's
@@ -49,3 +62,16 @@ val run_map : jobs:int -> ('a -> 'b) -> 'a list -> 'b list
 (** One-shot convenience: [with_pool ~jobs (fun p -> map p f xs)], except
     that [jobs = 1] short-circuits to a plain sequential [List.map] — no
     domain is spawned, so single-job callers pay nothing. *)
+
+val map_results : t -> ('a -> 'b) -> 'a list -> ('b, exn * Printexc.raw_backtrace) result list
+(** Per-slot outcome capture: like {!map} but a raising [f x] fails only
+    its own slot ([Error (e, bt)]) — nothing is cancelled, every element
+    runs, and the call never raises from user work. Slot order is
+    submission order, exactly as for {!map}. This is the keep-going
+    primitive: the sweep supervisor uses it to quarantine failed trials
+    while the rest of the sweep completes. *)
+
+val run_map_results :
+  jobs:int -> ('a -> 'b) -> 'a list -> ('b, exn * Printexc.raw_backtrace) result list
+(** One-shot {!map_results}, with the same [jobs = 1] sequential
+    short-circuit as {!run_map}. *)

@@ -10,6 +10,7 @@ type config = {
   congest_limit : int option;
   record_trace : bool;
   max_rounds_override : int option;
+  watchdog : (unit -> bool) option;
 }
 
 type result = {
@@ -20,6 +21,7 @@ type result = {
   crash_round : int array;
   rounds_used : int;
   timed_out : bool;
+  watchdog_expired : bool;
   metrics : Metrics.t;
   trace : Trace.t option;
   violations : Violation.t list;
@@ -36,6 +38,7 @@ let default_config ~n ~alpha ~seed =
     congest_limit = Some (Congest.default_limit ~n);
     record_trace = false;
     max_rounds_override = None;
+    watchdog = None;
   }
 
 let max_faulty ~n ~alpha =
@@ -237,9 +240,21 @@ module Make (P : Protocol.S) = struct
         List.iter f sends_by_node.(i)
       done
     in
+    (* Cooperative watchdog: polled once per round, between rounds, so a
+       trial that overruns its wall-clock budget stops at a round boundary
+       with a well-formed (partial) result. The engine stays pure — the
+       clock lives in the closure the caller supplied. *)
+    let watchdog_expired = ref false in
+    let watchdog_fired () =
+      match config.watchdog with
+      | Some poll when poll () ->
+          watchdog_expired := true;
+          true
+      | _ -> false
+    in
     (* Sends of the most recent round: if the round budget runs out right
        after a sending round, those messages sit in inboxes for ever. *)
-    while (not !finished) && !round < max_rounds do
+    while (not !finished) && !round < max_rounds && not (watchdog_fired ()) do
       let r = !round in
       (* 1. Step every live node on its inbox; collect sends. *)
       let total_sends = ref 0 in
@@ -387,7 +402,8 @@ module Make (P : Protocol.S) = struct
       crashed;
       crash_round;
       rounds_used = !round;
-      timed_out = (not !finished) && !in_flight;
+      timed_out = (not !finished) && !in_flight && not !watchdog_expired;
+      watchdog_expired = !watchdog_expired;
       metrics;
       trace;
       violations = List.rev !violations;

@@ -31,6 +31,14 @@ type config = {
   congest_limit : int option;  (** Per-edge per-round bits; [None] = LOCAL. *)
   record_trace : bool;
   max_rounds_override : int option;
+  watchdog : (unit -> bool) option;
+      (** Cooperative per-trial watchdog: polled once per round, between
+          rounds. The first poll returning [true] stops the run at that
+          round boundary with {!result.watchdog_expired} set. The engine
+          supplies no clock of its own — determinism of the simulation is
+          untouched; only {e whether the run was cut short} depends on the
+          closure (typically a wall-clock deadline, see
+          [Runner.spec.trial_timeout]). [None] (the default) never stops. *)
 }
 
 type result = {
@@ -46,7 +54,11 @@ type result = {
           no node will ever read. [false] both on early stop and when the
           calendar ran out with a quiescent network (protocols that count
           rounds down in silence, e.g. implicit agreement, are not timed
-          out). *)
+          out). A watchdog stop is reported as {!watchdog_expired}, never
+          as [timed_out]. *)
+  watchdog_expired : bool;
+      (** The [config.watchdog] poll fired and the run was stopped early
+          at a round boundary. Mutually exclusive with [timed_out]. *)
   metrics : Metrics.t;
   trace : Trace.t option;
   violations : Violation.t list;

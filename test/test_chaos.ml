@@ -97,6 +97,7 @@ let clean_case =
     seed = 5;
     inputs = Array.make 64 0;
     plan = [];
+    adversary = None;
     loss = Ftc_fault.Omission.No_loss;
     transport = false;
   }
@@ -133,6 +134,7 @@ let kutten_known_bad () =
       seed = 42;
       inputs = Array.make 48 0;
       plan = [];
+      adversary = None;
       loss = Ftc_fault.Omission.No_loss;
       transport = false;
     }
@@ -204,6 +206,71 @@ let test_shrink_drops_junk_and_replay_roundtrips () =
       | Error e -> Alcotest.fail e
       | Ok (parsed, _) ->
           Alcotest.(check bool) "file round-trips" true (Case.equal shrunk parsed))
+
+(* -- named adversaries in cases (the sweep supervisor's shape) -- *)
+
+let test_adversary_case_runs_and_roundtrips () =
+  let case = { clean_case with Case.adversary = Some "random" } in
+  (match Case.run case with
+  | Error e -> Alcotest.fail (Case.error_to_string e)
+  | Ok (r, findings) ->
+      Alcotest.(check int) "ft-election under random crashes is clean" 0
+        (List.length findings);
+      Alcotest.(check bool) "crashes actually happened" true
+        (Array.exists Fun.id r.Engine.crashed));
+  (* Determinism: the named adversary draws from the case seed. *)
+  let metrics_of c =
+    match Case.run c with
+    | Ok (r, _) -> r.Engine.metrics
+    | Error e -> Alcotest.fail (Case.error_to_string e)
+  in
+  Alcotest.(check bool) "same case, same execution" true
+    (metrics_of case = metrics_of case);
+  (* Replay v3 round-trip carries the adversary line. *)
+  let text = Chaos.Replay.to_string case in
+  Alcotest.(check bool) "text has adversary line" true
+    (Astring.String.is_infix ~affix:"adversary random" text);
+  match Chaos.Replay.of_string text with
+  | Error e -> Alcotest.fail e
+  | Ok (parsed, _) ->
+      Alcotest.(check bool) "round-trips" true (Case.equal case parsed);
+      Alcotest.(check bool) "replayed run identical" true
+        (metrics_of case = metrics_of parsed)
+
+let test_adversary_validation () =
+  let bad = { clean_case with Case.adversary = Some "no-such-strategy" } in
+  Alcotest.(check bool) "unknown adversary rejected" true (Result.is_error (Case.validate bad));
+  let both =
+    {
+      clean_case with
+      Case.adversary = Some "random";
+      plan = [ (0, 0, Adversary.Drop_all) ];
+    }
+  in
+  Alcotest.(check bool) "adversary + plan rejected" true (Result.is_error (Case.validate both))
+
+(* -- the always-violating probe protocol -- *)
+
+let test_faulty_probe_violates () =
+  (* In the catalog (so sweep/replay can name it) but not fuzzable — the
+     fuzzer's case stream and its clean-run guarantee must not change. *)
+  Alcotest.(check bool) "findable" true (Chaos.Catalog.find "faulty-probe" <> None);
+  Alcotest.(check bool) "listed in names" true (List.mem "faulty-probe" (Chaos.Catalog.names ()));
+  Alcotest.(check bool) "not in the fuzzed set" true
+    (List.for_all (fun (e : Chaos.Catalog.entry) -> e.name <> "faulty-probe") Chaos.Catalog.all);
+  let case =
+    {
+      clean_case with
+      Case.protocol = "faulty-probe";
+      n = 8;
+      inputs = Array.make 8 0;
+    }
+  in
+  match Case.run case with
+  | Error e -> Alcotest.fail (Case.error_to_string e)
+  | Ok (_, findings) ->
+      Alcotest.(check bool) "model oracle fires on every run" true
+        (List.exists (fun f -> f.Oracle.oracle = "model") findings)
 
 (* -- omission faults in cases, oracles, replay -- *)
 
@@ -388,6 +455,14 @@ let () =
           Alcotest.test_case "parser rejects garbage" `Quick test_replay_parser_rejects_garbage;
           Alcotest.test_case "fixture files validate + balance" `Quick
             test_replay_fixture_files_still_validate_and_balance;
+        ] );
+      ( "sweep-cases",
+        [
+          Alcotest.test_case "named adversary runs + replay v3" `Quick
+            test_adversary_case_runs_and_roundtrips;
+          Alcotest.test_case "adversary validation" `Quick test_adversary_validation;
+          Alcotest.test_case "faulty-probe violates, not fuzzed" `Quick
+            test_faulty_probe_violates;
         ] );
       ( "omission",
         [

@@ -65,12 +65,54 @@ let test_aggregate_math () =
   let none = Runner.aggregate ~ok:(fun _ -> false) outcomes in
   Alcotest.(check int) "no successes" 0 none.Runner.successes
 
+let test_exact_inputs_length_validated () =
+  (* A wrong-length Exact array used to be truncated/padded silently by
+     Array.blit semantics downstream; it must be rejected up front. *)
+  let bad len =
+    Alcotest.check_raises
+      (Printf.sprintf "Exact length %d rejected" len)
+      (Invalid_argument
+         (Printf.sprintf "Runner.materialize_inputs: Exact inputs length %d <> spec.n = 64" len))
+      (fun () ->
+        ignore (Runner.run { (spec ()) with Runner.inputs = Runner.Exact (Array.make len 0) } ~seed:1))
+  in
+  bad 63;
+  bad 65;
+  bad 0
+
+let test_empty_aggregate_structured () =
+  (* No trials must yield a structured zero aggregate, not a crash. *)
+  let agg = Runner.aggregate ~ok:(fun _ -> true) [] in
+  Alcotest.(check int) "zero trials" 0 agg.Runner.trials;
+  Alcotest.(check int) "zero successes" 0 agg.Runner.successes;
+  Alcotest.(check (float 0.)) "zero rate" 0. agg.Runner.success_rate;
+  Alcotest.(check int) "empty msgs summary" 0 agg.Runner.msgs.Stats.count;
+  Alcotest.(check (float 0.)) "empty mean" 0. agg.Runner.msgs.Stats.mean;
+  Alcotest.(check bool) "matches empty_aggregate" true (agg = Runner.empty_aggregate);
+  Alcotest.(check bool) "aggregate_stats [] too" true
+    (Runner.aggregate_stats [] = Runner.empty_aggregate)
+
+let test_trial_timeout_watchdog () =
+  (* An effectively-zero budget fires the watchdog on the first poll; the
+     outcome is marked watchdog_expired, never conflated with timed_out. *)
+  let o = Runner.run { (spec ()) with Runner.trial_timeout = Some 1e-9 } ~seed:1 in
+  Alcotest.(check bool) "watchdog expired" true o.Runner.result.watchdog_expired;
+  Alcotest.(check bool) "not reported as round timeout" false o.Runner.result.timed_out;
+  Alcotest.(check int) "cut before any round" 0 o.Runner.result.rounds_used;
+  (* A generous budget changes nothing. *)
+  let a = Runner.run { (spec ()) with Runner.trial_timeout = Some 3600. } ~seed:5 in
+  let b = Runner.run (spec ()) ~seed:5 in
+  Alcotest.(check bool) "generous budget: same run" true
+    (a.Runner.result.metrics = b.Runner.result.metrics
+    && (not a.Runner.result.watchdog_expired)
+    && a.Runner.result.decisions = b.Runner.result.decisions)
+
 let test_quick_experiment_runs () =
   (* The cheapest experiment end-to-end: F6 only samples binomials. *)
   match Registry.find "F6" with
   | None -> Alcotest.fail "F6 missing"
   | Some e ->
-      let report = e.Def.run { Def.scale = Def.Quick; base_seed = 3; jobs = 1 } in
+      let report = e.Def.run { Def.scale = Def.Quick; base_seed = 3; jobs = 1; journal = None } in
       Alcotest.(check bool) "produces a table" true
         (Astring.String.is_infix ~affix:"whp band" report)
 
@@ -94,6 +136,11 @@ let () =
           Alcotest.test_case "input modes" `Quick test_runner_inputs_modes;
           Alcotest.test_case "seeds distinct" `Quick test_runner_seeds_distinct;
           Alcotest.test_case "aggregate math" `Quick test_aggregate_math;
+          Alcotest.test_case "Exact length validated" `Quick
+            test_exact_inputs_length_validated;
+          Alcotest.test_case "empty aggregate structured" `Quick
+            test_empty_aggregate_structured;
+          Alcotest.test_case "trial-timeout watchdog" `Quick test_trial_timeout_watchdog;
         ] );
       ( "experiments",
         [

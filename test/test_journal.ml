@@ -1,0 +1,456 @@
+(* The crash-safe sweep layer: the JSON codec, the write-ahead journal
+   (torn-tail tolerance, atomic artifacts), and the supervisor built on
+   them (resume, keep-going quarantine, fail-fast, exit codes).
+
+   The crash model under test is SIGKILL-at-any-byte: every test that
+   claims resume safety truncates a real journal at an arbitrary byte
+   boundary — including mid-record — and requires the resumed sweep to be
+   bit-identical to an uninterrupted one, at jobs 1 and 4. *)
+
+module Json = Ftc_journal.Json
+module Journal = Ftc_journal.Journal
+module Supervise = Ftc_expt.Supervise
+
+let temp_path () =
+  let path = Filename.temp_file "ftc-journal-test" ".jsonl" in
+  Sys.remove path;
+  path
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file path s =
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc
+
+(* -- the JSON codec -- *)
+
+let test_json_roundtrip () =
+  let cases =
+    [
+      Json.Null;
+      Json.Bool true;
+      Json.Int 0;
+      Json.Int (-42);
+      Json.Int max_int;
+      Json.Float 0.25;
+      Json.String "plain";
+      Json.String "esc \"quotes\" \\ back\nnew\tline\x00nul";
+      Json.List [ Json.Int 1; Json.String "two"; Json.Null ];
+      Json.Obj
+        [
+          ("a", Json.Int 1);
+          ("nested", Json.Obj [ ("b", Json.List [ Json.Bool false ]) ]);
+        ];
+    ]
+  in
+  List.iter
+    (fun v ->
+      let s = Json.to_string v in
+      Alcotest.(check bool)
+        (Printf.sprintf "one line: %s" s)
+        false
+        (String.contains s '\n');
+      match Json.of_string s with
+      | Error e -> Alcotest.failf "did not parse %s: %s" s e
+      | Ok v' ->
+          Alcotest.(check bool) (Printf.sprintf "round-trip: %s" s) true (v = v'))
+    cases
+
+let test_json_int_exact () =
+  (* Metric counters must round-trip as the integers they are — a float
+     detour would make resumed aggregates differ in the last bit. *)
+  List.iter
+    (fun i ->
+      match Json.of_string (Json.to_string (Json.Int i)) with
+      | Ok (Json.Int j) -> Alcotest.(check int) "int exact" i j
+      | _ -> Alcotest.failf "int %d did not round-trip as Int" i)
+    [ 0; 1; -1; 1 lsl 53; (1 lsl 53) + 1; max_int; min_int ]
+
+let test_json_rejects_garbage () =
+  List.iter
+    (fun s ->
+      Alcotest.(check bool)
+        (Printf.sprintf "rejects %S" s)
+        true
+        (Result.is_error (Json.of_string s)))
+    [ ""; "{"; "{\"a\":}"; "[1,]"; "tru"; "\"unterminated"; "{\"a\":1} trailing" ]
+
+(* -- the journal file -- *)
+
+let test_journal_roundtrip () =
+  let path = temp_path () in
+  let h = Journal.create ~path ~spec_hash:(Journal.spec_hash "spec-a") in
+  Journal.append h (Json.Obj [ ("seed", Json.Int 1) ]);
+  Journal.append h (Json.Obj [ ("seed", Json.Int 2) ]);
+  Journal.close h;
+  (match Journal.load ~path with
+  | Error e -> Alcotest.fail e
+  | Ok { header; entries; torn_tail } ->
+      Alcotest.(check string) "spec hash" (Journal.spec_hash "spec-a") header.Journal.spec_hash;
+      Alcotest.(check bool) "no torn tail" false torn_tail;
+      Alcotest.(check int) "two records" 2 (List.length entries));
+  Sys.remove path
+
+let test_journal_torn_tail_tolerated () =
+  let path = temp_path () in
+  let h = Journal.create ~path ~spec_hash:"aa" in
+  Journal.append h (Json.Obj [ ("seed", Json.Int 1) ]);
+  Journal.append h (Json.Obj [ ("seed", Json.Int 2) ]);
+  Journal.close h;
+  let contents = read_file path in
+  (* Kill mid-append: drop the last 10 bytes of the final record. *)
+  write_file path (String.sub contents 0 (String.length contents - 10));
+  (match Journal.load ~path with
+  | Error e -> Alcotest.fail e
+  | Ok { entries; torn_tail; _ } ->
+      Alcotest.(check bool) "torn tail flagged" true torn_tail;
+      Alcotest.(check int) "torn record dropped, first kept" 1 (List.length entries));
+  Sys.remove path
+
+let test_journal_interior_corruption_fails () =
+  let path = temp_path () in
+  write_file path
+    "{\"magic\":\"ftc-trial-journal\",\"version\":1,\"spec\":\"aa\"}\n{oops\n{\"seed\":1}\n";
+  Alcotest.(check bool) "interior corruption is an error" true
+    (Result.is_error (Journal.load ~path));
+  Sys.remove path
+
+let test_journal_wrong_magic_fails () =
+  let path = temp_path () in
+  write_file path "{\"magic\":\"something-else\",\"version\":1,\"spec\":\"aa\"}\n";
+  Alcotest.(check bool) "wrong magic rejected" true (Result.is_error (Journal.load ~path));
+  write_file path "not json at all\n";
+  Alcotest.(check bool) "non-JSON header rejected" true (Result.is_error (Journal.load ~path));
+  Sys.remove path
+
+let test_journal_reopen_repairs_torn_tail () =
+  (* Appending after a torn tail must not glue the new record onto the
+     partial line — that would corrupt the journal for the *next* resume. *)
+  let path = temp_path () in
+  let h = Journal.create ~path ~spec_hash:"aa" in
+  Journal.append h (Json.Obj [ ("seed", Json.Int 1) ]);
+  Journal.append h (Json.Obj [ ("seed", Json.Int 2) ]);
+  Journal.close h;
+  let contents = read_file path in
+  write_file path (String.sub contents 0 (String.length contents - 4));
+  let h = Journal.reopen ~path in
+  Journal.append h (Json.Obj [ ("seed", Json.Int 3) ]);
+  Journal.close h;
+  (match Journal.load ~path with
+  | Error e -> Alcotest.fail e
+  | Ok { entries; torn_tail; _ } ->
+      Alcotest.(check bool) "intact after repair+append" false torn_tail;
+      Alcotest.(check (list int)) "torn record cut, rest glue-free" [ 1; 3 ]
+        (List.filter_map (fun j -> Option.bind (Json.member "seed" j) Json.to_int) entries));
+  (* The other torn shape: killed after the record's bytes but before its
+     newline. The record must be kept and terminated, not glued either. *)
+  let contents = read_file path in
+  write_file path (String.sub contents 0 (String.length contents - 1));
+  let h = Journal.reopen ~path in
+  Journal.append h (Json.Obj [ ("seed", Json.Int 4) ]);
+  Journal.close h;
+  (match Journal.load ~path with
+  | Error e -> Alcotest.fail e
+  | Ok { entries; _ } ->
+      Alcotest.(check (list int)) "newline-less record kept" [ 1; 3; 4 ]
+        (List.filter_map (fun j -> Option.bind (Json.member "seed" j) Json.to_int) entries));
+  Sys.remove path
+
+let test_write_atomic () =
+  let path = temp_path () in
+  Journal.write_atomic ~path "first\n";
+  Alcotest.(check string) "written" "first\n" (read_file path);
+  Journal.write_atomic ~path "second\n";
+  Alcotest.(check string) "replaced whole" "second\n" (read_file path);
+  let dir = Filename.dirname path in
+  let base = Filename.basename path in
+  let leftovers =
+    Array.to_list (Sys.readdir dir)
+    |> List.filter (fun f ->
+           Astring.String.is_prefix ~affix:base f && Astring.String.is_suffix ~affix:".tmp" f)
+  in
+  Alcotest.(check (list string)) "no temp files left behind" [] leftovers;
+  Sys.remove path
+
+(* -- the supervisor -- *)
+
+let encode seed v = Json.Obj [ ("seed", Json.Int seed); ("v", Json.Int v) ]
+
+let decode j =
+  match
+    (Option.bind (Json.member "seed" j) Json.to_int, Option.bind (Json.member "v" j) Json.to_int)
+  with
+  | Some s, Some v -> Some (s, v)
+  | _ -> None
+
+let seeds = [ 1; 2; 3; 4; 5; 6 ]
+
+(* Trial = seed * 10; seeds in [fail] violate; an optional raiser. *)
+let trial ?(fail = []) ?(raise_on = []) seed =
+  if List.mem seed raise_on then failwith (Printf.sprintf "boom %d" seed)
+  else if List.mem seed fail then Error (Supervise.Violation, Printf.sprintf "bad seed %d" seed)
+  else Ok (seed * 10)
+
+let run ?(config = Supervise.default_config) ?replay_doc ?fail ?raise_on () =
+  Supervise.run config ~spec_hash:"h" ~encode ~decode ?replay_doc
+    ~run_trial:(trial ?fail ?raise_on) ~seeds ()
+
+let test_all_clean () =
+  let sweep = run () in
+  Alcotest.(check int) "all completed" 6 sweep.Supervise.completed;
+  Alcotest.(check int) "exit 0" 0 (Supervise.exit_code ~ok:true sweep);
+  Alcotest.(check int) "ok=false is exit 1" 1 (Supervise.exit_code ~ok:false sweep);
+  List.iter2
+    (fun seed (s, t) ->
+      Alcotest.(check int) "seed order" seed s;
+      match t with
+      | Supervise.Completed v -> Alcotest.(check int) "payload" (seed * 10) v
+      | _ -> Alcotest.fail "expected Completed")
+    seeds sweep.Supervise.trials
+
+let test_fail_fast_skips_rest () =
+  let sweep = run ~fail:[ 3 ] () in
+  Alcotest.(check int) "completed before abort" 2 sweep.Supervise.completed;
+  Alcotest.(check int) "one failure" 1 (List.length sweep.Supervise.failed);
+  Alcotest.(check int) "rest skipped" 3 sweep.Supervise.skipped;
+  Alcotest.(check int) "partial exit" 3 (Supervise.exit_code ~ok:true sweep)
+
+let test_keep_going_mixed () =
+  let q = temp_path () in
+  let config = { Supervise.default_config with keep_going = true; quarantine = Some q } in
+  let sweep =
+    run ~config ~fail:[ 2; 5 ] ~replay_doc:(fun s -> Some (Printf.sprintf "doc-%d" s)) ()
+  in
+  Alcotest.(check int) "completed" 4 sweep.Supervise.completed;
+  Alcotest.(check int) "no skips under keep-going" 0 sweep.Supervise.skipped;
+  Alcotest.(check (list int)) "failures in seed order" [ 2; 5 ]
+    (List.map (fun (f : Supervise.failure) -> f.seed) sweep.Supervise.failed);
+  Alcotest.(check int) "partial exit" 3 (Supervise.exit_code ~ok:true sweep);
+  Alcotest.(check (option string)) "quarantine written" (Some q) sweep.Supervise.quarantined;
+  let lines =
+    String.split_on_char '\n' (read_file q) |> List.filter (fun l -> String.trim l <> "")
+  in
+  Alcotest.(check int) "one record per failure" 2 (List.length lines);
+  List.iter2
+    (fun seed line ->
+      match Json.of_string line with
+      | Error e -> Alcotest.fail e
+      | Ok j ->
+          Alcotest.(check (option int)) "seed" (Some seed)
+            (Option.bind (Json.member "seed" j) Json.to_int);
+          Alcotest.(check (option string)) "class" (Some "violation")
+            (Option.bind (Json.member "class" j) Json.to_str);
+          Alcotest.(check (option string)) "replay doc embedded"
+            (Some (Printf.sprintf "doc-%d" seed))
+            (Option.bind (Json.member "replay" j) Json.to_str))
+    [ 2; 5 ] lines;
+  Sys.remove q
+
+let test_keep_going_all_fail_exit_1 () =
+  let config = { Supervise.default_config with keep_going = true } in
+  let sweep = run ~config ~fail:seeds () in
+  Alcotest.(check int) "nothing completed" 0 sweep.Supervise.completed;
+  Alcotest.(check (option string)) "no quarantine path, none written" None
+    sweep.Supervise.quarantined;
+  Alcotest.(check int) "all-failed exit" 1 (Supervise.exit_code ~ok:true sweep)
+
+let test_exception_captured_as_failure () =
+  let config = { Supervise.default_config with keep_going = true } in
+  let sweep = run ~config ~raise_on:[ 4 ] () in
+  match sweep.Supervise.failed with
+  | [ f ] ->
+      Alcotest.(check int) "seed" 4 f.Supervise.seed;
+      Alcotest.(check string) "class" "exception" (Supervise.class_to_string f.Supervise.class_);
+      Alcotest.(check bool) "detail names the exception" true
+        (Astring.String.is_infix ~affix:"boom 4" f.Supervise.detail)
+  | fs -> Alcotest.failf "expected one failure, got %d" (List.length fs)
+
+let test_class_string_roundtrip () =
+  List.iter
+    (fun c ->
+      Alcotest.(check bool) "round-trip" true
+        (Supervise.class_of_string (Supervise.class_to_string c) = Some c))
+    [ Supervise.Violation; Supervise.Timed_out; Supervise.Watchdog_expired; Supervise.Exception ];
+  Alcotest.(check bool) "unknown rejected" true (Supervise.class_of_string "nope" = None)
+
+(* -- resume: bit-identical after SIGKILL at any byte, jobs 1 and 4 -- *)
+
+let sweep_payloads sweep =
+  List.map
+    (fun (s, t) ->
+      match t with
+      | Supervise.Completed v -> (s, v)
+      | _ -> Alcotest.failf "seed %d not completed" s)
+    sweep.Supervise.trials
+
+let test_resume_bit_identical () =
+  let reference = sweep_payloads (run ()) in
+  let path = temp_path () in
+  let config = { Supervise.default_config with journal = Some path } in
+  let full = run ~config () in
+  Alcotest.(check bool) "journaled run matches" true (sweep_payloads full = reference);
+  let full_bytes = read_file path in
+  let header_len = String.index full_bytes '\n' + 1 in
+  (* Truncate the journal at every byte boundary past the header —
+     clean cuts, torn half-lines, everything SIGKILL can leave. *)
+  let cuts = List.init (String.length full_bytes - header_len) (fun i -> header_len + i) in
+  List.iter
+    (fun jobs ->
+      List.iter
+        (fun cut ->
+          write_file path (String.sub full_bytes 0 cut);
+          let config = { config with Supervise.jobs; resume = true } in
+          let resumed = run ~config () in
+          Alcotest.(check bool)
+            (Printf.sprintf "cut at %d bytes, jobs %d: bit-identical" cut jobs)
+            true
+            (sweep_payloads resumed = reference);
+          Alcotest.(check int)
+            (Printf.sprintf "cut at %d bytes: all completed" cut)
+            6 resumed.Supervise.completed)
+        cuts)
+    [ 1; 4 ];
+  Sys.remove path
+
+let test_resume_extends_trial_count () =
+  (* The spec hash excludes the seed list, so a resumed sweep may ask for
+     more seeds: journaled ones are restored, the new ones run. *)
+  let path = temp_path () in
+  let config = { Supervise.default_config with journal = Some path } in
+  let _ =
+    Supervise.run config ~spec_hash:"h" ~encode ~decode ~run_trial:(trial ?fail:None)
+      ~seeds:[ 1; 2; 3 ] ()
+  in
+  let config = { config with Supervise.resume = true } in
+  let sweep = run ~config () in
+  Alcotest.(check int) "all six completed" 6 sweep.Supervise.completed;
+  Alcotest.(check int) "three restored" 3 sweep.Supervise.resumed;
+  Sys.remove path
+
+let test_resume_spec_mismatch_rejected () =
+  let path = temp_path () in
+  let h = Journal.create ~path ~spec_hash:"other" in
+  Journal.close h;
+  let config = { Supervise.default_config with journal = Some path; resume = true } in
+  Alcotest.(check bool) "Resume_error raised" true
+    (match run ~config () with
+    | _ -> false
+    | exception Supervise.Resume_error _ -> true);
+  Sys.remove path
+
+let test_resume_corrupt_record_rejected () =
+  let path = temp_path () in
+  let h = Journal.create ~path ~spec_hash:"h" in
+  (* A record [decode] rejects — well-formed JSON, wrong shape. *)
+  Journal.append h (Json.Obj [ ("unexpected", Json.Int 1) ]);
+  Journal.append h (encode 2 20);
+  Journal.close h;
+  let config = { Supervise.default_config with journal = Some path; resume = true } in
+  Alcotest.(check bool) "undecodable record is Resume_error" true
+    (match run ~config () with
+    | _ -> false
+    | exception Supervise.Resume_error _ -> true);
+  Sys.remove path
+
+(* -- the expt-driver shared journal -- *)
+
+let expt_spec () =
+  {
+    (Ftc_expt.Runner.default_spec
+       (Ftc_core.Leader_election.make Ftc_core.Params.default)
+       ~n:32 ~alpha:0.7)
+    with
+    Ftc_expt.Runner.adversary = (fun () -> Ftc_fault.Strategy.random_crashes ());
+  }
+
+let test_run_many_journaled_matches_plain () =
+  let spec = expt_spec () in
+  let seeds = Ftc_expt.Runner.seeds ~base:1 ~count:4 in
+  let ok _ = true in
+  let plain = Supervise.run_many_journaled ~jobs:1 ~journal:None ~key:"k" ~ok spec ~seeds in
+  let path = temp_path () in
+  let sh = Supervise.open_shared ~path ~resume:false ~spec_hash:"e" in
+  let journaled = Supervise.run_many_journaled ~jobs:1 ~journal:(Some sh) ~key:"k" ~ok spec ~seeds in
+  Supervise.close_shared sh;
+  Alcotest.(check bool) "journaled = plain" true (plain = journaled);
+  (* Resume from a truncated shared journal: stats must still be equal. *)
+  let bytes = read_file path in
+  let cut =
+    let first = String.index bytes '\n' + 1 in
+    let second = String.index_from bytes first '\n' + 1 in
+    second + ((String.length bytes - second) / 2)
+  in
+  write_file path (String.sub bytes 0 cut);
+  let sh = Supervise.open_shared ~path ~resume:true ~spec_hash:"e" in
+  let resumed = Supervise.run_many_journaled ~jobs:4 ~journal:(Some sh) ~key:"k" ~ok spec ~seeds in
+  Supervise.close_shared sh;
+  Alcotest.(check bool) "resumed = plain (jobs 4, torn cut)" true (plain = resumed);
+  Sys.remove path
+
+let test_run_many_journaled_keys_isolate () =
+  let spec = expt_spec () in
+  let seeds = [ 1; 2 ] in
+  let ok _ = true in
+  let path = temp_path () in
+  let sh = Supervise.open_shared ~path ~resume:false ~spec_hash:"e" in
+  let a = Supervise.run_many_journaled ~jobs:1 ~journal:(Some sh) ~key:"a" ~ok spec ~seeds in
+  let spec_b = { spec with Ftc_expt.Runner.n = 48 } in
+  let b = Supervise.run_many_journaled ~jobs:1 ~journal:(Some sh) ~key:"b" ~ok spec_b ~seeds in
+  (* Same seeds under key "a" again: cache hit, not a re-run of "b". *)
+  let a' = Supervise.run_many_journaled ~jobs:1 ~journal:(Some sh) ~key:"a" ~ok spec ~seeds in
+  Supervise.close_shared sh;
+  Alcotest.(check bool) "key a stable" true (a = a');
+  Alcotest.(check bool) "keys do not collide" true (a <> b);
+  Sys.remove path
+
+let () =
+  Alcotest.run "journal"
+    [
+      ( "json",
+        [
+          Alcotest.test_case "round-trips" `Quick test_json_roundtrip;
+          Alcotest.test_case "ints exact" `Quick test_json_int_exact;
+          Alcotest.test_case "rejects garbage" `Quick test_json_rejects_garbage;
+        ] );
+      ( "journal-file",
+        [
+          Alcotest.test_case "create/append/load" `Quick test_journal_roundtrip;
+          Alcotest.test_case "torn tail tolerated" `Quick test_journal_torn_tail_tolerated;
+          Alcotest.test_case "interior corruption fails" `Quick
+            test_journal_interior_corruption_fails;
+          Alcotest.test_case "wrong magic fails" `Quick test_journal_wrong_magic_fails;
+          Alcotest.test_case "reopen repairs torn tail" `Quick
+            test_journal_reopen_repairs_torn_tail;
+          Alcotest.test_case "write_atomic" `Quick test_write_atomic;
+        ] );
+      ( "supervisor",
+        [
+          Alcotest.test_case "all clean" `Quick test_all_clean;
+          Alcotest.test_case "fail-fast skips the rest" `Quick test_fail_fast_skips_rest;
+          Alcotest.test_case "keep-going quarantines, exit 3" `Quick test_keep_going_mixed;
+          Alcotest.test_case "keep-going all-fail exits 1" `Quick
+            test_keep_going_all_fail_exit_1;
+          Alcotest.test_case "exception captured" `Quick test_exception_captured_as_failure;
+          Alcotest.test_case "class strings round-trip" `Quick test_class_string_roundtrip;
+        ] );
+      ( "resume",
+        [
+          Alcotest.test_case "bit-identical at every cut, jobs 1 and 4" `Quick
+            test_resume_bit_identical;
+          Alcotest.test_case "extends trial count" `Quick test_resume_extends_trial_count;
+          Alcotest.test_case "spec mismatch rejected" `Quick test_resume_spec_mismatch_rejected;
+          Alcotest.test_case "corrupt record rejected" `Quick
+            test_resume_corrupt_record_rejected;
+        ] );
+      ( "expt-journal",
+        [
+          Alcotest.test_case "journaled = plain, resume-safe" `Quick
+            test_run_many_journaled_matches_plain;
+          Alcotest.test_case "keys isolate records" `Quick test_run_many_journaled_keys_isolate;
+        ] );
+    ]

@@ -36,6 +36,7 @@ let outcome_equal (a : Runner.outcome) (b : Runner.outcome) =
   && ra.crash_round = rb.crash_round
   && ra.rounds_used = rb.rounds_used
   && ra.timed_out = rb.timed_out
+  && ra.watchdog_expired = rb.watchdog_expired
   && ra.metrics = rb.metrics
   && ra.violations = rb.violations
   &&
@@ -216,6 +217,75 @@ let test_pool_rejects_bad_jobs () =
     (Invalid_argument "Pool.create: jobs must be >= 1") (fun () ->
       ignore (Pool.create ~jobs:0))
 
+(* -- per-slot result capture (the keep-going primitive) -- *)
+
+let qcheck_map_results_no_cancellation =
+  QCheck.Test.make ~name:"map_results: every element runs, failures stay in their slot"
+    ~count:25
+    QCheck.(pair (int_range 1 4) (int_range 0 30))
+    (fun (jobs, len) ->
+      let ran = Array.init len (fun _ -> Atomic.make 0) in
+      let results =
+        Pool.run_map_results ~jobs
+          (fun i ->
+            Atomic.incr ran.(i);
+            ignore (busy_work 500);
+            if i mod 3 = 0 then raise (Poisoned i);
+            i * 2)
+          (List.init len Fun.id)
+      in
+      List.length results = len
+      && Array.for_all (fun c -> Atomic.get c = 1) ran
+      && List.for_all2
+           (fun i r ->
+             match r with
+             | Ok v -> i mod 3 <> 0 && v = i * 2
+             | Error (Poisoned j, _) -> i mod 3 = 0 && j = i
+             | Error _ -> false)
+           (List.init len Fun.id)
+           results)
+
+let test_map_results_pool_reusable () =
+  Pool.with_pool ~jobs:2 (fun pool ->
+      let r = Pool.map_results pool (fun i -> if i = 1 then raise Exit else i) [ 0; 1; 2 ] in
+      Alcotest.(check int) "three slots" 3 (List.length r);
+      Alcotest.(check bool) "slot 1 failed" true
+        (match List.nth r 1 with Error (Exit, _) -> true | _ -> false);
+      Alcotest.(check (list int)) "pool survives map_results" [ 2; 3; 4 ]
+        (Pool.map pool succ [ 1; 2; 3 ]))
+
+(* -- exception accounting on raw submit -- *)
+
+(* Regression: a raising fire-and-forget job used to kill its worker
+   domain silently. It must now be counted, forwarded to the sink, and
+   leave the worker serving later jobs. *)
+let test_submit_exception_counted_and_sunk () =
+  Pool.with_pool ~jobs:2 (fun pool ->
+      Alcotest.(check int) "starts at zero" 0 (Pool.dropped_exceptions pool);
+      let sunk = Atomic.make 0 in
+      Pool.set_exception_sink pool (fun e _bt ->
+          match e with Poisoned _ -> Atomic.incr sunk | _ -> ());
+      let done_ = Atomic.make 0 in
+      for i = 1 to 8 do
+        Pool.submit pool (fun () ->
+            if i mod 2 = 0 then raise (Poisoned i);
+            Atomic.incr done_)
+      done;
+      (* map is a barrier here: it drains the queue on the same workers. *)
+      ignore (Pool.map pool Fun.id [ (); () ]);
+      Alcotest.(check int) "four exceptions counted" 4 (Pool.dropped_exceptions pool);
+      Alcotest.(check int) "four exceptions sunk" 4 (Atomic.get sunk);
+      Alcotest.(check int) "surviving jobs all ran" 4 (Atomic.get done_))
+
+let test_raising_sink_is_discarded () =
+  Pool.with_pool ~jobs:1 (fun pool ->
+      Pool.set_exception_sink pool (fun _ _ -> failwith "sink bug");
+      Pool.submit pool (fun () -> raise Exit);
+      ignore (Pool.map pool Fun.id [ () ]);
+      Alcotest.(check int) "still counted" 1 (Pool.dropped_exceptions pool);
+      Alcotest.(check (list int)) "worker survived the sink" [ 1 ]
+        (Pool.map pool Fun.id [ 1 ]))
+
 (* -- the single-pass aggregate, pinned against a hand-computed fixture -- *)
 
 let fixture_outcome ~seed ~msgs ~bits ~rounds : Runner.outcome =
@@ -233,6 +303,7 @@ let fixture_outcome ~seed ~msgs ~bits ~rounds : Runner.outcome =
         crash_round = [||];
         rounds_used = rounds;
         timed_out = false;
+        watchdog_expired = false;
         metrics;
         trace = None;
         violations = [];
@@ -324,6 +395,16 @@ let () =
               test_pool_shutdown_idempotent_and_final;
             Alcotest.test_case "jobs < 1 rejected" `Quick
               test_pool_rejects_bad_jobs;
+          ] );
+      ( "results-capture",
+        qcheck [ qcheck_map_results_no_cancellation ]
+        @ [
+            Alcotest.test_case "map_results isolates failures, pool reusable" `Quick
+              test_map_results_pool_reusable;
+            Alcotest.test_case "submit exceptions counted and sunk" `Quick
+              test_submit_exception_counted_and_sunk;
+            Alcotest.test_case "raising sink discarded" `Quick
+              test_raising_sink_is_discarded;
           ] );
       ( "aggregate",
         [

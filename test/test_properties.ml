@@ -17,6 +17,7 @@ let result ?(crashed = [||]) ?(faulty = [||]) decisions : Engine.result =
     crash_round = Array.make n (-1);
     rounds_used = 1;
     timed_out = false;
+    watchdog_expired = false;
     metrics = Ftc_sim.Metrics.create ();
     trace = None;
     violations = [];
