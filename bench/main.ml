@@ -216,14 +216,52 @@ let throughput_workload ~jobs =
   (Printf.sprintf "leader-election n=%d alpha=%.1f random-crashes x%d trials" n alpha trials,
    trials, dt)
 
+(* Telemetry overhead gate: the same trial workload timed with the
+   disabled recorder and with a live one, alternated reps with the min
+   of each side kept, so frequency scaling and cache warmth cancel out
+   instead of landing on one side. CI fails when the live recorder
+   costs more than the budget. *)
+let telemetry_budget_pct = 5.0
+
+let telemetry_overhead ~jobs =
+  let n = 256 and alpha = 0.7 and trials = 24 in
+  let spec =
+    {
+      (Ftc_expt.Runner.default_spec (le ()) ~n ~alpha) with
+      Ftc_expt.Runner.adversary = random_adv;
+    }
+  in
+  let seeds = Ftc_expt.Runner.seeds ~base:1 ~count:trials in
+  let time_once recorder =
+    let t0 = now_s () in
+    ignore (Ftc_expt.Runner.run_many_par ~recorder ~jobs spec ~seeds);
+    now_s () -. t0
+  in
+  ignore (time_once Ftc_telemetry.Recorder.disabled) (* warm-up *);
+  let off = ref infinity and live = ref infinity in
+  for _ = 1 to 3 do
+    off := Float.min !off (time_once Ftc_telemetry.Recorder.disabled);
+    live := Float.min !live (time_once (Ftc_telemetry.Recorder.create ()))
+  done;
+  (!off, !live)
+
 let emit_perf_json ~jobs ~experiment_times =
   let workload, trials, dt = throughput_workload ~jobs in
+  let tel_off, tel_on = telemetry_overhead ~jobs in
+  let overhead_pct =
+    if tel_off > 0. then (tel_on -. tel_off) /. tel_off *. 100. else 0.
+  in
   let oc = open_out "BENCH_perf.json" in
   Printf.fprintf oc "{\n  \"jobs\": %d,\n  \"clock\": \"monotonic\",\n" jobs;
   Printf.fprintf oc "  \"throughput\": {\n    \"workload\": %S,\n    \"trials\": %d,\n"
     workload trials;
   Printf.fprintf oc "    \"seconds\": %.3f,\n    \"trials_per_sec\": %.1f\n  },\n" dt
     (if dt > 0. then float_of_int trials /. dt else 0.);
+  Printf.fprintf oc "  \"telemetry\": {\n    \"off_seconds\": %.3f,\n    \"on_seconds\": %.3f,\n"
+    tel_off tel_on;
+  Printf.fprintf oc "    \"overhead_pct\": %.1f,\n    \"budget_pct\": %.1f,\n" overhead_pct
+    telemetry_budget_pct;
+  Printf.fprintf oc "    \"within_budget\": %b\n  },\n" (overhead_pct <= telemetry_budget_pct);
   Printf.fprintf oc "  \"experiments\": [\n";
   List.iteri
     (fun i (id, dt) ->

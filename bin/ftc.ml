@@ -12,6 +12,7 @@
                   violation, shrink and write a replay file
      replay     — deterministically re-execute a saved chaos reproducer,
                   or every entry of a quarantine file
+     trace      — summarise or regenerate a --telemetry output directory
      list       — list experiments, protocols and adversaries
 
    Exit codes of supervised sweeps (election/agreement/sweep): 0 = every
@@ -198,7 +199,35 @@ let quarantine_arg =
            replay document when one exists). Written atomically, only when there are \
            failures. Re-run them with $(b,ftc replay --quarantine) $(docv).")
 
-let supervise_config ~jobs ~keep_going ~journal ~resume ~quarantine ~trial_timeout =
+let telemetry_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "telemetry" ] ~docv:"DIR"
+        ~doc:
+          "Record telemetry — phase spans along the protocol's calendar, per-trial events, \
+           pool utilisation, sweep heartbeats and the metric registry — and write \
+           $(docv)/events.jsonl, trace.json (Chrome trace-event JSON, loadable in Perfetto) \
+           and metrics.prom on exit. Inspect with $(b,ftc trace summary) $(docv). Telemetry \
+           writes only to $(docv) and stderr; stdout is byte-identical to an uninstrumented \
+           run.")
+
+(* The recorder for a --telemetry run, plus the flush that writes the
+   three artifacts once the sweep is done. Telemetry never touches
+   stdout — the note goes to stderr — so reference/resumed stdout
+   diffs stay clean with telemetry on. *)
+let with_telemetry dir f =
+  match dir with
+  | None -> f Ftc_telemetry.Recorder.disabled
+  | Some dir ->
+      let recorder = Ftc_telemetry.Recorder.create () in
+      let code = f recorder in
+      Ftc_telemetry.Export.write_dir ~dir recorder;
+      Printf.eprintf "telemetry: wrote %s/{%s,%s,%s}\n" dir Ftc_telemetry.Export.events_file
+        Ftc_telemetry.Export.trace_file Ftc_telemetry.Export.prom_file;
+      code
+
+let supervise_config ~recorder ~jobs ~keep_going ~journal ~resume ~quarantine ~trial_timeout =
   (match trial_timeout with
   | Some t when t <= 0. ->
       Printf.eprintf "--trial-timeout must be positive (got %g)\n" t;
@@ -219,6 +248,7 @@ let supervise_config ~jobs ~keep_going ~journal ~resume ~quarantine ~trial_timeo
     resume;
     quarantine = Some quarantine;
     trial_timeout;
+    recorder;
   }
 
 (* The journaled payload of one completed trial: its rendered report and
@@ -344,7 +374,7 @@ let election_report ~explicit seed (o : Ftc_expt.Runner.outcome) =
   { report = Buffer.contents b; success }
 
 let election n alpha seed adversary_name explicit trials loss loss_model transport_on jobs
-    keep_going journal resume quarantine trial_timeout =
+    keep_going journal resume quarantine trial_timeout telemetry =
   let loss = parse_loss ~loss ~model:loss_model in
   let jobs = parse_jobs jobs in
   match adversary_of_name adversary_name with
@@ -352,8 +382,9 @@ let election n alpha seed adversary_name explicit trials loss loss_model transpo
       prerr_endline e;
       1
   | Ok adversary ->
+      with_telemetry telemetry @@ fun recorder ->
       let config =
-        supervise_config ~jobs ~keep_going ~journal ~resume ~quarantine ~trial_timeout
+        supervise_config ~recorder ~jobs ~keep_going ~journal ~resume ~quarantine ~trial_timeout
       in
       let spec =
         {
@@ -377,7 +408,7 @@ let election n alpha seed adversary_name explicit trials loss loss_model transpo
           ]
       in
       let run_trial seed =
-        let o = Ftc_expt.Runner.run spec ~seed in
+        let o = Ftc_expt.Runner.run ~recorder spec ~seed in
         match classify_for_cli o with
         | Some failure -> Error failure
         | None -> Ok (election_report ~explicit seed o)
@@ -411,7 +442,7 @@ let agreement_report ~explicit seed (o : Ftc_expt.Runner.outcome) =
   { report = Buffer.contents b; success = rep.ok }
 
 let agreement n alpha seed adversary_name explicit trials ones_prob loss loss_model transport_on
-    jobs keep_going journal resume quarantine trial_timeout =
+    jobs keep_going journal resume quarantine trial_timeout telemetry =
   let loss = parse_loss ~loss ~model:loss_model in
   let jobs = parse_jobs jobs in
   match adversary_of_name adversary_name with
@@ -419,8 +450,9 @@ let agreement n alpha seed adversary_name explicit trials ones_prob loss loss_mo
       prerr_endline e;
       1
   | Ok adversary ->
+      with_telemetry telemetry @@ fun recorder ->
       let config =
-        supervise_config ~jobs ~keep_going ~journal ~resume ~quarantine ~trial_timeout
+        supervise_config ~recorder ~jobs ~keep_going ~journal ~resume ~quarantine ~trial_timeout
       in
       let spec =
         {
@@ -447,7 +479,7 @@ let agreement n alpha seed adversary_name explicit trials ones_prob loss loss_mo
           ]
       in
       let run_trial seed =
-        let o = Ftc_expt.Runner.run spec ~seed in
+        let o = Ftc_expt.Runner.run ~recorder spec ~seed in
         match classify_for_cli o with
         | Some failure -> Error failure
         | None -> Ok (agreement_report ~explicit seed o)
@@ -469,7 +501,7 @@ let sweep_report seed (result : Ftc_sim.Engine.result) =
   { report = Printf.sprintf "seed %d: clean\n%s" seed (metrics_lines result); success = true }
 
 let sweep protocol_name n alpha seed adversary_name trials loss loss_model transport_on jobs
-    keep_going journal resume quarantine trial_timeout =
+    keep_going journal resume quarantine trial_timeout telemetry =
   let loss = parse_loss ~loss ~model:loss_model in
   let jobs = parse_jobs jobs in
   (match Ftc_chaos.Catalog.find protocol_name with
@@ -484,7 +516,10 @@ let sweep protocol_name n alpha seed adversary_name trials loss loss_model trans
     exit 2
   end;
   let entry = Option.get (Ftc_chaos.Catalog.find protocol_name) in
-  let config = supervise_config ~jobs ~keep_going ~journal ~resume ~quarantine ~trial_timeout in
+  with_telemetry telemetry @@ fun recorder ->
+  let config =
+    supervise_config ~recorder ~jobs ~keep_going ~journal ~resume ~quarantine ~trial_timeout
+  in
   let mk_case seed =
     {
       Ftc_chaos.Case.protocol = protocol_name;
@@ -519,7 +554,7 @@ let sweep protocol_name n alpha seed adversary_name trials loss loss_model trans
   in
   let run_trial seed =
     let case = mk_case seed in
-    match Ftc_chaos.Case.run ?watchdog:(watchdog_for ()) case with
+    match Ftc_chaos.Case.run ?watchdog:(watchdog_for ()) ~recorder case with
     | Error e -> Error (Supervise.Exception, Ftc_chaos.Case.error_to_string e)
     | Ok (result, findings) -> (
         if result.Ftc_sim.Engine.watchdog_expired then
@@ -804,6 +839,54 @@ let replay file quarantine =
       prerr_endline "replay: need a reproducer FILE or --quarantine FILE";
       2
 
+(* -- trace command -- *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* Validate one exported artifact; missing or malformed files fail the
+   command, which is what lets CI gate on `ftc trace summary`. *)
+let trace_check ~dir ~bad name validate what =
+  let path = Filename.concat dir name in
+  match read_file path with
+  | exception Sys_error e ->
+      Printf.printf "%s: MISSING (%s)\n" name e;
+      bad := true
+  | body -> (
+      match validate body with
+      | Ok n -> Printf.printf "%s: valid (%d %s)\n" name n what
+      | Error e ->
+          Printf.printf "%s: INVALID (%s)\n" name e;
+          bad := true)
+
+let trace_summary dir =
+  match Ftc_telemetry.Export.load_dir ~dir with
+  | Error e ->
+      Printf.eprintf "trace: %s\n" e;
+      2
+  | Ok (metrics, events) ->
+      print_string (Ftc_telemetry.Export.summary ~metrics ~events);
+      let bad = ref false in
+      trace_check ~dir ~bad Ftc_telemetry.Export.trace_file
+        Ftc_telemetry.Export.validate_trace_json "events";
+      trace_check ~dir ~bad Ftc_telemetry.Export.prom_file
+        Ftc_telemetry.Export.validate_prometheus "samples";
+      if !bad then 1 else 0
+
+let trace_export dir =
+  match Ftc_telemetry.Export.load_dir ~dir with
+  | Error e ->
+      Printf.eprintf "trace: %s\n" e;
+      2
+  | Ok (metrics, events) ->
+      Ftc_telemetry.Export.export_files ~dir ~metrics ~events;
+      Printf.printf "regenerated %s/{%s,%s} from %s\n" dir Ftc_telemetry.Export.trace_file
+        Ftc_telemetry.Export.prom_file Ftc_telemetry.Export.events_file;
+      0
+
 (* -- list command -- *)
 
 let list_all () =
@@ -832,7 +915,7 @@ let election_cmd =
     Term.(
       const election $ n_arg $ alpha_arg $ seed_arg $ adversary_arg $ explicit_arg $ trials_arg
       $ loss_arg $ loss_model_arg $ transport_arg $ jobs_arg $ keep_going_arg $ journal_arg
-      $ resume_arg $ quarantine_arg $ trial_timeout_arg)
+      $ resume_arg $ quarantine_arg $ trial_timeout_arg $ telemetry_arg)
 
 let agreement_cmd =
   let doc = "Run fault-tolerant implicit agreement (paper Sec. V-A)." in
@@ -847,7 +930,7 @@ let agreement_cmd =
     Term.(
       const agreement $ n_arg $ alpha_arg $ seed_arg $ adversary_arg $ explicit_arg $ trials_arg
       $ ones $ loss_arg $ loss_model_arg $ transport_arg $ jobs_arg $ keep_going_arg $ journal_arg
-      $ resume_arg $ quarantine_arg $ trial_timeout_arg)
+      $ resume_arg $ quarantine_arg $ trial_timeout_arg $ telemetry_arg)
 
 let sweep_cmd =
   let doc =
@@ -866,7 +949,7 @@ let sweep_cmd =
     Term.(
       const sweep $ protocol $ n_arg $ alpha_arg $ seed_arg $ adversary_arg $ trials_arg
       $ loss_arg $ loss_model_arg $ transport_arg $ jobs_arg $ keep_going_arg $ journal_arg
-      $ resume_arg $ quarantine_arg $ trial_timeout_arg)
+      $ resume_arg $ quarantine_arg $ trial_timeout_arg $ telemetry_arg)
 
 let expt_cmd =
   let doc = "Run experiments by id (default: all, quick scale)." in
@@ -957,6 +1040,32 @@ let replay_cmd =
   in
   Cmd.v (Cmd.info "replay" ~doc) Term.(const replay $ file $ quarantine)
 
+let trace_cmd =
+  let dir_arg =
+    Arg.(
+      required
+      & pos 0 (some dir) None
+      & info [] ~docv:"DIR" ~doc:"A directory written by $(b,--telemetry).")
+  in
+  let summary_cmd =
+    let doc =
+      "Print the per-(protocol, phase) cost table — spans, rounds, messages, bits, wall-clock \
+       — with trial totals and histogram digests, then validate trace.json and metrics.prom. \
+       Exits 1 when an artifact is missing or malformed, 2 when events.jsonl is unreadable."
+    in
+    Cmd.v (Cmd.info "summary" ~doc) Term.(const trace_summary $ dir_arg)
+  in
+  let export_cmd =
+    let doc =
+      "Regenerate trace.json (Chrome trace-event JSON) and metrics.prom from events.jsonl, \
+       the source-of-truth event stream."
+    in
+    Cmd.v (Cmd.info "export" ~doc) Term.(const trace_export $ dir_arg)
+  in
+  Cmd.group
+    (Cmd.info "trace" ~doc:"Summarise or regenerate a $(b,--telemetry) output directory.")
+    [ summary_cmd; export_cmd ]
+
 let list_cmd =
   Cmd.v (Cmd.info "list" ~doc:"List experiments, protocols and adversaries.")
     Term.(const list_all $ const ())
@@ -965,6 +1074,6 @@ let main =
   let doc = "fault-tolerant leader election and agreement (Kumar & Molla, PODC'21/TPDS'23)" in
   Cmd.group (Cmd.info "ftc" ~version:"1.0.0" ~doc)
     [ election_cmd; agreement_cmd; sweep_cmd; expt_cmd; clouds_cmd; chaos_cmd; replay_cmd;
-      list_cmd ]
+      trace_cmd; list_cmd ]
 
 let () = exit (Cmd.eval' main)

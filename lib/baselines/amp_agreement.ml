@@ -32,6 +32,9 @@ end) : Protocol.S with type msg = msg = struct
   let msg_bits ~n:_ = function Bit _ | Min_bit _ -> Congest.tag_bits + 1
   let max_rounds ~n:_ ~alpha:_ = 4
 
+  let phases ~n:_ ~alpha:_ =
+    [ ("referee-selection", 0); ("referee-reply", 1); ("decision", 2) ]
+
   let init (ctx : Protocol.ctx) =
     let input = if ctx.input <> 0 then 1 else 0 in
     let p = Params.candidate_prob params ~n:ctx.n ~alpha:1. in

@@ -24,6 +24,9 @@ module P : Protocol.S with type msg = msg = struct
   (* f + 1 rounds guarantee a crash-free round; one more to decide. *)
   let max_rounds ~n ~alpha = Ftc_sim.Engine.max_faulty ~n ~alpha + 2
 
+  let phases ~n ~alpha =
+    [ ("flooding", 0); ("decide", max_rounds ~n ~alpha - 1) ]
+
   let init (ctx : Protocol.ctx) =
     { value = ctx.input; known_ports = ISet.empty; decision = Decision.Undecided }
 

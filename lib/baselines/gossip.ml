@@ -22,6 +22,7 @@ end) : Protocol.S with type msg = msg = struct
     (2 * log2 0 n) + 4
 
   let max_rounds ~n ~alpha:_ = gossip_rounds ~n + 1
+  let phases ~n ~alpha:_ = [ ("push-rumours", 0); ("decide", gossip_rounds ~n) ]
 
   let init (ctx : Protocol.ctx) = { value = ctx.input; decision = Decision.Undecided }
 

@@ -37,6 +37,9 @@ end) : Protocol.S with type msg = msg = struct
   (* Announce, reply, decide: one round-trip. *)
   let max_rounds ~n:_ ~alpha:_ = 4
 
+  let phases ~n:_ ~alpha:_ =
+    [ ("referee-selection", 0); ("referee-reply", 1); ("decision", 2) ]
+
   let init (ctx : Protocol.ctx) =
     let rank = Rng.int_in ctx.rng 1 (Params.rank_bound params ~n:ctx.n) in
     let p = Params.candidate_prob params ~n:ctx.n ~alpha:1. in

@@ -15,8 +15,11 @@ module P : Protocol.S with type msg = msg = struct
   let knowledge = `KT1
   let msg_bits ~n:_ (Adopt _) = Congest.tag_bits + 1
 
-  let phases ~n ~alpha = Ftc_sim.Engine.max_faulty ~n ~alpha + 1
-  let max_rounds ~n ~alpha = phases ~n ~alpha + 1
+  let rotations ~n ~alpha = Ftc_sim.Engine.max_faulty ~n ~alpha + 1
+  let max_rounds ~n ~alpha = rotations ~n ~alpha + 1
+
+  let phases ~n ~alpha =
+    [ ("coordinator-rotations", 0); ("decide", rotations ~n ~alpha) ]
 
   let init (ctx : Protocol.ctx) =
     let self = match ctx.self with Some s -> s | None -> invalid_arg "rotating: needs KT1" in
@@ -25,7 +28,7 @@ module P : Protocol.S with type msg = msg = struct
   let step (ctx : Protocol.ctx) st ~round ~inbox =
     List.iter (fun { Protocol.payload = Adopt v; _ } -> st.value <- v) inbox;
     let actions =
-      if round < phases ~n:ctx.n ~alpha:ctx.alpha && round = st.self then
+      if round < rotations ~n:ctx.n ~alpha:ctx.alpha && round = st.self then
         List.filter_map
           (fun d -> if d = st.self then None else Some { Protocol.dest = Protocol.Node d; payload = Adopt st.value })
           (List.init ctx.n Fun.id)

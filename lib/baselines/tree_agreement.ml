@@ -34,6 +34,9 @@ module P : Protocol.S with type msg = msg = struct
   let down_start ~n = (2 * max_depth ~n) + 2
   let max_rounds ~n ~alpha:_ = down_start ~n + (2 * (max_depth ~n + 1)) + 2
 
+  let phases ~n ~alpha:_ =
+    [ ("aggregate-up", 0); ("broadcast-down", down_start ~n) ]
+
   let init (ctx : Protocol.ctx) =
     let self = match ctx.self with Some s -> s | None -> invalid_arg "tree: needs KT1" in
     { self; agg = ctx.input; final = None; decision = Decision.Undecided }

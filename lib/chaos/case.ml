@@ -69,7 +69,7 @@ let validate case =
                 | Ok () -> Ok entry))
       end
 
-let run ?watchdog case =
+let run ?watchdog ?(recorder = Ftc_telemetry.Recorder.disabled) case =
   match validate case with
   | Error _ as e -> e
   | Ok entry ->
@@ -83,6 +83,8 @@ let run ?watchdog case =
       (* Wrapped runs get double the per-edge budget: transport framing
          lets a data message and an ack share an edge-round. *)
       let congest_factor = if case.transport then 2 else 1 in
+      let telemetry_on = Ftc_telemetry.Recorder.enabled recorder in
+      let start_ns = Ftc_telemetry.Recorder.now_ns recorder in
       let result =
         E.run
           {
@@ -96,10 +98,27 @@ let run ?watchdog case =
             record_trace = true;
             max_rounds_override = None;
             watchdog;
+            round_clock =
+              (if telemetry_on then Some (fun () -> Ftc_telemetry.Recorder.now_ns recorder)
+               else None);
           }
       in
       let lossy_raw = case.loss <> Omission.No_loss && not case.transport in
-      Ok (result, Oracle.check ~lossy_raw entry ~inputs:case.inputs result)
+      let findings = Oracle.check ~lossy_raw entry ~inputs:case.inputs result in
+      if telemetry_on then begin
+        let m = result.Engine.metrics in
+        Ftc_telemetry.Instrument.record_run recorder ~protocol:P.name ~seed:case.seed
+          ~ok:(findings = [])
+          ~phases:(P.phases ~n:case.n ~alpha:case.alpha)
+          ~rounds_used:result.Engine.rounds_used
+          ~per_round_msgs:m.Ftc_sim.Metrics.per_round_msgs
+          ~per_round_bits:m.Ftc_sim.Metrics.per_round_bits ~msgs:m.Ftc_sim.Metrics.msgs_sent
+          ~bits:m.Ftc_sim.Metrics.bits_sent ~dropped:m.Ftc_sim.Metrics.msgs_dropped
+          ~lost_link:m.Ftc_sim.Metrics.msgs_lost_link
+          ~unroutable:m.Ftc_sim.Metrics.msgs_unroutable ~round_ns:result.Engine.round_ns
+          ~start_ns
+      end;
+      Ok (result, findings)
 
 let findings case = match run case with Error _ -> [] | Ok (_, fs) -> fs
 

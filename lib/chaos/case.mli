@@ -39,6 +39,7 @@ val validate : t -> (Catalog.entry, error) result
 
 val run :
   ?watchdog:(unit -> bool) ->
+  ?recorder:Ftc_telemetry.Recorder.t ->
   t ->
   (Ftc_sim.Engine.result * Oracle.finding list, error) result
 (** Deterministically executes the case (with tracing, so the
@@ -47,7 +48,11 @@ val run :
     oracles only (see {!Oracle.check}'s [lossy_raw]). [watchdog] is passed
     through to {!Ftc_sim.Engine.config.watchdog}: the sweep supervisor's
     per-trial wall-clock budget; it never changes what the simulation
-    computes, only whether it is cut short. *)
+    computes, only whether it is cut short. A live [recorder] (default:
+    disabled) instruments the run exactly as {!Ftc_expt.Runner.run}
+    does: trial event, phase spans along the protocol's calendar, and
+    the standard metric feed — a case marked [ok] iff the oracles found
+    nothing. *)
 
 val findings : t -> Oracle.finding list
 (** [findings c] = oracle findings of [run c], [[]] if the case itself is

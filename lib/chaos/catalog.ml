@@ -130,6 +130,7 @@ module Faulty_probe = struct
   let knowledge = `KT0
   let msg_bits ~n:_ () = 1
   let max_rounds ~n:_ ~alpha:_ = 2
+  let phases = Ftc_sim.Protocol.single_phase
   let init _ = ()
 
   let step _ () ~round ~inbox:_ =

@@ -57,6 +57,13 @@ end) : Protocol.S with type msg = msg = struct
 
   let max_rounds ~n ~alpha = implicit_rounds ~n ~alpha + if C.explicit then 2 else 0
 
+  (* Telemetry phase calendar: round 0 is candidate self-selection and
+     referee sampling, then the 2-round forwarding iterations, then (in
+     explicit mode) the decided-value broadcast. *)
+  let phases ~n ~alpha =
+    [ ("candidate-sampling", 0); ("agreement-flooding", 1) ]
+    @ if C.explicit then [ ("value-broadcast", implicit_rounds ~n ~alpha) ] else []
+
   let init (ctx : Protocol.ctx) =
     let p = Params.candidate_prob params ~n:ctx.n ~alpha:ctx.alpha in
     let is_candidate = Dist.bernoulli ctx.rng p in

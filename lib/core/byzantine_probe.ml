@@ -35,6 +35,7 @@ end) : Protocol.S with type msg = msg = struct
   let knowledge = `KT0
   let msg_bits ~n:_ = function Up _ | Down -> Congest.tag_bits + 1
   let max_rounds ~n ~alpha = 2 + (2 * Params.iterations params ~n ~alpha)
+  let phases ~n:_ ~alpha:_ = [ ("candidate-sampling", 0); ("probe-flooding", 1) ]
 
   let init (ctx : Protocol.ctx) =
     let byzantine = ctx.input = byzantine_input in

@@ -83,6 +83,17 @@ end) : Protocol.S with type msg = msg = struct
   let max_rounds ~n ~alpha =
     implicit_rounds ~n ~alpha + if C.explicit then 2 else 0
 
+  (* Telemetry phase calendar, mirroring the round map above. Empty
+     ranges (e.g. rank dissemination when preprocessing_rounds = 0)
+     collapse away at span-cutting time. *)
+  let phases ~n ~alpha =
+    [
+      ("referee-selection", 0);
+      ("rank-dissemination", 1);
+      ("election-iterations", pre_end ~n ~alpha);
+    ]
+    @ if C.explicit then [ ("leader-broadcast", implicit_rounds ~n ~alpha) ] else []
+
   let init (ctx : Protocol.ctx) =
     let rank = Rng.int_in ctx.rng 1 (Params.rank_bound params ~n:ctx.n) in
     let p = Params.candidate_prob params ~n:ctx.n ~alpha:ctx.alpha in

@@ -36,6 +36,7 @@ end) : Protocol.S with type msg = msg = struct
 
   let implicit_rounds ~n ~alpha = 2 + (2 * Params.iterations params ~n ~alpha)
   let max_rounds ~n ~alpha = implicit_rounds ~n ~alpha
+  let phases ~n:_ ~alpha:_ = [ ("candidate-sampling", 0); ("min-flooding", 1) ]
 
   let clamp_input ~n v = max 0 (min (Params.rank_bound params ~n) v)
 

@@ -72,7 +72,7 @@ let materialize_inputs spec ~seed =
       let rng = Rng.create (seed lxor 0x5bd1e995) in
       Array.init spec.n (fun _ -> if Dist.bernoulli rng p then 1 else 0)
 
-let run spec ~seed =
+let run ?(recorder = Ftc_telemetry.Recorder.disabled) spec ~seed =
   (* Transport framing lets a data message and an ack share an edge-round,
      so wrapped runs get double the paper's per-edge budget — the framing
      itself is O(log n), so the doubling is honest. *)
@@ -86,6 +86,8 @@ let run spec ~seed =
   let (module P : Ftc_sim.Protocol.S) = protocol in
   let module E = Engine.Make (P) in
   let inputs = materialize_inputs spec ~seed in
+  let telemetry_on = Ftc_telemetry.Recorder.enabled recorder in
+  let start_ns = Ftc_telemetry.Recorder.now_ns recorder in
   let cfg =
     {
       Engine.n = spec.n;
@@ -108,9 +110,33 @@ let run spec ~seed =
         | Some limit ->
             let start = Unix.gettimeofday () in
             Some (fun () -> Unix.gettimeofday () -. start >= limit));
+      round_clock =
+        (if telemetry_on then Some (fun () -> Ftc_telemetry.Recorder.now_ns recorder)
+         else None);
     }
   in
   let result = E.run cfg in
+  if telemetry_on then begin
+    let m = result.Engine.metrics in
+    (* [ok] here is the model-level health of the run, not the
+       experiment's statistical success predicate (which belongs to the
+       caller): violations, timeout, or a watchdog stop mark a trial
+       failed in telemetry. *)
+    let ok =
+      result.Engine.violations = []
+      && (not result.Engine.timed_out)
+      && not result.Engine.watchdog_expired
+    in
+    Ftc_telemetry.Instrument.record_run recorder ~protocol:P.name ~seed ~ok
+      ~phases:(P.phases ~n:spec.n ~alpha:spec.alpha)
+      ~rounds_used:result.Engine.rounds_used
+      ~per_round_msgs:m.Ftc_sim.Metrics.per_round_msgs
+      ~per_round_bits:m.Ftc_sim.Metrics.per_round_bits ~msgs:m.Ftc_sim.Metrics.msgs_sent
+      ~bits:m.Ftc_sim.Metrics.bits_sent ~dropped:m.Ftc_sim.Metrics.msgs_dropped
+      ~lost_link:m.Ftc_sim.Metrics.msgs_lost_link
+      ~unroutable:m.Ftc_sim.Metrics.msgs_unroutable ~round_ns:result.Engine.round_ns
+      ~start_ns
+  end;
   { result; inputs_used = inputs; seed; transport_stats }
 
 let violations o = o.result.Engine.violations
@@ -124,12 +150,12 @@ let ensure_clean spec o =
         (Model_violation
            { protocol = P.name; n = spec.n; alpha = spec.alpha; seed = o.seed; violations = vs })
 
-let run_exn spec ~seed =
-  let o = run spec ~seed in
+let run_exn ?recorder spec ~seed =
+  let o = run ?recorder spec ~seed in
   ensure_clean spec o;
   o
 
-let run_many spec ~seeds = List.map (fun seed -> run_exn spec ~seed) seeds
+let run_many ?recorder spec ~seeds = List.map (fun seed -> run_exn ?recorder spec ~seed) seeds
 
 (* Trials are independent by construction — every run builds its own rng
    tree from its seed, and the adversary/link/transport factories are
@@ -137,15 +163,25 @@ let run_many spec ~seeds = List.map (fun seed -> run_exn spec ~seed) seeds
    outcomes to the sequential path. The violation check happens after the
    map, walking outcomes in seed order, so the caller observes the same
    exception (the first violating seed's) as [run_many] would. *)
-let run_many_par ~jobs spec ~seeds =
+let run_many_par ?(recorder = Ftc_telemetry.Recorder.disabled) ~jobs spec ~seeds =
   if jobs < 1 then invalid_arg "Runner.run_many_par: jobs must be >= 1";
-  let outcomes = Ftc_parallel.Pool.run_map ~jobs (fun seed -> run spec ~seed) seeds in
+  let outcomes =
+    Ftc_parallel.Pool.run_map
+      ?monitor:(Ftc_telemetry.Instrument.pool_monitor recorder "trials")
+      ~jobs
+      (fun seed -> run ~recorder spec ~seed)
+      seeds
+  in
   List.iter (ensure_clean spec) outcomes;
   outcomes
 
-let run_many_par_raw ~jobs spec ~seeds =
+let run_many_par_raw ?(recorder = Ftc_telemetry.Recorder.disabled) ~jobs spec ~seeds =
   if jobs < 1 then invalid_arg "Runner.run_many_par_raw: jobs must be >= 1";
-  Ftc_parallel.Pool.run_map ~jobs (fun seed -> run spec ~seed) seeds
+  Ftc_parallel.Pool.run_map
+    ?monitor:(Ftc_telemetry.Instrument.pool_monitor recorder "trials")
+    ~jobs
+    (fun seed -> run ~recorder spec ~seed)
+    seeds
 
 type trial_stats = { success : bool; msgs : int; bits : int; rounds : int }
 

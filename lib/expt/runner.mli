@@ -52,10 +52,17 @@ exception
 (** Raised by {!run_exn}; carries {e every} violation of the run, not just
     the first. A printer is registered, so an uncaught one reads well. *)
 
-val run : spec -> seed:int -> outcome
+val run : ?recorder:Ftc_telemetry.Recorder.t -> spec -> seed:int -> outcome
 (** Input generation is seeded by [seed], so an outcome is reproducible
     from [(spec, seed)] alone. Never raises on model violations — inspect
-    {!violations} (the chaos harness treats them as findings). *)
+    {!violations} (the chaos harness treats them as findings).
+
+    With a live [recorder] (default: the disabled one), the trial is
+    instrumented: the engine's round clock is armed, a [Trial] event and
+    per-phase [Span]s (cut along the protocol's
+    {!Ftc_sim.Protocol.S.phases} calendar) are emitted on track
+    ["seed-N"], and the standard counters/histograms are fed. The
+    simulation result is bit-identical either way. *)
 
 val violations : outcome -> Ftc_sim.Violation.t list
 
@@ -64,14 +71,15 @@ val ensure_clean : spec -> outcome -> unit
     is the check {!run_exn} applies; the supervisor calls it per trial so
     a violating seed fails (or quarantines) just that trial. *)
 
-val run_exn : spec -> seed:int -> outcome
+val run_exn : ?recorder:Ftc_telemetry.Recorder.t -> spec -> seed:int -> outcome
 (** As {!run}, but raises {!Model_violation} when the engine reported any
     violation — experiments must be model-clean. *)
 
-val run_many : spec -> seeds:int list -> outcome list
+val run_many : ?recorder:Ftc_telemetry.Recorder.t -> spec -> seeds:int list -> outcome list
 (** Runs every seed through {!run_exn}. *)
 
-val run_many_par : jobs:int -> spec -> seeds:int list -> outcome list
+val run_many_par :
+  ?recorder:Ftc_telemetry.Recorder.t -> jobs:int -> spec -> seeds:int list -> outcome list
 (** As {!run_many}, but the trials run on a pool of [jobs] domains
     ({!Ftc_parallel.Pool}). The determinism contract: per-trial outcomes
     are bit-identical to the sequential path — trials share no state, so
@@ -79,9 +87,12 @@ val run_many_par : jobs:int -> spec -> seeds:int list -> outcome list
     seed order regardless. On violations, raises the same
     {!Model_violation} (first violating seed) the sequential path would.
     [jobs = 1] is exactly [run_many] (no domains spawned). Raises
-    [Invalid_argument] when [jobs < 1]. *)
+    [Invalid_argument] when [jobs < 1]. A live [recorder] additionally
+    installs a pool monitor, so queue wait and per-domain busy time are
+    recorded alongside the trials. *)
 
-val run_many_par_raw : jobs:int -> spec -> seeds:int list -> outcome list
+val run_many_par_raw :
+  ?recorder:Ftc_telemetry.Recorder.t -> jobs:int -> spec -> seeds:int list -> outcome list
 (** As {!run_many_par}, but through {!run}: violations stay in the
     outcomes, never raised — for experiments (lossy raw, Byzantine probe)
     that treat model violations as data. *)

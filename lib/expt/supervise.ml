@@ -28,6 +28,7 @@ type config = {
   resume : bool;
   quarantine : string option;
   trial_timeout : float option;
+  recorder : Ftc_telemetry.Recorder.t;
 }
 
 let default_config =
@@ -38,6 +39,7 @@ let default_config =
     resume = false;
     quarantine = None;
     trial_timeout = None;
+    recorder = Ftc_telemetry.Recorder.disabled;
   }
 
 exception Resume_error of string
@@ -104,8 +106,43 @@ let run config ~spec_hash ~encode ~decode ?(replay_doc = fun _ -> None) ~run_tri
           ~finally:(fun () -> Mutex.unlock journal_lock)
           (fun () -> Journal.append h (encode seed payload))
   in
+  (* Sweep progress telemetry: per-trial outcome counters and one
+     heartbeat event per finished trial (the atomics make the running
+     totals race-free across pool workers). Journaled resume hits count
+     as already completed. *)
+  let recorder = config.recorder in
+  let reg = Ftc_telemetry.Recorder.registry recorder in
+  let total = List.length seeds in
+  let done_count = Atomic.make (total - List.length to_run) in
+  let failed_count = Atomic.make 0 in
+  let heartbeat outcome =
+    if Ftc_telemetry.Recorder.enabled recorder then begin
+      (match outcome with
+      | Completed _ ->
+          Atomic.incr done_count;
+          Ftc_telemetry.Registry.incr reg "ftc_sweep_trials_completed_total" 1
+      | Failed f ->
+          Atomic.incr failed_count;
+          Ftc_telemetry.Registry.incr reg "ftc_sweep_trials_failed_total" 1;
+          Ftc_telemetry.Registry.incr reg
+            ("ftc_sweep_failures_" ^ class_to_string f.class_ ^ "_total")
+            1
+      | Skipped -> Ftc_telemetry.Registry.incr reg "ftc_sweep_trials_skipped_total" 1);
+      Ftc_telemetry.Recorder.emit recorder
+        (Ftc_telemetry.Recorder.Heartbeat
+           {
+             at_ns = Ftc_telemetry.Recorder.now_ns recorder;
+             completed = Atomic.get done_count;
+             failed = Atomic.get failed_count;
+             total;
+           })
+    end
+  in
   let one seed =
-    if Atomic.get abort then (seed, Skipped)
+    if Atomic.get abort then begin
+      heartbeat Skipped;
+      (seed, Skipped)
+    end
     else
       let outcome =
         match run_trial seed with
@@ -123,9 +160,14 @@ let run config ~spec_hash ~encode ~decode ?(replay_doc = fun _ -> None) ~run_tri
       (match outcome with
       | Failed _ when not config.keep_going -> Atomic.set abort true
       | _ -> ());
+      heartbeat outcome;
       (seed, outcome)
   in
-  let fresh = Ftc_parallel.Pool.run_map ~jobs:config.jobs one to_run in
+  let fresh =
+    Ftc_parallel.Pool.run_map
+      ?monitor:(Ftc_telemetry.Instrument.pool_monitor recorder "sweep")
+      ~jobs:config.jobs one to_run
+  in
   (match handle with None -> () | Some h -> Journal.close h);
   let fresh_tbl = Hashtbl.create 64 in
   List.iter (fun (seed, t) -> Hashtbl.replace fresh_tbl seed t) fresh;

@@ -47,6 +47,10 @@ type config = {
           {e same} spec: load it, skip its seeds, append the rest. *)
   quarantine : string option;  (** Where failed trials are recorded. *)
   trial_timeout : float option;  (** Per-trial wall-clock budget, seconds. *)
+  recorder : Ftc_telemetry.Recorder.t;
+      (** Sweep telemetry sink: one [Heartbeat] event and outcome
+          counter per finished trial, plus a pool monitor on the
+          worker pool. Default: the disabled recorder (zero cost). *)
 }
 
 val default_config : config

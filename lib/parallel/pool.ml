@@ -1,12 +1,19 @@
+type monitor = {
+  now_ns : unit -> int64;
+  enqueued : depth:int -> unit;
+  job_done : worker:int -> enqueued_ns:int64 -> started_ns:int64 -> finished_ns:int64 -> unit;
+}
+
 type t = {
   lock : Mutex.t;
   work_ready : Condition.t;
-  queue : (unit -> unit) Queue.t;
+  queue : (int64 * (unit -> unit)) Queue.t;  (* (enqueue stamp, job) *)
   mutable stopping : bool;
   mutable workers : unit Domain.t list;
   jobs : int;
   dropped : int Atomic.t;
   sink : (exn -> Printexc.raw_backtrace -> unit) Atomic.t;
+  monitor : monitor option;
 }
 
 let jobs t = t.jobs
@@ -16,7 +23,7 @@ let set_exception_sink t f = Atomic.set t.sink f
 (* Workers park on [work_ready] until a job or the shutdown flag shows
    up. A worker only exits once the flag is set AND the queue is drained,
    so shutdown never strands submitted work. *)
-let worker_loop pool () =
+let worker_loop pool worker () =
   let rec loop () =
     Mutex.lock pool.lock;
     while Queue.is_empty pool.queue && not pool.stopping do
@@ -26,8 +33,9 @@ let worker_loop pool () =
     | None ->
         (* stopping && empty *)
         Mutex.unlock pool.lock
-    | Some job ->
+    | Some (enqueued_ns, job) ->
         Mutex.unlock pool.lock;
+        let started_ns = match pool.monitor with Some m -> m.now_ns () | None -> 0L in
         (try job ()
          with e ->
            (* A raw [submit] job escaped with an exception. Losing it
@@ -36,11 +44,14 @@ let worker_loop pool () =
            let bt = Printexc.get_raw_backtrace () in
            Atomic.incr pool.dropped;
            (try (Atomic.get pool.sink) e bt with _ -> ()));
+        (match pool.monitor with
+        | Some m -> m.job_done ~worker ~enqueued_ns ~started_ns ~finished_ns:(m.now_ns ())
+        | None -> ());
         loop ()
   in
   loop ()
 
-let create ~jobs =
+let create ?monitor ~jobs () =
   if jobs < 1 then invalid_arg "Pool.create: jobs must be >= 1";
   let pool =
     {
@@ -52,20 +63,26 @@ let create ~jobs =
       jobs;
       dropped = Atomic.make 0;
       sink = Atomic.make (fun _ _ -> ());
+      monitor;
     }
   in
-  pool.workers <- List.init jobs (fun _ -> Domain.spawn (worker_loop pool));
+  pool.workers <- List.init jobs (fun i -> Domain.spawn (worker_loop pool i));
   pool
 
 let submit pool job =
+  let stamp = match pool.monitor with Some m -> m.now_ns () | None -> 0L in
   Mutex.lock pool.lock;
   if pool.stopping then begin
     Mutex.unlock pool.lock;
     invalid_arg "Pool.submit: pool is shut down"
   end;
-  Queue.push job pool.queue;
+  Queue.push (stamp, job) pool.queue;
+  let depth = Queue.length pool.queue in
   Condition.signal pool.work_ready;
-  Mutex.unlock pool.lock
+  Mutex.unlock pool.lock;
+  (* Outside the lock: a monitor callback must not be able to deadlock
+     the pool, whatever it does. *)
+  match pool.monitor with Some m -> m.enqueued ~depth | None -> ()
 
 let shutdown pool =
   Mutex.lock pool.lock;
@@ -75,8 +92,8 @@ let shutdown pool =
   List.iter Domain.join pool.workers;
   pool.workers <- []
 
-let with_pool ~jobs f =
-  let pool = create ~jobs in
+let with_pool ?monitor ~jobs f =
+  let pool = create ?monitor ~jobs () in
   Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)
 
 let map pool f xs =
@@ -127,9 +144,9 @@ let map pool f xs =
          results)
   end
 
-let run_map ~jobs f xs =
+let run_map ?monitor ~jobs f xs =
   if jobs < 1 then invalid_arg "Pool.run_map: jobs must be >= 1";
-  if jobs = 1 then List.map f xs else with_pool ~jobs (fun pool -> map pool f xs)
+  if jobs = 1 then List.map f xs else with_pool ?monitor ~jobs (fun pool -> map pool f xs)
 
 (* Like [map], but nothing is cancelled and nothing re-raised: every job
    runs to completion and each slot records its own outcome. This is the
@@ -168,7 +185,7 @@ let map_results pool f xs =
       (Array.map (function Some r -> r | None -> assert false) results)
   end
 
-let run_map_results ~jobs f xs =
+let run_map_results ?monitor ~jobs f xs =
   if jobs < 1 then invalid_arg "Pool.run_map_results: jobs must be >= 1";
   if jobs = 1 then
     List.map
@@ -177,4 +194,4 @@ let run_map_results ~jobs f xs =
         | v -> Ok v
         | exception e -> Error (e, Printexc.get_raw_backtrace ()))
       xs
-  else with_pool ~jobs (fun pool -> map_results pool f xs)
+  else with_pool ?monitor ~jobs (fun pool -> map_results pool f xs)

@@ -12,7 +12,20 @@
 
 type t
 
-val create : jobs:int -> t
+type monitor = {
+  now_ns : unit -> int64;  (** The monitor's clock; called off the pool lock. *)
+  enqueued : depth:int -> unit;
+      (** A job was queued; [depth] is the queue length just after. *)
+  job_done : worker:int -> enqueued_ns:int64 -> started_ns:int64 -> finished_ns:int64 -> unit;
+      (** A worker finished a job: queue wait is [started - enqueued],
+          busy time [finished - started]. *)
+}
+(** Telemetry hooks. All callbacks run outside the pool lock (so they
+    can never deadlock the pool) on whichever domain did the work; they
+    must be domain-safe and must not raise. With no monitor installed
+    the pool never reads a clock. *)
+
+val create : ?monitor:monitor -> jobs:int -> unit -> t
 (** Spawn [jobs] worker domains (so up to [jobs] closures run at once;
     the submitting domain only coordinates). Raises [Invalid_argument]
     when [jobs < 1]. *)
@@ -54,14 +67,15 @@ val shutdown : t -> unit
 (** Let workers drain the queue, then join every domain. Idempotent.
     After shutdown, {!submit} and {!map} raise [Invalid_argument]. *)
 
-val with_pool : jobs:int -> (t -> 'a) -> 'a
+val with_pool : ?monitor:monitor -> jobs:int -> (t -> 'a) -> 'a
 (** [with_pool ~jobs f] runs [f] over a fresh pool and shuts it down on
     every exit path. *)
 
-val run_map : jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+val run_map : ?monitor:monitor -> jobs:int -> ('a -> 'b) -> 'a list -> 'b list
 (** One-shot convenience: [with_pool ~jobs (fun p -> map p f xs)], except
     that [jobs = 1] short-circuits to a plain sequential [List.map] — no
-    domain is spawned, so single-job callers pay nothing. *)
+    domain is spawned, so single-job callers pay nothing (and the
+    monitor, if any, is not consulted). *)
 
 val map_results : t -> ('a -> 'b) -> 'a list -> ('b, exn * Printexc.raw_backtrace) result list
 (** Per-slot outcome capture: like {!map} but a raising [f x] fails only
@@ -72,6 +86,10 @@ val map_results : t -> ('a -> 'b) -> 'a list -> ('b, exn * Printexc.raw_backtrac
     while the rest of the sweep completes. *)
 
 val run_map_results :
-  jobs:int -> ('a -> 'b) -> 'a list -> ('b, exn * Printexc.raw_backtrace) result list
+  ?monitor:monitor ->
+  jobs:int ->
+  ('a -> 'b) ->
+  'a list ->
+  ('b, exn * Printexc.raw_backtrace) result list
 (** One-shot {!map_results}, with the same [jobs = 1] sequential
     short-circuit as {!run_map}. *)

@@ -11,6 +11,7 @@ type config = {
   record_trace : bool;
   max_rounds_override : int option;
   watchdog : (unit -> bool) option;
+  round_clock : (unit -> int64) option;
 }
 
 type result = {
@@ -25,6 +26,7 @@ type result = {
   metrics : Metrics.t;
   trace : Trace.t option;
   violations : Violation.t list;
+  round_ns : int64 array;
 }
 
 let default_config ~n ~alpha ~seed =
@@ -39,6 +41,7 @@ let default_config ~n ~alpha ~seed =
     record_trace = false;
     max_rounds_override = None;
     watchdog = None;
+    round_clock = None;
   }
 
 let max_faulty ~n ~alpha =
@@ -201,7 +204,7 @@ module Make (P : Protocol.S) = struct
              is counted and traced, never silent. *)
           match fresh_peer wiring_rng ports.(src) ~n ~self:src with
           | None ->
-              Metrics.record_unroutable metrics;
+              Metrics.record_unroutable metrics ~round;
               trace_add (Trace.Unroutable { round; node = src });
               None
           | Some peer ->
@@ -251,6 +254,25 @@ module Make (P : Protocol.S) = struct
           watchdog_expired := true;
           true
       | _ -> false
+    in
+    (* Optional round timing for telemetry: one clock read per round when
+       armed, a single option match per round when not. Durations are
+       collected in reverse and materialised once at the end; the
+       simulation itself never reads the clock, so determinism of the
+       computed result is untouched. *)
+    let round_ns_rev = ref [] in
+    let round_count = ref 0 in
+    let round_started =
+      ref (match config.round_clock with Some now -> now () | None -> 0L)
+    in
+    let record_round_time () =
+      match config.round_clock with
+      | None -> ()
+      | Some now ->
+          let t = now () in
+          round_ns_rev := Int64.sub t !round_started :: !round_ns_rev;
+          incr round_count;
+          round_started := t
     in
     (* Sends of the most recent round: if the round budget runs out right
        after a sending round, those messages sit in inboxes for ever. *)
@@ -392,9 +414,23 @@ module Make (P : Protocol.S) = struct
         done;
         if !all_decided then finished := true
       end;
+      record_round_time ();
       incr round
     done;
     Metrics.finish metrics ~rounds:!round;
+    let round_ns =
+      if !round_count = 0 then [||]
+      else begin
+        let a = Array.make !round_count 0L in
+        let i = ref (!round_count - 1) in
+        List.iter
+          (fun d ->
+            a.(!i) <- d;
+            decr i)
+          !round_ns_rev;
+        a
+      end
+    in
     {
       decisions = Array.map P.decide states;
       observations = Array.map P.observe states;
@@ -407,5 +443,6 @@ module Make (P : Protocol.S) = struct
       metrics;
       trace;
       violations = List.rev !violations;
+      round_ns;
     }
 end

@@ -39,6 +39,12 @@ type config = {
           untouched; only {e whether the run was cut short} depends on the
           closure (typically a wall-clock deadline, see
           [Runner.spec.trial_timeout]). [None] (the default) never stops. *)
+  round_clock : (unit -> int64) option;
+      (** Telemetry hook: when [Some now], [now ()] is read once per
+          executed round and the deltas are reported in
+          {!result.round_ns}. The simulation never consumes the values —
+          the computed result is bit-identical with the hook on or off.
+          [None] (the default) costs one option match per round. *)
 }
 
 type result = {
@@ -65,6 +71,9 @@ type result = {
       (** Model violations (KT0 protocol used [Node] addressing, unknown
           port, adversary crashed a non-faulty node, ...). Empty in any
           correct setup; tests assert so. *)
+  round_ns : int64 array;
+      (** Wall-clock nanoseconds per executed round, one entry per round,
+          when [config.round_clock] was armed; [[||]] otherwise. *)
 }
 
 val default_config : n:int -> alpha:float -> seed:int -> config

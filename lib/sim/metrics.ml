@@ -7,6 +7,9 @@ type t = {
   mutable rounds_used : int;
   mutable congest_violations : int;
   mutable per_round_msgs : int array;
+  mutable per_round_bits : int array;
+  mutable per_round_drops : int array;
+  mutable max_round_seen : int;
 }
 
 let create () =
@@ -19,42 +22,87 @@ let create () =
     rounds_used = 0;
     congest_violations = 0;
     per_round_msgs = Array.make 64 0;
+    per_round_bits = Array.make 64 0;
+    per_round_drops = Array.make 64 0;
+    max_round_seen = -1;
   }
 
-let ensure_round t round =
-  let len = Array.length t.per_round_msgs in
+let grow a round =
+  let len = Array.length a in
   if round >= len then begin
     let bigger = Array.make (max (2 * len) (round + 1)) 0 in
-    Array.blit t.per_round_msgs 0 bigger 0 len;
-    t.per_round_msgs <- bigger
+    Array.blit a 0 bigger 0 len;
+    bigger
   end
+  else a
+
+let ensure_round t round =
+  t.per_round_msgs <- grow t.per_round_msgs round;
+  t.per_round_bits <- grow t.per_round_bits round;
+  t.per_round_drops <- grow t.per_round_drops round;
+  if round > t.max_round_seen then t.max_round_seen <- round
 
 let record_send t ~round ~bits ~delivered =
   t.msgs_sent <- t.msgs_sent + 1;
   t.bits_sent <- t.bits_sent + bits;
-  if not delivered then t.msgs_dropped <- t.msgs_dropped + 1;
   ensure_round t round;
-  t.per_round_msgs.(round) <- t.per_round_msgs.(round) + 1
+  t.per_round_msgs.(round) <- t.per_round_msgs.(round) + 1;
+  t.per_round_bits.(round) <- t.per_round_bits.(round) + bits;
+  if not delivered then begin
+    t.msgs_dropped <- t.msgs_dropped + 1;
+    t.per_round_drops.(round) <- t.per_round_drops.(round) + 1
+  end
 
 let record_link_loss t ~round ~bits =
   t.msgs_sent <- t.msgs_sent + 1;
   t.bits_sent <- t.bits_sent + bits;
   t.msgs_lost_link <- t.msgs_lost_link + 1;
   ensure_round t round;
-  t.per_round_msgs.(round) <- t.per_round_msgs.(round) + 1
+  t.per_round_msgs.(round) <- t.per_round_msgs.(round) + 1;
+  t.per_round_bits.(round) <- t.per_round_bits.(round) + bits;
+  t.per_round_drops.(round) <- t.per_round_drops.(round) + 1
 
-let record_unroutable t = t.msgs_unroutable <- t.msgs_unroutable + 1
+let record_unroutable t ~round =
+  t.msgs_unroutable <- t.msgs_unroutable + 1;
+  ensure_round t round;
+  t.per_round_drops.(round) <- t.per_round_drops.(round) + 1
 
 let record_violation t = t.congest_violations <- t.congest_violations + 1
 
+(* Keep every round that recorded activity: an engine that stops at round
+   boundary 0 (watchdog, max_rounds 0) may still have counted round-0
+   sends, which [Array.sub ... 0 rounds] used to discard. *)
 let finish t ~rounds =
   t.rounds_used <- rounds;
-  if rounds < Array.length t.per_round_msgs then
-    t.per_round_msgs <- Array.sub t.per_round_msgs 0 rounds
+  let keep = max rounds (t.max_round_seen + 1) in
+  if keep < Array.length t.per_round_msgs then begin
+    t.per_round_msgs <- Array.sub t.per_round_msgs 0 keep;
+    t.per_round_bits <- Array.sub t.per_round_bits 0 keep;
+    t.per_round_drops <- Array.sub t.per_round_drops 0 keep
+  end
+
+(* Eight-level block sparkline of a per-round series, scaled to its own
+   maximum; [_] marks an exact zero so quiet rounds stay visible. *)
+let sparkline a =
+  let levels = [| "_"; "."; ":"; "-"; "="; "+"; "*"; "#" |] in
+  let hi = Array.fold_left max 0 a in
+  if Array.length a = 0 || hi = 0 then String.concat "" (List.map (fun _ -> "_") (Array.to_list a))
+  else
+    String.concat ""
+      (List.map
+         (fun v -> if v = 0 then levels.(0) else levels.(1 + (v * 6 / hi)))
+         (Array.to_list a))
 
 let pp ppf t =
   Format.fprintf ppf
     "msgs=%d (dropped %d, link-lost %d, unroutable %d), bits=%d, rounds=%d, \
      congest_violations=%d"
     t.msgs_sent t.msgs_dropped t.msgs_lost_link t.msgs_unroutable t.bits_sent t.rounds_used
-    t.congest_violations
+    t.congest_violations;
+  if Array.length t.per_round_msgs > 0 then begin
+    Format.fprintf ppf "@,per-round msgs  [%s] peak=%d" (sparkline t.per_round_msgs)
+      (Array.fold_left max 0 t.per_round_msgs);
+    if Array.exists (fun v -> v > 0) t.per_round_drops then
+      Format.fprintf ppf "@,per-round drops [%s] peak=%d" (sparkline t.per_round_drops)
+        (Array.fold_left max 0 t.per_round_drops)
+  end

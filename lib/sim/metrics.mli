@@ -7,7 +7,11 @@
     Remark 1 notes the O(log n) factor between the two. Link losses (the
     omission-fault extension of {!Link}) likewise count as sent, but are
     tallied apart from crash losses so experiments can separate the two
-    failure modes. *)
+    failure modes.
+
+    Per-round views ([per_round_msgs], [per_round_bits],
+    [per_round_drops]) let telemetry attribute cost to algorithm phases;
+    they reconcile with the aggregate counters round by round. *)
 
 type t = {
   mutable msgs_sent : int;  (** Messages sent (delivered or lost). *)
@@ -21,6 +25,12 @@ type t = {
   mutable congest_violations : int;
       (** Count of (edge, round) pairs whose traffic exceeded the budget. *)
   mutable per_round_msgs : int array;  (** Messages sent in each round. *)
+  mutable per_round_bits : int array;  (** Payload bits sent in each round. *)
+  mutable per_round_drops : int array;
+      (** Messages that went nowhere in each round: crash-dropped +
+          link-lost + unroutable. Sibling of [per_round_msgs], same
+          length after {!finish}. *)
+  mutable max_round_seen : int;  (** Highest round with recorded activity; -1 if none. *)
 }
 
 val create : unit -> t
@@ -31,7 +41,20 @@ val record_send : t -> round:int -> bits:int -> delivered:bool -> unit
 val record_link_loss : t -> round:int -> bits:int -> unit
 (** One message put on the wire and lost by the link-fault model. *)
 
-val record_unroutable : t -> unit
+val record_unroutable : t -> round:int -> unit
+(** A [Fresh_port] send with no unknown peers left: not on the wire, but
+    counted into the per-round drop view so trace and metrics reconcile
+    per round. *)
+
 val record_violation : t -> unit
+
 val finish : t -> rounds:int -> unit
+(** Freeze the per-round arrays to [max rounds (max_round_seen + 1)]
+    entries: a run stopped at round boundary 0 keeps its round-0 sends. *)
+
+val sparkline : int array -> string
+(** Eight-level ASCII sparkline (["_.:-=+*#"]) of a per-round series,
+    scaled to its own maximum; ["_"] is an exact zero. *)
+
 val pp : Format.formatter -> t -> unit
+(** Aggregate counters plus compact per-round sparkline summary. *)

@@ -20,6 +20,17 @@ module type S = sig
   val knowledge : [ `KT0 | `KT1 ]
   val msg_bits : n:int -> msg -> int
   val max_rounds : n:int -> alpha:float -> int
+
+  val phases : n:int -> alpha:float -> (string * int) list
+  (** The protocol's static phase calendar: [(phase_name, first_round)]
+      pairs in strictly increasing round order, the first at round 0.
+      Each phase extends to the next phase's first round (the last to
+      the end of the run). Purely an observability annotation — the
+      engine never reads it; telemetry uses it to attribute per-round
+      message/bit counts to algorithm phases (referee selection,
+      candidate sampling, leader broadcast, ...). Protocols without
+      meaningful internal structure can use {!single_phase}. *)
+
   val init : ctx -> state
 
   val step :
@@ -28,3 +39,7 @@ module type S = sig
   val decide : state -> Decision.t
   val observe : state -> Observation.t
 end
+
+(* Default one-phase calendar for protocols (and test harnesses) with no
+   internal phase structure worth attributing. *)
+let single_phase ~n:_ ~alpha:_ = [ ("run", 0) ]

@@ -57,6 +57,16 @@ module type S = sig
   (** Upper bound on the rounds the protocol needs; the engine stops there
       (or earlier, on quiescence with every live node decided). *)
 
+  val phases : n:int -> alpha:float -> (string * int) list
+  (** The protocol's static phase calendar: [(phase_name, first_round)]
+      pairs in strictly increasing round order, the first at round 0;
+      each phase runs until the next one starts (the last until the run
+      ends). A pure observability annotation — the engine never reads
+      it; telemetry cuts per-round message/bit series into phase spans
+      along it (referee selection, candidate sampling, leader broadcast,
+      agreement flooding, ...). Use {!single_phase} when the protocol
+      has no phase structure worth attributing. *)
+
   val init : ctx -> state
 
   val step :
@@ -67,3 +77,6 @@ module type S = sig
   val decide : state -> Decision.t
   val observe : state -> Observation.t
 end
+
+val single_phase : n:int -> alpha:float -> (string * int) list
+(** The trivial one-phase calendar [[("run", 0)]]. *)

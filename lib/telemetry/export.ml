@@ -1,0 +1,537 @@
+module Json = Ftc_journal.Json
+
+(* ------------------------------------------------------------------ *)
+(* Event/metric <-> JSON codecs, one object per line in events.jsonl.  *)
+
+let i64 v = Json.Int (Int64.to_int v)
+
+let span_to_json (s : Span.t) =
+  Json.Obj
+    [
+      ("ev", Json.String "span");
+      ("protocol", Json.String s.protocol);
+      ("track", Json.String s.track);
+      ("phase", Json.String s.phase);
+      ("start_round", Json.Int s.start_round);
+      ("end_round", Json.Int s.end_round);
+      ("msgs", Json.Int s.msgs);
+      ("bits", Json.Int s.bits);
+      ("start_ns", i64 s.start_ns);
+      ("dur_ns", i64 s.dur_ns);
+    ]
+
+let event_to_json = function
+  | Recorder.Span s -> span_to_json s
+  | Recorder.Trial { track; protocol; seed; ok; msgs; bits; rounds; start_ns; dur_ns } ->
+      Json.Obj
+        [
+          ("ev", Json.String "trial");
+          ("track", Json.String track);
+          ("protocol", Json.String protocol);
+          ("seed", Json.Int seed);
+          ("ok", Json.Bool ok);
+          ("msgs", Json.Int msgs);
+          ("bits", Json.Int bits);
+          ("rounds", Json.Int rounds);
+          ("start_ns", i64 start_ns);
+          ("dur_ns", i64 dur_ns);
+        ]
+  | Recorder.Job { pool; worker; start_ns; dur_ns; wait_ns } ->
+      Json.Obj
+        [
+          ("ev", Json.String "job");
+          ("pool", Json.String pool);
+          ("worker", Json.Int worker);
+          ("start_ns", i64 start_ns);
+          ("dur_ns", i64 dur_ns);
+          ("wait_ns", i64 wait_ns);
+        ]
+  | Recorder.Heartbeat { at_ns; completed; failed; total } ->
+      Json.Obj
+        [
+          ("ev", Json.String "heartbeat");
+          ("at_ns", i64 at_ns);
+          ("completed", Json.Int completed);
+          ("failed", Json.Int failed);
+          ("total", Json.Int total);
+        ]
+
+let get_int k j = Option.bind (Json.member k j) Json.to_int
+let get_str k j = Option.bind (Json.member k j) Json.to_str
+let get_bool k j = Option.bind (Json.member k j) Json.to_bool
+let get_i64 k j = Option.map Int64.of_int (get_int k j)
+
+let ( let* ) = Option.bind
+
+let event_of_json j =
+  let* ev = get_str "ev" j in
+  match ev with
+  | "span" ->
+      let* protocol = get_str "protocol" j in
+      let* track = get_str "track" j in
+      let* phase = get_str "phase" j in
+      let* start_round = get_int "start_round" j in
+      let* end_round = get_int "end_round" j in
+      let* msgs = get_int "msgs" j in
+      let* bits = get_int "bits" j in
+      let* start_ns = get_i64 "start_ns" j in
+      let* dur_ns = get_i64 "dur_ns" j in
+      Some
+        (Recorder.Span
+           { Span.protocol; track; phase; start_round; end_round; msgs; bits; start_ns; dur_ns })
+  | "trial" ->
+      let* track = get_str "track" j in
+      let* protocol = get_str "protocol" j in
+      let* seed = get_int "seed" j in
+      let* ok = get_bool "ok" j in
+      let* msgs = get_int "msgs" j in
+      let* bits = get_int "bits" j in
+      let* rounds = get_int "rounds" j in
+      let* start_ns = get_i64 "start_ns" j in
+      let* dur_ns = get_i64 "dur_ns" j in
+      Some (Recorder.Trial { track; protocol; seed; ok; msgs; bits; rounds; start_ns; dur_ns })
+  | "job" ->
+      let* pool = get_str "pool" j in
+      let* worker = get_int "worker" j in
+      let* start_ns = get_i64 "start_ns" j in
+      let* dur_ns = get_i64 "dur_ns" j in
+      let* wait_ns = get_i64 "wait_ns" j in
+      Some (Recorder.Job { pool; worker; start_ns; dur_ns; wait_ns })
+  | "heartbeat" ->
+      let* at_ns = get_i64 "at_ns" j in
+      let* completed = get_int "completed" j in
+      let* failed = get_int "failed" j in
+      let* total = get_int "total" j in
+      Some (Recorder.Heartbeat { at_ns; completed; failed; total })
+  | _ -> None
+
+let metric_to_json (name, value) =
+  match value with
+  | Registry.Counter v ->
+      Json.Obj
+        [ ("ev", Json.String "metric"); ("name", Json.String name);
+          ("kind", Json.String "counter"); ("value", Json.Int v) ]
+  | Registry.Gauge v ->
+      Json.Obj
+        [ ("ev", Json.String "metric"); ("name", Json.String name);
+          ("kind", Json.String "gauge"); ("value", Json.Int v) ]
+  | Registry.Hist h ->
+      Json.Obj
+        [
+          ("ev", Json.String "metric");
+          ("name", Json.String name);
+          ("kind", Json.String "histogram");
+          ("count", Json.Int (Hist.count h));
+          ("sum", Json.Int (Hist.sum h));
+          ("min", Json.Int (Hist.min_value h));
+          ("max", Json.Int (Hist.max_value h));
+          ("buckets", Json.List (Array.to_list (Array.map (fun c -> Json.Int c) (Hist.buckets h))));
+        ]
+
+let metric_of_json j =
+  let* name = get_str "name" j in
+  let* kind = get_str "kind" j in
+  match kind with
+  | "counter" ->
+      let* v = get_int "value" j in
+      Some (name, Registry.Counter v)
+  | "gauge" ->
+      let* v = get_int "value" j in
+      Some (name, Registry.Gauge v)
+  | "histogram" ->
+      let* count = get_int "count" j in
+      let* sum = get_int "sum" j in
+      let* min_value = get_int "min" j in
+      let* max_value = get_int "max" j in
+      let* buckets = Json.member "buckets" j in
+      let* bs =
+        match buckets with
+        | Json.List l when List.length l = Hist.n_buckets ->
+            let ints = List.filter_map Json.to_int l in
+            if List.length ints = Hist.n_buckets then Some (Array.of_list ints) else None
+        | _ -> None
+      in
+      Some (name, Registry.Hist (Hist.of_parts ~count ~sum ~min_value ~max_value bs))
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* events.jsonl: header line, then metric lines, then event lines.     *)
+
+let jsonl_magic = "ftc-telemetry"
+let jsonl_version = 1
+
+let events_jsonl ~metrics ~events =
+  let buf = Buffer.create 4096 in
+  let line j =
+    Buffer.add_string buf (Json.to_string j);
+    Buffer.add_char buf '\n'
+  in
+  line
+    (Json.Obj
+       [ ("magic", Json.String jsonl_magic); ("version", Json.Int jsonl_version) ]);
+  List.iter (fun m -> line (metric_to_json m)) metrics;
+  List.iter (fun e -> line (event_to_json e)) events;
+  Buffer.contents buf
+
+let parse_events_jsonl content =
+  let lines =
+    String.split_on_char '\n' content |> List.filter (fun l -> String.trim l <> "")
+  in
+  match lines with
+  | [] -> Error "events.jsonl: empty"
+  | header :: rest -> (
+      match Json.of_string header with
+      | Error e -> Error ("events.jsonl: bad header: " ^ e)
+      | Ok h when get_str "magic" h <> Some jsonl_magic ->
+          Error "events.jsonl: missing magic header"
+      | Ok _ ->
+          let metrics = ref [] and events = ref [] and bad = ref 0 in
+          List.iter
+            (fun l ->
+              match Json.of_string l with
+              | Error _ -> incr bad
+              | Ok j -> (
+                  match get_str "ev" j with
+                  | Some "metric" -> (
+                      match metric_of_json j with
+                      | Some m -> metrics := m :: !metrics
+                      | None -> incr bad)
+                  | Some _ -> (
+                      match event_of_json j with
+                      | Some e -> events := e :: !events
+                      | None -> incr bad)
+                  | None -> incr bad))
+            rest;
+          if !bad > 0 then Error (Printf.sprintf "events.jsonl: %d malformed lines" !bad)
+          else Ok (List.rev !metrics, List.rev !events))
+
+(* ------------------------------------------------------------------ *)
+(* Chrome trace-event JSON (Perfetto-loadable).                        *)
+
+let us_of_ns ns = Int64.to_int (Int64.div ns 1_000L)
+
+(* Perfetto collapses 0-duration complete events to invisibility; clamp
+   to 1us so every span renders. *)
+let dur_us_of_ns ns = max 1 (us_of_ns ns)
+
+let chrome_trace events =
+  (* One tid per track, assigned in first-appearance order over the
+     timestamp-sorted events so the numbering is stable for a given log. *)
+  let tids = Hashtbl.create 16 in
+  let next_tid = ref 1 in
+  let tid_of track =
+    match Hashtbl.find_opt tids track with
+    | Some tid -> tid
+    | None ->
+        let tid = !next_tid in
+        incr next_tid;
+        Hashtbl.replace tids track tid;
+        tid
+  in
+  let start_of = function
+    | Recorder.Span s -> s.Span.start_ns
+    | Recorder.Trial { start_ns; _ } -> start_ns
+    | Recorder.Job { start_ns; _ } -> start_ns
+    | Recorder.Heartbeat { at_ns; _ } -> at_ns
+  in
+  let events = List.stable_sort (fun a b -> Int64.compare (start_of a) (start_of b)) events in
+  let complete ~name ~cat ~tid ~ts_ns ~dur_ns args =
+    Json.Obj
+      [
+        ("name", Json.String name);
+        ("cat", Json.String cat);
+        ("ph", Json.String "X");
+        ("ts", Json.Int (us_of_ns ts_ns));
+        ("dur", Json.Int (dur_us_of_ns dur_ns));
+        ("pid", Json.Int 1);
+        ("tid", Json.Int tid);
+        ("args", Json.Obj args);
+      ]
+  in
+  let body =
+    List.map
+      (fun e ->
+        match e with
+        | Recorder.Span s ->
+            complete ~name:s.Span.phase ~cat:"phase" ~tid:(tid_of s.Span.track)
+              ~ts_ns:s.Span.start_ns ~dur_ns:s.Span.dur_ns
+              [
+                ("protocol", Json.String s.Span.protocol);
+                ("rounds",
+                 Json.String (Printf.sprintf "[%d,%d)" s.Span.start_round s.Span.end_round));
+                ("msgs", Json.Int s.Span.msgs);
+                ("bits", Json.Int s.Span.bits);
+              ]
+        | Recorder.Trial { track; protocol; seed; ok; msgs; bits; rounds; start_ns; dur_ns } ->
+            complete ~name:protocol ~cat:"trial" ~tid:(tid_of track) ~ts_ns:start_ns ~dur_ns
+              [
+                ("seed", Json.Int seed);
+                ("ok", Json.Bool ok);
+                ("msgs", Json.Int msgs);
+                ("bits", Json.Int bits);
+                ("rounds", Json.Int rounds);
+              ]
+        | Recorder.Job { pool; worker; start_ns; dur_ns; wait_ns } ->
+            complete ~name:"job" ~cat:"pool"
+              ~tid:(tid_of (Printf.sprintf "%s-worker-%d" pool worker))
+              ~ts_ns:start_ns ~dur_ns
+              [ ("wait_us", Json.Int (us_of_ns wait_ns)) ]
+        | Recorder.Heartbeat { at_ns; completed; failed; total } ->
+            Json.Obj
+              [
+                ("name", Json.String "sweep-progress");
+                ("ph", Json.String "C");
+                ("ts", Json.Int (us_of_ns at_ns));
+                ("pid", Json.Int 1);
+                ("args",
+                 Json.Obj
+                   [
+                     ("completed", Json.Int completed);
+                     ("failed", Json.Int failed);
+                     ("remaining", Json.Int (max 0 (total - completed - failed)));
+                   ]);
+              ])
+      events
+  in
+  (* Thread-name metadata gives each trial/worker its own labelled
+     Perfetto track. *)
+  let names =
+    Hashtbl.fold (fun track tid acc -> (tid, track) :: acc) tids []
+    |> List.sort compare
+    |> List.map (fun (tid, track) ->
+           Json.Obj
+             [
+               ("name", Json.String "thread_name");
+               ("ph", Json.String "M");
+               ("pid", Json.Int 1);
+               ("tid", Json.Int tid);
+               ("args", Json.Obj [ ("name", Json.String track) ]);
+             ])
+  in
+  Json.Obj
+    [
+      ("traceEvents", Json.List (names @ body));
+      ("displayTimeUnit", Json.String "ms");
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Prometheus text exposition.                                         *)
+
+(* Metric names arrive as dotted paths; Prometheus wants [a-zA-Z0-9_:]. *)
+let prom_name name =
+  String.map (fun c ->
+      match c with 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> c | _ -> '_')
+    name
+
+let prometheus metrics =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun (name, value) ->
+      let n = prom_name name in
+      match value with
+      | Registry.Counter v ->
+          Buffer.add_string buf (Printf.sprintf "# TYPE %s counter\n%s %d\n" n n v)
+      | Registry.Gauge v ->
+          Buffer.add_string buf (Printf.sprintf "# TYPE %s gauge\n%s %d\n" n n v)
+      | Registry.Hist h ->
+          Buffer.add_string buf (Printf.sprintf "# TYPE %s histogram\n" n);
+          let cumulative = ref 0 in
+          Array.iteri
+            (fun i c ->
+              cumulative := !cumulative + c;
+              (* Only emit boundaries up to the populated range to keep
+                 the snapshot readable; the +Inf bucket always closes. *)
+              if !cumulative > 0 || i = 0 then
+                if i < Hist.n_buckets - 1 then
+                  Buffer.add_string buf
+                    (Printf.sprintf "%s_bucket{le=\"%d\"} %d\n" n
+                       (Hist.upper_bound i - 1)
+                       !cumulative))
+            (Hist.buckets h);
+          Buffer.add_string buf (Printf.sprintf "%s_bucket{le=\"+Inf\"} %d\n" n (Hist.count h));
+          Buffer.add_string buf (Printf.sprintf "%s_sum %d\n" n (Hist.sum h));
+          Buffer.add_string buf (Printf.sprintf "%s_count %d\n" n (Hist.count h)))
+    metrics;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Directory layout: events.jsonl + trace.json + metrics.prom.         *)
+
+let events_file = "events.jsonl"
+let trace_file = "trace.json"
+let prom_file = "metrics.prom"
+
+let write_file path content =
+  let oc = open_out_bin path in
+  Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () -> output_string oc content)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let mkdir_p dir =
+  let rec mk d =
+    if d <> "" && d <> "." && d <> "/" && not (Sys.file_exists d) then begin
+      mk (Filename.dirname d);
+      try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+    end
+  in
+  mk dir
+
+let export_files ~dir ~metrics ~events =
+  mkdir_p dir;
+  write_file (Filename.concat dir events_file) (events_jsonl ~metrics ~events);
+  write_file (Filename.concat dir trace_file) (Json.to_string (chrome_trace events));
+  write_file (Filename.concat dir prom_file) (prometheus metrics)
+
+let write_dir ~dir recorder =
+  export_files ~dir
+    ~metrics:(Registry.snapshot (Recorder.registry recorder))
+    ~events:(Recorder.events recorder)
+
+let load_dir ~dir =
+  let path = Filename.concat dir events_file in
+  if not (Sys.file_exists path) then Error (path ^ ": not found")
+  else
+    match read_file path with
+    | exception Sys_error e -> Error e
+    | content -> parse_events_jsonl content
+
+(* ------------------------------------------------------------------ *)
+(* Summary: per-(protocol, phase) cost table from the span events.     *)
+
+type phase_row = {
+  row_protocol : string;
+  row_phase : string;
+  row_first_round : int;  (* calendar position, for ordering *)
+  mutable row_spans : int;
+  mutable row_rounds : int;
+  mutable row_msgs : int;
+  mutable row_bits : int;
+  mutable row_ns : int64;
+}
+
+let phase_rows events =
+  let tbl : (string * string, phase_row) Hashtbl.t = Hashtbl.create 32 in
+  List.iter
+    (fun e ->
+      match e with
+      | Recorder.Span s ->
+          let key = (s.Span.protocol, s.Span.phase) in
+          let row =
+            match Hashtbl.find_opt tbl key with
+            | Some r -> r
+            | None ->
+                let r =
+                  {
+                    row_protocol = s.Span.protocol;
+                    row_phase = s.Span.phase;
+                    row_first_round = s.Span.start_round;
+                    row_spans = 0;
+                    row_rounds = 0;
+                    row_msgs = 0;
+                    row_bits = 0;
+                    row_ns = 0L;
+                  }
+                in
+                Hashtbl.replace tbl key r;
+                r
+          in
+          row.row_spans <- row.row_spans + 1;
+          row.row_rounds <- row.row_rounds + (s.Span.end_round - s.Span.start_round);
+          row.row_msgs <- row.row_msgs + s.Span.msgs;
+          row.row_bits <- row.row_bits + s.Span.bits;
+          row.row_ns <- Int64.add row.row_ns s.Span.dur_ns
+      | _ -> ())
+    events;
+  Hashtbl.fold (fun _ r acc -> r :: acc) tbl []
+  |> List.sort (fun a b ->
+         match compare a.row_protocol b.row_protocol with
+         | 0 -> (
+             match compare a.row_first_round b.row_first_round with
+             | 0 -> compare a.row_phase b.row_phase
+             | c -> c)
+         | c -> c)
+
+let summary ~metrics ~events =
+  let buf = Buffer.create 1024 in
+  let rows = phase_rows events in
+  let trials, failed =
+    List.fold_left
+      (fun (t, f) e ->
+        match e with
+        | Recorder.Trial { ok; _ } -> (t + 1, if ok then f else f + 1)
+        | _ -> (t, f))
+      (0, 0) events
+  in
+  Buffer.add_string buf (Printf.sprintf "trials: %d (%d failed)\n" trials failed);
+  if rows = [] then Buffer.add_string buf "no phase spans recorded\n"
+  else begin
+    Buffer.add_string buf
+      (Printf.sprintf "%-32s %-22s %8s %8s %12s %14s %10s\n" "protocol" "phase" "spans"
+         "rounds" "msgs" "bits" "wall-ms");
+    List.iter
+      (fun r ->
+        Buffer.add_string buf
+          (Printf.sprintf "%-32s %-22s %8d %8d %12d %14d %10.2f\n" r.row_protocol r.row_phase
+             r.row_spans r.row_rounds r.row_msgs r.row_bits
+             (Int64.to_float r.row_ns /. 1e6)))
+      rows
+  end;
+  (match
+     List.filter_map
+       (fun (name, v) -> match v with Registry.Hist h -> Some (name, h) | _ -> None)
+       metrics
+   with
+  | [] -> ()
+  | hists ->
+      Buffer.add_string buf
+        (Printf.sprintf "\n%-40s %8s %12s %12s %12s\n" "histogram" "count" "mean" "p90" "max");
+      List.iter
+        (fun (name, h) ->
+          Buffer.add_string buf
+            (Printf.sprintf "%-40s %8d %12.1f %12d %12d\n" name (Hist.count h) (Hist.mean h)
+               (Hist.quantile h 0.90) (Hist.max_value h)))
+        hists);
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Validation of exported artifacts (used by `ftc trace summary`).     *)
+
+let validate_trace_json content =
+  match Json.of_string content with
+  | Error e -> Error ("trace.json: " ^ e)
+  | Ok j -> (
+      match Json.member "traceEvents" j with
+      | Some (Json.List evs) ->
+          let ok_event e =
+            match (Json.member "ph" e, Json.member "ts" e) with
+            | Some (Json.String ph), Some (Json.Int _) ->
+                (* complete events must carry a duration *)
+                ph <> "X" || Json.member "dur" e <> None
+            | Some (Json.String "M"), None -> true
+            | _ -> false
+          in
+          let bad = List.filter (fun e -> not (ok_event e)) evs in
+          if bad <> [] then
+            Error (Printf.sprintf "trace.json: %d events missing ph/ts/dur" (List.length bad))
+          else Ok (List.length evs)
+      | _ -> Error "trace.json: no traceEvents array")
+
+let validate_prometheus content =
+  let lines = String.split_on_char '\n' content |> List.filter (fun l -> l <> "") in
+  let samples =
+    List.filter (fun l -> String.length l > 0 && l.[0] <> '#') lines
+  in
+  let well_formed l =
+    match String.rindex_opt l ' ' with
+    | None -> false
+    | Some i ->
+        let v = String.sub l (i + 1) (String.length l - i - 1) in
+        (match int_of_string_opt v with Some _ -> true | None -> float_of_string_opt v <> None)
+  in
+  match List.filter (fun l -> not (well_formed l)) samples with
+  | [] -> if samples = [] then Error "metrics.prom: no samples" else Ok (List.length samples)
+  | bad -> Error (Printf.sprintf "metrics.prom: %d malformed lines" (List.length bad))

@@ -1,0 +1,64 @@
+(* Glue between the recorder and the rest of the stack. Lives here so
+   neither [ftc_sim] nor [ftc_parallel] needs to know about telemetry:
+   the engine exposes plain arrays and a clock hook, the pool a monitor
+   record, and this module folds both into the recorder. *)
+
+let metric_prefix = "ftc_"
+
+(* Adapter: a pool monitor feeding queue-depth/wait/busy histograms and
+   per-worker job slices into the recorder. [None] when the recorder is
+   disabled, so an unmonitored pool never reads a clock. *)
+let pool_monitor recorder pool_name =
+  if not (Recorder.enabled recorder) then None
+  else begin
+    let reg = Recorder.registry recorder in
+    let depth_metric = metric_prefix ^ "pool_queue_depth" in
+    let wait_metric = metric_prefix ^ "pool_queue_wait_ns" in
+    let busy_metric = metric_prefix ^ "pool_worker_busy_ns" in
+    Some
+      {
+        Ftc_parallel.Pool.now_ns = (fun () -> Recorder.now_ns recorder);
+        enqueued =
+          (fun ~depth ->
+            Registry.observe reg depth_metric depth;
+            Registry.gauge_max reg (metric_prefix ^ "pool_queue_depth_peak") depth);
+        job_done =
+          (fun ~worker ~enqueued_ns ~started_ns ~finished_ns ->
+            let wait_ns = Int64.max 0L (Int64.sub started_ns enqueued_ns) in
+            let dur_ns = Int64.max 0L (Int64.sub finished_ns started_ns) in
+            Registry.observe reg wait_metric (Int64.to_int wait_ns);
+            Registry.observe reg busy_metric (Int64.to_int dur_ns);
+            Recorder.emit recorder
+              (Recorder.Job { pool = pool_name; worker; start_ns = started_ns; dur_ns; wait_ns }))
+      }
+  end
+
+(* Record one finished trial: the whole-trial event, its phase spans cut
+   along the protocol's calendar, and the standard counter/histogram
+   feed. Everything arrives as plain values so callers in any layer
+   (expt runner, chaos case) can use it. *)
+let record_run recorder ~protocol ~seed ~ok ~phases ~rounds_used ~per_round_msgs
+    ~per_round_bits ~msgs ~bits ~dropped ~lost_link ~unroutable ~round_ns ~start_ns =
+  if Recorder.enabled recorder then begin
+    let track = Printf.sprintf "seed-%d" seed in
+    let dur_ns = Int64.sub (Recorder.now_ns recorder) start_ns in
+    Recorder.emit recorder
+      (Recorder.Trial { track; protocol; seed; ok; msgs; bits; rounds = rounds_used; start_ns; dur_ns });
+    List.iter
+      (fun s -> Recorder.emit recorder (Recorder.Span s))
+      (Span.cut ~protocol ~track ~phases ~rounds_used ~per_round_msgs ~per_round_bits ~round_ns
+         ~start_ns);
+    let reg = Recorder.registry recorder in
+    Registry.incr reg (metric_prefix ^ "trials_total") 1;
+    if not ok then Registry.incr reg (metric_prefix ^ "trials_failed_total") 1;
+    Registry.incr reg (metric_prefix ^ "msgs_total") msgs;
+    Registry.incr reg (metric_prefix ^ "bits_total") bits;
+    Registry.incr reg (metric_prefix ^ "msgs_dropped_total") dropped;
+    Registry.incr reg (metric_prefix ^ "msgs_lost_link_total") lost_link;
+    Registry.incr reg (metric_prefix ^ "msgs_unroutable_total") unroutable;
+    Registry.observe reg (metric_prefix ^ "trial_msgs") msgs;
+    Registry.observe reg (metric_prefix ^ "trial_bits") bits;
+    Registry.observe reg (metric_prefix ^ "trial_rounds") rounds_used;
+    Registry.observe reg (metric_prefix ^ "trial_wall_ns") (Int64.to_int dur_ns);
+    Array.iter (fun m -> Registry.observe reg (metric_prefix ^ "round_msgs") m) per_round_msgs
+  end

@@ -1,0 +1,33 @@
+(** Instrumentation glue: adapters feeding engine results and pool
+    activity into a {!Recorder}. *)
+
+val metric_prefix : string
+(** ["ftc_"] — prepended to every registry metric name. *)
+
+val pool_monitor : Recorder.t -> string -> Ftc_parallel.Pool.monitor option
+(** A pool monitor recording queue depth, queue wait, and per-worker
+    busy time into the recorder's registry, plus one [Job] event per
+    executed job. [None] when the recorder is disabled — the pool then
+    runs with zero telemetry overhead. *)
+
+val record_run :
+  Recorder.t ->
+  protocol:string ->
+  seed:int ->
+  ok:bool ->
+  phases:(string * int) list ->
+  rounds_used:int ->
+  per_round_msgs:int array ->
+  per_round_bits:int array ->
+  msgs:int ->
+  bits:int ->
+  dropped:int ->
+  lost_link:int ->
+  unroutable:int ->
+  round_ns:int64 array ->
+  start_ns:int64 ->
+  unit
+(** Record one finished trial: a [Trial] event on track ["seed-N"], one
+    [Span] per protocol phase (cut along [phases]), and the standard
+    counters/histograms ([ftc_msgs_total], [ftc_trial_wall_ns],
+    [ftc_round_msgs], ...). No-op on a disabled recorder. *)

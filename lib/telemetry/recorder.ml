@@ -1,0 +1,63 @@
+type event =
+  | Span of Span.t
+  | Trial of {
+      track : string;
+      protocol : string;
+      seed : int;
+      ok : bool;
+      msgs : int;
+      bits : int;
+      rounds : int;
+      start_ns : int64;
+      dur_ns : int64;
+    }
+  | Job of { pool : string; worker : int; start_ns : int64; dur_ns : int64; wait_ns : int64 }
+  | Heartbeat of { at_ns : int64; completed : int; failed : int; total : int }
+
+type t = {
+  on : bool;
+  epoch : float;  (* Unix time of creation; event times are relative ns *)
+  lock : Mutex.t;
+  mutable events_rev : event list;
+  registry : Registry.t;
+}
+
+let create () =
+  {
+    on = true;
+    epoch = Unix.gettimeofday ();
+    lock = Mutex.create ();
+    events_rev = [];
+    registry = Registry.create ();
+  }
+
+(* Shared no-op recorder: [enabled] is a field read, [now_ns] never
+   touches the clock, [emit] drops the event before building anything —
+   callers keep unconditional instrumentation with telemetry off. *)
+let disabled =
+  {
+    on = false;
+    epoch = 0.;
+    lock = Mutex.create ();
+    events_rev = [];
+    registry = Registry.disabled;
+  }
+
+let enabled t = t.on
+let registry t = t.registry
+
+let now_ns t =
+  if not t.on then 0L else Int64.of_float ((Unix.gettimeofday () -. t.epoch) *. 1e9)
+
+let emit t e =
+  if t.on then begin
+    Mutex.lock t.lock;
+    t.events_rev <- e :: t.events_rev;
+    Mutex.unlock t.lock
+  end
+
+let events t =
+  Mutex.lock t.lock;
+  let es = t.events_rev in
+  Mutex.unlock t.lock;
+  List.rev es

@@ -1,0 +1,48 @@
+(** The central telemetry handle: an event log plus a {!Registry}.
+
+    A recorder is either live ({!create}) or the shared {!disabled}
+    no-op. Code under instrumentation takes the recorder unconditionally
+    and calls {!emit}/{!registry} operations; with the disabled recorder
+    each call is one immediate bool test, so tier-1 hot paths stay at
+    near-zero cost and bit-identical output. All operations are
+    domain-safe — trials running on pool workers share one recorder.
+
+    Timestamps are nanoseconds relative to the recorder's creation
+    (wall clock): small, positive, and directly usable as Chrome-trace
+    [ts] offsets. *)
+
+type event =
+  | Span of Span.t  (** One protocol phase of one trial. *)
+  | Trial of {
+      track : string;
+      protocol : string;
+      seed : int;
+      ok : bool;
+      msgs : int;
+      bits : int;
+      rounds : int;
+      start_ns : int64;
+      dur_ns : int64;
+    }  (** Whole-trial summary; its spans nest under it on the same track. *)
+  | Job of { pool : string; worker : int; start_ns : int64; dur_ns : int64; wait_ns : int64 }
+      (** One pool job as executed by a worker domain. *)
+  | Heartbeat of { at_ns : int64; completed : int; failed : int; total : int }
+      (** Sweep progress tick from the supervisor. *)
+
+type t
+
+val create : unit -> t
+val disabled : t
+val enabled : t -> bool
+val registry : t -> Registry.t
+
+val now_ns : t -> int64
+(** Nanoseconds since the recorder was created; [0L] when disabled (the
+    clock is never read). *)
+
+val emit : t -> event -> unit
+
+val events : t -> event list
+(** Events in emission order. With multiple domains emitting, the
+    interleaving is scheduling-dependent — exporters must not rely on
+    it (the summary sorts; the trace orders by timestamp). *)

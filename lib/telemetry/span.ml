@@ -1,0 +1,62 @@
+(* A phase span: one protocol phase of one trial, with the message/bit
+   mass and wall-clock time attributed to its round range. *)
+
+type t = {
+  protocol : string;
+  track : string;  (* trace track the span renders on, e.g. "seed-42" *)
+  phase : string;
+  start_round : int;
+  end_round : int;  (* exclusive *)
+  msgs : int;
+  bits : int;
+  start_ns : int64;  (* relative to the recorder epoch *)
+  dur_ns : int64;
+}
+
+let sum_range a lo hi =
+  let hi = min hi (Array.length a) in
+  let acc = ref 0 in
+  for i = lo to hi - 1 do
+    acc := !acc + a.(i)
+  done;
+  !acc
+
+let sum_range64 a lo hi =
+  let hi = min hi (Array.length a) in
+  let acc = ref 0L in
+  for i = lo to hi - 1 do
+    acc := Int64.add !acc a.(i)
+  done;
+  !acc
+
+(* Cut a trial's per-round series into phase spans along the protocol's
+   calendar. Phases not starting at round 0 get a synthetic leading
+   "run" phase; ranges that end up empty (the run stopped before they
+   began, or two phases share a round) are dropped. When the engine ran
+   without a round clock ([round_ns = [||]]) spans carry zero duration
+   at the trial's start offset — counts are still exact. *)
+let cut ~protocol ~track ~phases ~rounds_used ~per_round_msgs ~per_round_bits ~round_ns
+    ~start_ns =
+  let phases = match phases with (_, 0) :: _ -> phases | ps -> ("run", 0) :: ps in
+  let rec ranges = function
+    | [] -> []
+    | (name, s) :: rest ->
+        let e = match rest with (_, s') :: _ -> s' | [] -> rounds_used in
+        (name, s, min e rounds_used) :: ranges rest
+  in
+  ranges phases
+  |> List.filter_map (fun (phase, s, e) ->
+         if s >= e then None
+         else
+           Some
+             {
+               protocol;
+               track;
+               phase;
+               start_round = s;
+               end_round = e;
+               msgs = sum_range per_round_msgs s e;
+               bits = sum_range per_round_bits s e;
+               start_ns = Int64.add start_ns (sum_range64 round_ns 0 s);
+               dur_ns = sum_range64 round_ns s e;
+             })

@@ -99,6 +99,10 @@ module Make
 
   let max_rounds ~n ~alpha = (w * P.max_rounds ~n ~alpha) + 2
 
+  (* Inner round r occupies outer rounds [w*r, w*(r+1)), so the wrapped
+     protocol's phase calendar carries over scaled by the window. *)
+  let phases ~n ~alpha = List.map (fun (nm, r) -> (nm, w * r)) (P.phases ~n ~alpha)
+
   let init ctx =
     {
       inner = P.init ctx;

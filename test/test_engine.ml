@@ -31,6 +31,7 @@ module Ping_pong = struct
   let knowledge = `KT0
   let msg_bits ~n:_ _ = 5
   let max_rounds ~n:_ ~alpha:_ = 4
+  let phases = Protocol.single_phase
 
   let init (ctx : Protocol.ctx) =
     {
@@ -119,6 +120,7 @@ module Beacon = struct
   let knowledge = `KT0
   let msg_bits ~n:_ Blip = 3
   let max_rounds ~n:_ ~alpha:_ = 6
+  let phases = Protocol.single_phase
 
   let init (ctx : Protocol.ctx) =
     { active = ctx.input > 0; got = 0; decision = Decision.Undecided }
@@ -369,6 +371,7 @@ module Illegal_kt0 = struct
   let knowledge = `KT0
   let msg_bits ~n:_ M = 1
   let max_rounds ~n:_ ~alpha:_ = 2
+  let phases = Protocol.single_phase
   let init _ = ()
 
   let step (_ : Protocol.ctx) () ~round ~inbox:_ =
@@ -396,6 +399,7 @@ module Bad_port = struct
   let knowledge = `KT0
   let msg_bits ~n:_ M = 1
   let max_rounds ~n:_ ~alpha:_ = 2
+  let phases = Protocol.single_phase
   let init _ = ()
 
   let step (_ : Protocol.ctx) () ~round ~inbox:_ =
@@ -423,6 +427,7 @@ module Fat_messages = struct
   let knowledge = `KT0
   let msg_bits ~n (M) = 100 * Ftc_sim.Congest.default_limit ~n
   let max_rounds ~n:_ ~alpha:_ = 2
+  let phases = Protocol.single_phase
   let init _ = ()
 
   let step (_ : Protocol.ctx) () ~round ~inbox:_ =
@@ -449,6 +454,7 @@ module Instant = struct
   let knowledge = `KT0
   let msg_bits ~n:_ () = 1
   let max_rounds ~n:_ ~alpha:_ = 1000
+  let phases = Protocol.single_phase
   let init _ = ()
   let step (_ : Protocol.ctx) () ~round:_ ~inbox:_ = ((), [])
   let decide () = Decision.Agreed 7
@@ -469,6 +475,7 @@ module Know_thyself = struct
   let knowledge = `KT1
   let msg_bits ~n:_ () = 1
   let max_rounds ~n:_ ~alpha:_ = 1
+  let phases = Protocol.single_phase
 
   let init (ctx : Protocol.ctx) =
     match ctx.self with Some s -> s | None -> Alcotest.fail "KT1 ctx lacks self"
@@ -501,6 +508,7 @@ module Double_ping = struct
   let knowledge = `KT0
   let msg_bits ~n:_ Dping = 2
   let max_rounds ~n:_ ~alpha:_ = 4
+  let phases = Protocol.single_phase
 
   let init (ctx : Protocol.ctx) =
     { pinger = ctx.input > 0; ports_seen = []; decision = Decision.Undecided }
@@ -655,6 +663,7 @@ module Inbox_order = struct
   let knowledge = `KT1
   let msg_bits ~n:_ _ = 8
   let max_rounds ~n:_ ~alpha:_ = 3
+  let phases = Protocol.single_phase
   let init _ctx = { folded = 0; decision = Decision.Undecided }
 
   let step (ctx : Protocol.ctx) st ~round ~inbox =

@@ -202,7 +202,7 @@ let qcheck_pool_raising_job_cancels_and_reraises =
           && Pool.map pool succ [ 1; 2; 3 ] = [ 2; 3; 4 ]))
 
 let test_pool_shutdown_idempotent_and_final () =
-  let pool = Pool.create ~jobs:2 in
+  let pool = Pool.create ~jobs:2 () in
   Alcotest.(check int) "jobs recorded" 2 (Pool.jobs pool);
   Alcotest.(check (list int)) "map works" [ 2; 4; 6 ]
     (Pool.map pool (fun x -> 2 * x) [ 1; 2; 3 ]);
@@ -215,7 +215,7 @@ let test_pool_shutdown_idempotent_and_final () =
 let test_pool_rejects_bad_jobs () =
   Alcotest.check_raises "jobs=0 rejected"
     (Invalid_argument "Pool.create: jobs must be >= 1") (fun () ->
-      ignore (Pool.create ~jobs:0))
+      ignore (Pool.create ~jobs:0 ()))
 
 (* -- per-slot result capture (the keep-going primitive) -- *)
 
@@ -307,6 +307,7 @@ let fixture_outcome ~seed ~msgs ~bits ~rounds : Runner.outcome =
         metrics;
         trace = None;
         violations = [];
+        round_ns = [||];
       };
     inputs_used = [||];
     seed;

@@ -21,6 +21,7 @@ let result ?(crashed = [||]) ?(faulty = [||]) decisions : Engine.result =
     metrics = Ftc_sim.Metrics.create ();
     trace = None;
     violations = [];
+    round_ns = [||];
   }
 
 open Decision

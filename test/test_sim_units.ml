@@ -59,6 +59,45 @@ let test_metrics_per_round_growth () =
   Alcotest.(check int) "late round recorded" 1 m.Metrics.per_round_msgs.(500);
   Alcotest.(check int) "length trimmed" 501 (Array.length m.Metrics.per_round_msgs)
 
+let test_metrics_finish_rounds_zero () =
+  (* A run stopped at round boundary 0 must keep its round-0 sends:
+     finish ~rounds:0 used to truncate the per-round view to empty. *)
+  let m = Metrics.create () in
+  Metrics.record_send m ~round:0 ~bits:4 ~delivered:true;
+  Metrics.record_send m ~round:0 ~bits:4 ~delivered:true;
+  Metrics.finish m ~rounds:0;
+  Alcotest.(check (array int)) "round-0 sends survive" [| 2 |] m.Metrics.per_round_msgs;
+  Alcotest.(check (array int)) "bits view too" [| 8 |] m.Metrics.per_round_bits
+
+let test_metrics_per_round_drops () =
+  (* The drop view reconciles with the aggregates round by round:
+     crash drops + link losses + unroutable sends, at their rounds. *)
+  let m = Metrics.create () in
+  Metrics.record_send m ~round:0 ~bits:1 ~delivered:false;
+  Metrics.record_link_loss m ~round:1 ~bits:1;
+  Metrics.record_unroutable m ~round:2;
+  Metrics.record_send m ~round:2 ~bits:1 ~delivered:true;
+  Metrics.finish m ~rounds:3;
+  Alcotest.(check (array int)) "drops per round" [| 1; 1; 1 |] m.Metrics.per_round_drops;
+  Alcotest.(check int) "unroutable counted" 1 m.Metrics.msgs_unroutable;
+  Alcotest.(check int) "unroutable not sent" 3 m.Metrics.msgs_sent;
+  Alcotest.(check int)
+    "aggregate = sum of drop view"
+    (m.Metrics.msgs_dropped + m.Metrics.msgs_lost_link + m.Metrics.msgs_unroutable)
+    (Array.fold_left ( + ) 0 m.Metrics.per_round_drops)
+
+let test_metrics_sparkline () =
+  Alcotest.(check string) "zero is _" "_" (Metrics.sparkline [| 0 |]);
+  Alcotest.(check string) "max is #" "_#" (Metrics.sparkline [| 0; 9 |]);
+  Alcotest.(check string) "empty" "" (Metrics.sparkline [||]);
+  let s = Metrics.sparkline [| 0; 1; 5; 10 |] in
+  Alcotest.(check int) "one cell per round" 4 (String.length s);
+  Alcotest.(check bool) "pp carries it" true
+    (let m = Metrics.create () in
+     Metrics.record_send m ~round:0 ~bits:1 ~delivered:true;
+     Metrics.finish m ~rounds:1;
+     Astring.String.is_infix ~affix:"per-round msgs" (Format.asprintf "%a" Metrics.pp m))
+
 let test_trace_order_and_length () =
   let t = Trace.create () in
   let e1 = Trace.Send { round = 0; src = 1; dst = 2; bits = 3; delivered = true } in
@@ -120,6 +159,9 @@ let () =
         [
           Alcotest.test_case "counters" `Quick test_metrics_counters;
           Alcotest.test_case "per-round growth" `Quick test_metrics_per_round_growth;
+          Alcotest.test_case "finish at rounds=0" `Quick test_metrics_finish_rounds_zero;
+          Alcotest.test_case "per-round drops" `Quick test_metrics_per_round_drops;
+          Alcotest.test_case "sparkline" `Quick test_metrics_sparkline;
         ] );
       ( "trace",
         [

@@ -1,0 +1,287 @@
+(* Unit tests for the telemetry subsystem: log-scale histograms, the
+   metric registry, phase-span cutting, and the exporters — including
+   the Chrome-trace round trip through the journal's JSON codec. *)
+
+module Hist = Ftc_telemetry.Hist
+module Registry = Ftc_telemetry.Registry
+module Span = Ftc_telemetry.Span
+module Recorder = Ftc_telemetry.Recorder
+module Export = Ftc_telemetry.Export
+module Json = Ftc_journal.Json
+
+(* -- histogram bucketing -- *)
+
+let test_hist_bucket_boundaries () =
+  (* Bucket 0 holds v <= 0; bucket i holds [2^(i-1), 2^i). *)
+  Alcotest.(check int) "zero" 0 (Hist.bucket_of 0);
+  Alcotest.(check int) "negative" 0 (Hist.bucket_of (-7));
+  Alcotest.(check int) "one" 1 (Hist.bucket_of 1);
+  Alcotest.(check int) "two" 2 (Hist.bucket_of 2);
+  Alcotest.(check int) "three" 2 (Hist.bucket_of 3);
+  Alcotest.(check int) "four" 3 (Hist.bucket_of 4);
+  (* Every power of two starts its own bucket; its predecessor ends the
+     bucket below. *)
+  for i = 1 to Hist.n_buckets - 2 do
+    let lo = 1 lsl (i - 1) in
+    Alcotest.(check int) (Printf.sprintf "2^%d starts bucket" (i - 1)) i (Hist.bucket_of lo);
+    if i > 1 then
+      Alcotest.(check int)
+        (Printf.sprintf "2^%d - 1 ends bucket below" (i - 1))
+        (i - 1)
+        (Hist.bucket_of (lo - 1))
+  done
+
+let test_hist_overflow_bucket () =
+  let top = Hist.n_buckets - 1 in
+  let first_overflow = 1 lsl (Hist.n_buckets - 2) in
+  Alcotest.(check int) "first overflowing value" top (Hist.bucket_of first_overflow);
+  Alcotest.(check int) "max_int overflows" top (Hist.bucket_of max_int);
+  Alcotest.(check int)
+    "largest non-overflow" (top - 1)
+    (Hist.bucket_of (first_overflow - 1));
+  Alcotest.(check int) "overflow upper bound" max_int (Hist.upper_bound top)
+
+let test_hist_record_and_digest () =
+  let h = Hist.create () in
+  List.iter (Hist.record h) [ 1; 2; 3; 100; 0 ];
+  Alcotest.(check int) "count" 5 (Hist.count h);
+  Alcotest.(check int) "sum" 106 (Hist.sum h);
+  Alcotest.(check int) "min" 0 (Hist.min_value h);
+  Alcotest.(check int) "max" 100 (Hist.max_value h);
+  Alcotest.(check (float 0.001)) "mean" 21.2 (Hist.mean h);
+  Alcotest.(check int) "quantile clamped to max" 100 (Hist.quantile h 1.0);
+  Alcotest.(check int) "median in range" (Hist.quantile h 0.5) (Hist.quantile h 0.5);
+  let b = Hist.buckets h in
+  Alcotest.(check int) "bucket array length" Hist.n_buckets (Array.length b);
+  Alcotest.(check int) "all samples bucketed" 5 (Array.fold_left ( + ) 0 b)
+
+(* -- registry -- *)
+
+let test_registry_ops () =
+  let r = Registry.create () in
+  Registry.incr r "c" 2;
+  Registry.incr r "c" 3;
+  Registry.set_gauge r "g" 7;
+  Registry.gauge_max r "g" 4;
+  Registry.gauge_max r "g" 9;
+  Registry.observe r "h" 5;
+  match Registry.snapshot r with
+  | [ ("c", Registry.Counter 5); ("g", Registry.Gauge 9); ("h", Registry.Hist h) ] ->
+      Alcotest.(check int) "hist count" 1 (Hist.count h)
+  | other -> Alcotest.fail (Printf.sprintf "unexpected snapshot (%d entries)" (List.length other))
+
+let test_registry_disabled_and_kinds () =
+  Registry.incr Registry.disabled "c" 1;
+  Registry.observe Registry.disabled "h" 1;
+  Alcotest.(check int) "disabled stays empty" 0 (List.length (Registry.snapshot Registry.disabled));
+  let r = Registry.create () in
+  Registry.incr r "c" 1;
+  Alcotest.check_raises "kind mismatch"
+    (Invalid_argument "Registry: c registered with another kind") (fun () ->
+      Registry.set_gauge r "c" 1)
+
+(* -- span cutting -- *)
+
+let test_span_cut () =
+  let spans =
+    Span.cut ~protocol:"p" ~track:"seed-1"
+      ~phases:[ ("a", 0); ("b", 2); ("c", 8) ]
+      ~rounds_used:5
+      ~per_round_msgs:[| 10; 10; 1; 1; 1 |]
+      ~per_round_bits:[| 40; 40; 4; 4; 4 |]
+      ~round_ns:[| 100L; 100L; 10L; 10L; 10L |]
+      ~start_ns:1000L
+  in
+  (* "c" starts past rounds_used, so only "a" and "b" survive; "b" is
+     clipped to the rounds that ran. *)
+  match spans with
+  | [ a; b ] ->
+      Alcotest.(check string) "first phase" "a" a.Span.phase;
+      Alcotest.(check int) "a msgs" 20 a.Span.msgs;
+      Alcotest.(check int) "a bits" 80 a.Span.bits;
+      Alcotest.(check int64) "a start offset" 1000L a.Span.start_ns;
+      Alcotest.(check int64) "a duration" 200L a.Span.dur_ns;
+      Alcotest.(check string) "second phase" "b" b.Span.phase;
+      Alcotest.(check int) "b end clipped" 5 b.Span.end_round;
+      Alcotest.(check int) "b msgs" 3 b.Span.msgs;
+      Alcotest.(check int64) "b start offset" 1200L b.Span.start_ns;
+      Alcotest.(check int64) "b duration" 30L b.Span.dur_ns
+  | other -> Alcotest.fail (Printf.sprintf "expected 2 spans, got %d" (List.length other))
+
+let test_span_cut_synthetic_run_phase () =
+  match
+    Span.cut ~protocol:"p" ~track:"t"
+      ~phases:[ ("late", 2) ]
+      ~rounds_used:4
+      ~per_round_msgs:[| 1; 1; 1; 1 |]
+      ~per_round_bits:[| 2; 2; 2; 2 |]
+      ~round_ns:[||] ~start_ns:0L
+  with
+  | [ run; late ] ->
+      Alcotest.(check string) "synthetic prefix" "run" run.Span.phase;
+      Alcotest.(check int) "prefix covers the gap" 2 run.Span.end_round;
+      Alcotest.(check string) "declared phase kept" "late" late.Span.phase;
+      Alcotest.(check int64) "no clock, zero duration" 0L late.Span.dur_ns
+  | other -> Alcotest.fail (Printf.sprintf "expected 2 spans, got %d" (List.length other))
+
+(* -- exporters -- *)
+
+let sample_events =
+  [
+    Recorder.Trial
+      {
+        track = "seed-1";
+        protocol = "p";
+        seed = 1;
+        ok = true;
+        msgs = 23;
+        bits = 92;
+        rounds = 5;
+        start_ns = 1000L;
+        dur_ns = 230L;
+      };
+    Recorder.Span
+      {
+        Span.protocol = "p";
+        track = "seed-1";
+        phase = "a";
+        start_round = 0;
+        end_round = 2;
+        msgs = 20;
+        bits = 80;
+        start_ns = 1000L;
+        dur_ns = 200L;
+      };
+    Recorder.Job { pool = "trials"; worker = 0; start_ns = 990L; dur_ns = 260L; wait_ns = 40L };
+    Recorder.Heartbeat { at_ns = 1300L; completed = 1; failed = 0; total = 1 };
+  ]
+
+let sample_metrics () =
+  let r = Registry.create () in
+  Registry.incr r "ftc_trials_total" 1;
+  Registry.set_gauge r "ftc_pool_queue_depth_peak" 3;
+  Registry.observe r "ftc_trial_msgs" 23;
+  Registry.snapshot r
+
+let test_events_jsonl_round_trip () =
+  let metrics = sample_metrics () in
+  let body = Export.events_jsonl ~metrics ~events:sample_events in
+  match Export.parse_events_jsonl body with
+  | Error e -> Alcotest.fail e
+  | Ok (metrics', events') ->
+      Alcotest.(check int) "metric count" (List.length metrics) (List.length metrics');
+      Alcotest.(check bool) "events identical" true (events' = sample_events);
+      List.iter2
+        (fun (n, v) (n', v') ->
+          Alcotest.(check string) "metric name" n n';
+          match (v, v') with
+          | Registry.Counter a, Registry.Counter b -> Alcotest.(check int) "counter" a b
+          | Registry.Gauge a, Registry.Gauge b -> Alcotest.(check int) "gauge" a b
+          | Registry.Hist a, Registry.Hist b ->
+              Alcotest.(check int) "hist count" (Hist.count a) (Hist.count b);
+              Alcotest.(check int) "hist sum" (Hist.sum a) (Hist.sum b);
+              Alcotest.(check (array int)) "hist buckets" (Hist.buckets a) (Hist.buckets b)
+          | _ -> Alcotest.fail "metric kind changed in transit")
+        metrics metrics'
+
+let test_chrome_trace_round_trip () =
+  (* The trace must survive a print → parse cycle through the journal
+     codec and satisfy the structural validator Perfetto needs. *)
+  let body = Json.to_string (Export.chrome_trace sample_events) in
+  (match Json.of_string body with
+  | Error e -> Alcotest.fail ("trace.json does not re-parse: " ^ e)
+  | Ok j -> (
+      match Json.member "traceEvents" j with
+      | Some (Json.List evs) ->
+          Alcotest.(check bool) "has events" true (List.length evs > 0);
+          List.iter
+            (fun ev ->
+              let ph =
+                match Option.bind (Json.member "ph" ev) Json.to_str with
+                | Some ph -> ph
+                | None -> Alcotest.fail "event without ph"
+              in
+              if ph <> "M" then
+                Alcotest.(check bool) "ts present" true (Json.member "ts" ev <> None);
+              if ph = "X" then begin
+                let dur =
+                  match Option.bind (Json.member "dur" ev) Json.to_int with
+                  | Some d -> d
+                  | None -> Alcotest.fail "complete event without dur"
+                in
+                Alcotest.(check bool) "dur at least 1us" true (dur >= 1)
+              end)
+            evs
+      | _ -> Alcotest.fail "no traceEvents array"));
+  match Export.validate_trace_json body with
+  | Ok n -> Alcotest.(check bool) "validator counts events" true (n > 0)
+  | Error e -> Alcotest.fail e
+
+let test_prometheus_snapshot () =
+  let body = Export.prometheus (sample_metrics ()) in
+  (match Export.validate_prometheus body with
+  | Ok n -> Alcotest.(check bool) "has samples" true (n > 0)
+  | Error e -> Alcotest.fail e);
+  Alcotest.(check bool) "counter typed" true
+    (Astring.String.is_infix ~affix:"# TYPE ftc_trials_total counter" body);
+  Alcotest.(check bool) "histogram cumulative +Inf" true
+    (Astring.String.is_infix ~affix:"ftc_trial_msgs_bucket{le=\"+Inf\"}" body)
+
+let test_summary_mentions_phases () =
+  let s = Export.summary ~metrics:(sample_metrics ()) ~events:sample_events in
+  Alcotest.(check bool) "trial line" true (Astring.String.is_infix ~affix:"trials: 1" s);
+  Alcotest.(check bool) "phase row" true (Astring.String.is_infix ~affix:"a" s);
+  Alcotest.(check bool) "protocol column" true (Astring.String.is_infix ~affix:"p" s)
+
+let test_validators_reject_garbage () =
+  (match Export.validate_trace_json "not json" with
+  | Ok _ -> Alcotest.fail "accepted garbage trace"
+  | Error _ -> ());
+  (match Export.validate_trace_json "{\"traceEvents\": 3}" with
+  | Ok _ -> Alcotest.fail "accepted non-array traceEvents"
+  | Error _ -> ());
+  (match Export.validate_prometheus "metric_without_value\n" with
+  | Ok _ -> Alcotest.fail "accepted sample without value"
+  | Error _ -> ());
+  match Export.parse_events_jsonl "{\"not\":\"the magic\"}\n" with
+  | Ok _ -> Alcotest.fail "accepted stream without header"
+  | Error _ -> ()
+
+let test_recorder_disabled () =
+  Alcotest.(check bool) "disabled" false (Recorder.enabled Recorder.disabled);
+  Alcotest.(check int64) "clock never read" 0L (Recorder.now_ns Recorder.disabled);
+  Recorder.emit Recorder.disabled (List.hd sample_events);
+  Alcotest.(check int) "no events kept" 0 (List.length (Recorder.events Recorder.disabled));
+  Alcotest.(check bool) "registry disabled too" false
+    (Registry.enabled (Recorder.registry Recorder.disabled))
+
+let () =
+  Alcotest.run "telemetry"
+    [
+      ( "hist",
+        [
+          Alcotest.test_case "bucket boundaries" `Quick test_hist_bucket_boundaries;
+          Alcotest.test_case "overflow bucket" `Quick test_hist_overflow_bucket;
+          Alcotest.test_case "record and digest" `Quick test_hist_record_and_digest;
+        ] );
+      ( "registry",
+        [
+          Alcotest.test_case "ops and snapshot" `Quick test_registry_ops;
+          Alcotest.test_case "disabled and kinds" `Quick test_registry_disabled_and_kinds;
+        ] );
+      ( "span",
+        [
+          Alcotest.test_case "cut" `Quick test_span_cut;
+          Alcotest.test_case "synthetic run phase" `Quick test_span_cut_synthetic_run_phase;
+        ] );
+      ( "export",
+        [
+          Alcotest.test_case "events.jsonl round trip" `Quick test_events_jsonl_round_trip;
+          Alcotest.test_case "chrome trace round trip" `Quick test_chrome_trace_round_trip;
+          Alcotest.test_case "prometheus snapshot" `Quick test_prometheus_snapshot;
+          Alcotest.test_case "summary" `Quick test_summary_mentions_phases;
+          Alcotest.test_case "validators reject garbage" `Quick test_validators_reject_garbage;
+        ] );
+      ( "recorder",
+        [ Alcotest.test_case "disabled recorder" `Quick test_recorder_disabled ] );
+    ]

@@ -25,6 +25,7 @@ let make_probe ~fan ~rounds () =
     let knowledge = `KT0
     let msg_bits ~n:_ _ = 16
     let max_rounds ~n:_ ~alpha:_ = rounds + 2
+    let phases = Protocol.single_phase
     let init (ctx : Protocol.ctx) = { sender = ctx.input > 0 }
 
     let step (_ : Protocol.ctx) st ~round ~inbox =
