@@ -30,14 +30,15 @@ open Toolkit
 
 let params = Ftc_core.Params.default
 
-let one_run ?(loss = Ftc_fault.Omission.No_loss) ?transport (module P : Ftc_sim.Protocol.S) ~n
-    ~alpha ~inputs ~adversary seed =
+let one_run ?(loss = Ftc_fault.Omission.No_loss) ?queue ?transport
+    (module P : Ftc_sim.Protocol.S) ~n ~alpha ~inputs ~adversary seed =
   let spec =
     {
       (Ftc_expt.Runner.default_spec (module P) ~n ~alpha) with
       Ftc_expt.Runner.inputs;
       adversary;
       link = (fun () -> Ftc_fault.Omission.to_link loss);
+      queue;
       transport;
     }
   in
@@ -115,6 +116,12 @@ let workloads : (string * (unit -> unit)) list =
           ~loss:(Ftc_fault.Omission.Uniform 0.1)
           ~transport:Ftc_transport.Transport.default_config (le ()) ~n:64 ~alpha:1.0
           ~inputs:Ftc_expt.Runner.Zeros ~adversary:Ftc_fault.Strategy.none 18 );
+    ( "F14",
+      fun () ->
+        one_run
+          ~queue:(Ftc_sim.Queue_model.make ~capacity:8 ~discipline:Ftc_sim.Queue_model.Red ())
+          ~transport:Ftc_transport.Transport.default_config (le ()) ~n:64 ~alpha:0.7
+          ~inputs:Ftc_expt.Runner.Zeros ~adversary:Ftc_fault.Strategy.none 19 );
     ( "A1",
       fun () ->
         let thin = { params with Ftc_core.Params.candidate_coeff = 1.0 } in
@@ -305,7 +312,7 @@ let () =
     ids;
   let keep_going = List.mem "--keep-going" flags in
   if not (List.mem "--no-bench" flags) then emit_f13_json (run_microbenches ids);
-  let ctx = { Ftc_expt.Def.scale; base_seed = seed; jobs; journal = None } in
+  let ctx = { Ftc_expt.Def.scale; base_seed = seed; jobs; journal = None; queue = None } in
   let experiment_times = ref [] in
   let failures = ref [] in
   List.iter

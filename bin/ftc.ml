@@ -106,6 +106,41 @@ let parse_loss ~loss ~model =
       Printf.eprintf "--loss: %s\n" e;
       exit 2
 
+let queue_cap_arg =
+  Arg.(
+    value
+    & opt int 0
+    & info [ "queue-cap" ] ~docv:"K"
+        ~doc:
+          "Bound each destination's per-round ingress queue at $(docv) messages. 0 = the \
+           paper's unbounded links. Excess arrivals are dropped or ECN-marked per \
+           $(b,--queue-model).")
+
+let queue_model_arg =
+  Arg.(
+    value
+    & opt string "drop-tail"
+    & info [ "queue-model" ] ~docv:"MODEL"
+        ~doc:
+          "Queue discipline once $(b,--queue-cap) is set: drop-tail (hard cut at capacity), \
+           red (probabilistic early drop between the RED thresholds), or ecn (congestion mark \
+           instead of drop — lossless).")
+
+(* Shared by every command taking --queue-cap: bad capacities and unknown
+   disciplines are usage errors (exit 2), mirroring parse_loss. *)
+let parse_queue ~cap ~model =
+  if cap < 0 then begin
+    Printf.eprintf "--queue-cap must be non-negative (got %d)\n" cap;
+    exit 2
+  end;
+  if cap = 0 then None
+  else
+    match Ftc_sim.Queue_model.discipline_of_string model with
+    | None ->
+        Printf.eprintf "--queue-model must be drop-tail, red or ecn (got %s)\n" model;
+        exit 2
+    | Some discipline -> Some (Ftc_sim.Queue_model.make ~capacity:cap ~discipline ())
+
 let trials_arg =
   Arg.(value & opt int 1 & info [ "trials" ] ~docv:"K" ~doc:"Number of seeded repetitions.")
 
@@ -274,6 +309,10 @@ let decode_payload j =
 
 let spec_hash_of parts = Ftc_journal.Journal.spec_hash (String.concat "\n" parts)
 
+let queue_hash_line queue =
+  "queue="
+  ^ (match queue with None -> "none" | Some q -> Ftc_sim.Queue_model.to_string q)
+
 (* Print a finished sweep: per-seed reports in seed order (journaled ones
    verbatim — stdout is byte-identical under resume), failures inline,
    the usual success summary, and the supervision summary on stderr so
@@ -326,20 +365,21 @@ let classify_for_cli o =
   | Some ((Supervise.Violation | Supervise.Watchdog_expired), _) as c -> c
   | _ -> None
 
-let make_spec ?(loss = Ftc_fault.Omission.No_loss) ?(transport_on = false) protocol ~n ~alpha
-    ~inputs ~adversary ~trace =
+let make_spec ?(loss = Ftc_fault.Omission.No_loss) ?queue ?(transport_on = false) protocol ~n
+    ~alpha ~inputs ~adversary ~trace =
   {
     (Ftc_expt.Runner.default_spec protocol ~n ~alpha) with
     Ftc_expt.Runner.inputs;
     adversary;
     record_trace = trace;
     link = (fun () -> Ftc_fault.Omission.to_link loss);
+    queue;
     transport = (if transport_on then Some Ftc_transport.Transport.default_config else None);
   }
 
-let run_spec ?loss ?transport_on protocol ~n ~alpha ~inputs ~adversary ~seed ~trace =
+let run_spec ?loss ?queue ?transport_on protocol ~n ~alpha ~inputs ~adversary ~seed ~trace =
   Ftc_expt.Runner.run_exn
-    (make_spec ?loss ?transport_on protocol ~n ~alpha ~inputs ~adversary ~trace)
+    (make_spec ?loss ?queue ?transport_on protocol ~n ~alpha ~inputs ~adversary ~trace)
     ~seed
 
 (* -- election command -- *)
@@ -373,9 +413,10 @@ let election_report ~explicit seed (o : Ftc_expt.Runner.outcome) =
   in
   { report = Buffer.contents b; success }
 
-let election n alpha seed adversary_name explicit trials loss loss_model transport_on jobs
-    keep_going journal resume quarantine trial_timeout telemetry =
+let election n alpha seed adversary_name explicit trials loss loss_model queue_cap queue_model
+    transport_on jobs keep_going journal resume quarantine trial_timeout telemetry =
   let loss = parse_loss ~loss ~model:loss_model in
+  let queue = parse_queue ~cap:queue_cap ~model:queue_model in
   let jobs = parse_jobs jobs in
   match adversary_of_name adversary_name with
   | Error e ->
@@ -388,7 +429,7 @@ let election n alpha seed adversary_name explicit trials loss loss_model transpo
       in
       let spec =
         {
-          (make_spec ~loss ~transport_on
+          (make_spec ~loss ?queue ~transport_on
              (Ftc_core.Leader_election.make ~explicit params)
              ~n ~alpha ~inputs:Ftc_expt.Runner.Zeros ~adversary ~trace:false)
           with
@@ -404,6 +445,7 @@ let election n alpha seed adversary_name explicit trials loss loss_model transpo
             Printf.sprintf "alpha=%.17g" alpha;
             "adversary=" ^ adversary_name;
             "loss=" ^ Ftc_fault.Omission.spec_to_string loss;
+            queue_hash_line queue;
             Printf.sprintf "transport=%b" transport_on;
           ]
       in
@@ -441,9 +483,10 @@ let agreement_report ~explicit seed (o : Ftc_expt.Runner.outcome) =
   end;
   { report = Buffer.contents b; success = rep.ok }
 
-let agreement n alpha seed adversary_name explicit trials ones_prob loss loss_model transport_on
-    jobs keep_going journal resume quarantine trial_timeout telemetry =
+let agreement n alpha seed adversary_name explicit trials ones_prob loss loss_model queue_cap
+    queue_model transport_on jobs keep_going journal resume quarantine trial_timeout telemetry =
   let loss = parse_loss ~loss ~model:loss_model in
+  let queue = parse_queue ~cap:queue_cap ~model:queue_model in
   let jobs = parse_jobs jobs in
   match adversary_of_name adversary_name with
   | Error e ->
@@ -456,7 +499,7 @@ let agreement n alpha seed adversary_name explicit trials ones_prob loss loss_mo
       in
       let spec =
         {
-          (make_spec ~loss ~transport_on
+          (make_spec ~loss ?queue ~transport_on
              (Ftc_core.Agreement.make ~explicit params)
              ~n ~alpha
              ~inputs:(Ftc_expt.Runner.Random_bits ones_prob)
@@ -475,6 +518,7 @@ let agreement n alpha seed adversary_name explicit trials ones_prob loss loss_mo
             "adversary=" ^ adversary_name;
             Printf.sprintf "ones=%.17g" ones_prob;
             "loss=" ^ Ftc_fault.Omission.spec_to_string loss;
+            queue_hash_line queue;
             Printf.sprintf "transport=%b" transport_on;
           ]
       in
@@ -500,9 +544,10 @@ let sweep_inputs (entry : Ftc_chaos.Catalog.entry) ~n ~seed =
 let sweep_report seed (result : Ftc_sim.Engine.result) =
   { report = Printf.sprintf "seed %d: clean\n%s" seed (metrics_lines result); success = true }
 
-let sweep protocol_name n alpha seed adversary_name trials loss loss_model transport_on jobs
-    keep_going journal resume quarantine trial_timeout telemetry =
+let sweep protocol_name n alpha seed adversary_name trials loss loss_model queue_cap queue_model
+    transport_on jobs keep_going journal resume quarantine trial_timeout telemetry =
   let loss = parse_loss ~loss ~model:loss_model in
+  let queue = parse_queue ~cap:queue_cap ~model:queue_model in
   let jobs = parse_jobs jobs in
   (match Ftc_chaos.Catalog.find protocol_name with
   | None ->
@@ -530,6 +575,7 @@ let sweep protocol_name n alpha seed adversary_name trials loss loss_model trans
       plan = [];
       adversary = Some adversary_name;
       loss;
+      queue;
       transport = transport_on;
     }
   in
@@ -542,6 +588,7 @@ let sweep protocol_name n alpha seed adversary_name trials loss loss_model trans
         Printf.sprintf "alpha=%.17g" alpha;
         "adversary=" ^ adversary_name;
         "loss=" ^ Ftc_fault.Omission.spec_to_string loss;
+        queue_hash_line queue;
         Printf.sprintf "transport=%b" transport_on;
       ]
   in
@@ -578,7 +625,8 @@ let sweep protocol_name n alpha seed adversary_name trials loss loss_model trans
 
 (* -- expt command -- *)
 
-let expt ids full seed jobs journal resume =
+let expt ids full seed queue_cap queue_model jobs journal resume =
+  let queue = parse_queue ~cap:queue_cap ~model:queue_model in
   let jobs = parse_jobs jobs in
   let all_ids = Ftc_expt.Registry.ids () in
   let ids = match ids with [] -> all_ids | ids -> List.map String.uppercase_ascii ids in
@@ -594,9 +642,12 @@ let expt ids full seed jobs journal resume =
        records depend on besides their own key: scale and base seed. The
        experiment selection is deliberately excluded — records are keyed
        per experiment, so a resumed run may cover a different subset. *)
+    (* The queue line is appended only when the override is set, so
+       journals of queue-less runs keep their historical hash. *)
     let spec_hash =
       spec_hash_of
-        [ "expt"; (if full then "scale=full" else "scale=quick"); Printf.sprintf "seed=%d" seed ]
+        ([ "expt"; (if full then "scale=full" else "scale=quick"); Printf.sprintf "seed=%d" seed ]
+        @ match queue with None -> [] | Some _ -> [ queue_hash_line queue ])
     in
     let journal =
       match (journal, resume) with
@@ -611,7 +662,7 @@ let expt ids full seed jobs journal resume =
             Printf.eprintf "cannot resume: %s\n" msg;
             exit 2)
     in
-    let ctx = { Ftc_expt.Def.scale; base_seed = seed; jobs; journal } in
+    let ctx = { Ftc_expt.Def.scale; base_seed = seed; jobs; journal; queue } in
     Fun.protect
       ~finally:(fun () -> Option.iter Supervise.close_shared journal)
       (fun () ->
@@ -679,7 +730,8 @@ let clouds n alpha seed adversary_name scale_factor =
 let print_findings findings =
   List.iter (fun f -> Printf.printf "  %s\n" (Format.asprintf "%a" Ftc_chaos.Oracle.pp f)) findings
 
-let chaos budget seed n_min n_max protocols omission out jobs =
+let chaos budget seed n_min n_max protocols omission queue_cap queue_model out jobs =
+  let queue = parse_queue ~cap:queue_cap ~model:queue_model in
   let jobs = parse_jobs jobs in
   if budget < 0 then begin
     Printf.eprintf "chaos: --budget must be non-negative (got %d)\n" budget;
@@ -705,7 +757,7 @@ let chaos budget seed n_min n_max protocols omission out jobs =
             exit 2
           end)
         ps);
-  let config = { Ftc_chaos.Fuzz.budget; seed; protocols; n_min; n_max; omission } in
+  let config = { Ftc_chaos.Fuzz.budget; seed; protocols; n_min; n_max; omission; queue } in
   let report = Ftc_chaos.Fuzz.run ~log:print_endline ~jobs config in
   match report.Ftc_chaos.Fuzz.failure with
   | None ->
@@ -914,8 +966,9 @@ let election_cmd =
     (Cmd.info "election" ~doc)
     Term.(
       const election $ n_arg $ alpha_arg $ seed_arg $ adversary_arg $ explicit_arg $ trials_arg
-      $ loss_arg $ loss_model_arg $ transport_arg $ jobs_arg $ keep_going_arg $ journal_arg
-      $ resume_arg $ quarantine_arg $ trial_timeout_arg $ telemetry_arg)
+      $ loss_arg $ loss_model_arg $ queue_cap_arg $ queue_model_arg $ transport_arg $ jobs_arg
+      $ keep_going_arg $ journal_arg $ resume_arg $ quarantine_arg $ trial_timeout_arg
+      $ telemetry_arg)
 
 let agreement_cmd =
   let doc = "Run fault-tolerant implicit agreement (paper Sec. V-A)." in
@@ -929,8 +982,9 @@ let agreement_cmd =
     (Cmd.info "agreement" ~doc)
     Term.(
       const agreement $ n_arg $ alpha_arg $ seed_arg $ adversary_arg $ explicit_arg $ trials_arg
-      $ ones $ loss_arg $ loss_model_arg $ transport_arg $ jobs_arg $ keep_going_arg $ journal_arg
-      $ resume_arg $ quarantine_arg $ trial_timeout_arg $ telemetry_arg)
+      $ ones $ loss_arg $ loss_model_arg $ queue_cap_arg $ queue_model_arg $ transport_arg
+      $ jobs_arg $ keep_going_arg $ journal_arg $ resume_arg $ quarantine_arg $ trial_timeout_arg
+      $ telemetry_arg)
 
 let sweep_cmd =
   let doc =
@@ -948,8 +1002,9 @@ let sweep_cmd =
   Cmd.v (Cmd.info "sweep" ~doc)
     Term.(
       const sweep $ protocol $ n_arg $ alpha_arg $ seed_arg $ adversary_arg $ trials_arg
-      $ loss_arg $ loss_model_arg $ transport_arg $ jobs_arg $ keep_going_arg $ journal_arg
-      $ resume_arg $ quarantine_arg $ trial_timeout_arg $ telemetry_arg)
+      $ loss_arg $ loss_model_arg $ queue_cap_arg $ queue_model_arg $ transport_arg $ jobs_arg
+      $ keep_going_arg $ journal_arg $ resume_arg $ quarantine_arg $ trial_timeout_arg
+      $ telemetry_arg)
 
 let expt_cmd =
   let doc = "Run experiments by id (default: all, quick scale)." in
@@ -974,7 +1029,9 @@ let expt_cmd =
              journaled trials are skipped, reports are identical to an uninterrupted run.")
   in
   Cmd.v (Cmd.info "expt" ~doc)
-    Term.(const expt $ ids $ full $ seed_arg $ jobs_arg $ journal $ resume)
+    Term.(
+      const expt $ ids $ full $ seed_arg $ queue_cap_arg $ queue_model_arg $ jobs_arg $ journal
+      $ resume)
 
 let clouds_cmd =
   let doc = "Trace a run and print its influence-cloud decomposition (Thm 4.2/5.2)." in
@@ -1020,7 +1077,9 @@ let chaos_cmd =
       & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Where to write the shrunk reproducer.")
   in
   Cmd.v (Cmd.info "chaos" ~doc)
-    Term.(const chaos $ budget $ seed_arg $ n_min $ n_max $ protocols $ omission $ out $ jobs_arg)
+    Term.(
+      const chaos $ budget $ seed_arg $ n_min $ n_max $ protocols $ omission $ queue_cap_arg
+      $ queue_model_arg $ out $ jobs_arg)
 
 let replay_cmd =
   let doc =

@@ -17,7 +17,8 @@ let of_trace ~n trace =
   List.iter
     (fun event ->
       match event with
-      | Trace.Crash _ | Trace.Link_lost _ | Trace.Unroutable _ -> ()
+      | Trace.Crash _ | Trace.Link_lost _ | Trace.Queue_dropped _ | Trace.Ecn_marked _
+      | Trace.Unroutable _ -> ()
       | Trace.Send { src; dst; delivered; _ } ->
           if (not has_sent.(src)) && not has_received.(src) then begin
             (* First action of src is a send: src is an initiator and

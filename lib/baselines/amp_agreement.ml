@@ -44,7 +44,7 @@ end) : Protocol.S with type msg = msg = struct
   let step (ctx : Protocol.ctx) st ~round ~inbox =
     let actions = ref [] in
     List.iter
-      (fun { Protocol.from_port; payload } ->
+      (fun { Protocol.from_port; payload; _ } ->
         match payload with
         | Bit b ->
             let r =

@@ -33,7 +33,7 @@ module P : Protocol.S with type msg = msg = struct
   let step (ctx : Protocol.ctx) st ~round ~inbox =
     let changed = ref (round = 0) in
     List.iter
-      (fun { Protocol.from_port; payload = Value v } ->
+      (fun { Protocol.from_port; payload = Value v; _ } ->
         st.known_ports <- ISet.add from_port st.known_ports;
         if v < st.value then begin
           st.value <- v;

@@ -56,7 +56,7 @@ end) : Protocol.S with type msg = msg = struct
   let step (ctx : Protocol.ctx) st ~round ~inbox =
     let actions = ref [] in
     List.iter
-      (fun { Protocol.from_port; payload } ->
+      (fun { Protocol.from_port; payload; _ } ->
         match payload with
         | Bid { rank } ->
             let r =

@@ -13,13 +13,14 @@ type t = {
   plan : (int * int * Adversary.drop_rule) list;
   adversary : string option;
   loss : Omission.spec;
+  queue : Ftc_sim.Queue_model.config option;
   transport : bool;
 }
 
 let equal a b =
   a.protocol = b.protocol && a.n = b.n && a.alpha = b.alpha && a.seed = b.seed
   && a.inputs = b.inputs && a.plan = b.plan && a.adversary = b.adversary && a.loss = b.loss
-  && a.transport = b.transport
+  && a.queue = b.queue && a.transport = b.transport
 
 type error = Unknown_protocol of string | Invalid_case of string
 
@@ -33,6 +34,12 @@ let error_to_string = function
    reliable transport when the case asks for it. *)
 let materialize (entry : Catalog.entry) case =
   if case.transport then fst (Transport.wrap (entry.make ())) else entry.make ()
+
+let queue_error case =
+  match case.queue with
+  | None -> None
+  | Some q -> (
+      match Ftc_sim.Queue_model.validate q with Ok () -> None | Error msg -> Some msg)
 
 let validate case =
   match Catalog.find case.protocol with
@@ -48,6 +55,8 @@ let validate case =
       else begin
         match Omission.validate case.loss with
         | Error msg -> Error (Invalid_case msg)
+        | Ok () when Option.is_some (queue_error case) ->
+            Error (Invalid_case (Option.get (queue_error case)))
         | Ok () -> (
             match case.adversary with
             | Some name when case.plan <> [] ->
@@ -94,6 +103,7 @@ let run ?watchdog ?(recorder = Ftc_telemetry.Recorder.disabled) case =
             inputs = Some case.inputs;
             adversary;
             link = Omission.to_link case.loss;
+            queue = case.queue;
             congest_limit = Some (congest_factor * Ftc_sim.Congest.default_limit ~n:case.n);
             record_trace = true;
             max_rounds_override = None;
@@ -103,7 +113,15 @@ let run ?watchdog ?(recorder = Ftc_telemetry.Recorder.disabled) case =
                else None);
           }
       in
-      let lossy_raw = case.loss <> Omission.No_loss && not case.transport in
+      (* A droppy queue downgrades raw runs the same way injected loss
+         does: delivery-dependent oracles cannot be expected to hold.
+         ECN queues never lose messages, so they downgrade nothing. *)
+      let queue_can_drop =
+        match case.queue with Some q -> Ftc_sim.Queue_model.can_drop q | None -> false
+      in
+      let lossy_raw =
+        (case.loss <> Omission.No_loss || queue_can_drop) && not case.transport
+      in
       let findings = Oracle.check ~lossy_raw entry ~inputs:case.inputs result in
       if telemetry_on then begin
         let m = result.Engine.metrics in
@@ -115,6 +133,9 @@ let run ?watchdog ?(recorder = Ftc_telemetry.Recorder.disabled) case =
           ~per_round_bits:m.Ftc_sim.Metrics.per_round_bits ~msgs:m.Ftc_sim.Metrics.msgs_sent
           ~bits:m.Ftc_sim.Metrics.bits_sent ~dropped:m.Ftc_sim.Metrics.msgs_dropped
           ~lost_link:m.Ftc_sim.Metrics.msgs_lost_link
+          ~queue_dropped:m.Ftc_sim.Metrics.msgs_dropped_queue
+          ~ecn_marked:m.Ftc_sim.Metrics.msgs_ecn_marked
+          ~per_round_queue_peak:m.Ftc_sim.Metrics.per_round_queue_peak
           ~unroutable:m.Ftc_sim.Metrics.msgs_unroutable ~round_ns:result.Engine.round_ns
           ~start_ns
       end;
@@ -129,12 +150,15 @@ let rule_to_string = function
   | Adversary.Keep_prefix k -> Printf.sprintf "keep-prefix %d" k
 
 let pp ppf case =
-  Format.fprintf ppf "%s n=%d alpha=%g seed=%d plan=[%s]%s loss=%s transport=%b" case.protocol
-    case.n case.alpha case.seed
+  Format.fprintf ppf "%s n=%d alpha=%g seed=%d plan=[%s]%s loss=%s%s transport=%b"
+    case.protocol case.n case.alpha case.seed
     (String.concat "; "
        (List.map
           (fun (v, r, rule) -> Printf.sprintf "%d@r%d %s" v r (rule_to_string rule))
           case.plan))
     (match case.adversary with None -> "" | Some a -> " adversary=" ^ a)
     (Omission.spec_to_string case.loss)
+    (match case.queue with
+    | None -> ""
+    | Some q -> " queue=" ^ Ftc_sim.Queue_model.to_string q)
     case.transport

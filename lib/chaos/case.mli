@@ -21,6 +21,11 @@ type t = {
           where trials run under randomized adversaries but must remain
           replayable from the quarantine file. *)
   loss : Ftc_fault.Omission.spec;  (** Omission model on live links. *)
+  queue : Ftc_sim.Queue_model.config option;
+      (** Bounded per-destination ingress queues ([None] = unbounded).
+          A droppy discipline ([drop-tail], [red]) downgrades raw cases
+          to the accounting oracles exactly as injected loss does; the
+          lossless [ecn] discipline downgrades nothing. *)
   transport : bool;
       (** Run the protocol wrapped in {!Ftc_transport.Transport} (with a
           doubled CONGEST budget for the framing). *)
@@ -33,9 +38,10 @@ type error = Unknown_protocol of string | Invalid_case of string
 val error_to_string : error -> string
 
 val validate : t -> (Catalog.entry, error) result
-(** Checks the case shape, the loss spec, and the crash plan against the
-    protocol's fault budget and round range — the {e wrapped} round range
-    when the case uses the transport — without running anything. *)
+(** Checks the case shape, the loss spec, the queue config, and the crash
+    plan against the protocol's fault budget and round range — the
+    {e wrapped} round range when the case uses the transport — without
+    running anything. *)
 
 val run :
   ?watchdog:(unit -> bool) ->

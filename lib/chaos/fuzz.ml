@@ -11,10 +11,19 @@ type config = {
   n_min : int;
   n_max : int;
   omission : bool;
+  queue : Ftc_sim.Queue_model.config option;
 }
 
 let default_config =
-  { budget = 100; seed = 1; protocols = None; n_min = 32; n_max = 96; omission = false }
+  {
+    budget = 100;
+    seed = 1;
+    protocols = None;
+    n_min = 32;
+    n_max = 96;
+    omission = false;
+    queue = None;
+  }
 
 type failure = {
   case : Case.t;
@@ -79,7 +88,7 @@ let gen_plan rng (entry : Catalog.entry) ~n ~alpha ~transport =
     end
   end
 
-let gen_case ?(omission = false) rng (entry : Catalog.entry) ~n_min ~n_max =
+let gen_case ?(omission = false) ?queue rng (entry : Catalog.entry) ~n_min ~n_max =
   let n = Rng.int_in rng n_min n_max in
   let alpha = 0.5 +. (0.1 *. float_of_int (Rng.int rng 5)) in
   let seed = Rng.int rng 1_000_000_000 in
@@ -88,7 +97,28 @@ let gen_case ?(omission = false) rng (entry : Catalog.entry) ~n_min ~n_max =
      rng stream of configs recorded before omission fuzzing existed. *)
   let loss, transport = if omission then gen_loss rng else (Omission.No_loss, false) in
   let plan = gen_plan rng entry ~n ~alpha ~transport in
-  { Case.protocol = entry.name; n; alpha; seed; inputs; plan; adversary = None; loss; transport }
+  (* The queue axis is a fixed config, not a random draw (no new rng
+     consumption: recorded fuzz streams stay valid). A droppy discipline
+     rides on raw cases only — those are judged by the accounting oracles
+     — so a full queue can never fail a correctness oracle spuriously;
+     the lossless ecn discipline rides on every case. *)
+  let queue =
+    match queue with
+    | Some q when Ftc_sim.Queue_model.can_drop q && transport -> None
+    | q -> q
+  in
+  {
+    Case.protocol = entry.name;
+    n;
+    alpha;
+    seed;
+    inputs;
+    plan;
+    adversary = None;
+    loss;
+    queue;
+    transport;
+  }
 
 let shrink_failure ?(n_floor = default_config.n_min) case findings =
   let still_fails c = Oracle.same_oracle findings (Case.findings c) in
@@ -134,8 +164,8 @@ let run ?(log = ignore) ?(jobs = 1) config =
       let cases =
         List.init chunk (fun k ->
             let entry = entries.((i + k) mod Array.length entries) in
-            gen_case ~omission:config.omission rng entry ~n_min:config.n_min
-              ~n_max:config.n_max)
+            gen_case ~omission:config.omission ?queue:config.queue rng entry
+              ~n_min:config.n_min ~n_max:config.n_max)
       in
       let results =
         Ftc_parallel.Pool.run_map ~jobs (fun case -> (case, Case.run case)) cases

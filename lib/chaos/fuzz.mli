@@ -19,10 +19,18 @@ type config = {
           (accounting oracles only) and transport-wrapped protocols under
           light loss (every oracle). Off by default, so existing seeds
           reproduce the exact crash-only sweeps. *)
+  queue : Ftc_sim.Queue_model.config option;
+      (** Apply this ingress-queue config to generated cases — a fixed
+          axis, never a random draw, so any seed's case stream is
+          byte-identical with the axis on or off. A droppy discipline is
+          applied to raw cases only (they are judged by the accounting
+          oracles); the lossless [ecn] discipline to every case. [None]
+          (default) fuzzes without queues. *)
 }
 
 val default_config : config
-(** budget 100, seed 1, every protocol, n in [32, 96], no omission. *)
+(** budget 100, seed 1, every protocol, n in [32, 96], no omission, no
+    queue. *)
 
 type failure = {
   case : Case.t;  (** The original failing case. *)
@@ -35,12 +43,19 @@ type failure = {
 type report = { cases_run : int; failure : failure option }
 
 val gen_case :
-  ?omission:bool -> Ftc_rng.Rng.t -> Catalog.entry -> n_min:int -> n_max:int -> Case.t
+  ?omission:bool ->
+  ?queue:Ftc_sim.Queue_model.config ->
+  Ftc_rng.Rng.t ->
+  Catalog.entry ->
+  n_min:int ->
+  n_max:int ->
+  Case.t
 (** One random case: n, alpha in [0.5, 0.9], fresh seed, inputs matching
     the protocol's input kind, and — for crash-tolerant protocols — a
     random crash plan within the fault budget ([[]] for the fault-free
     baselines). With [~omission:true], also a loss model and possibly the
-    transport. Exposed for tests. *)
+    transport. [queue] attaches the fixed queue axis per the
+    {!config.queue} rules, consuming no randomness. Exposed for tests. *)
 
 val shrink_failure : ?n_floor:int -> Case.t -> Oracle.finding list -> failure
 (** Shrink a known-failing case against {!Oracle.same_oracle}. [n_floor]

@@ -2,7 +2,7 @@ module Adversary = Ftc_sim.Adversary
 module Omission = Ftc_fault.Omission
 
 let magic = "ftc-chaos-replay"
-let version = 3
+let version = 4
 
 let to_string ?(expect = []) (case : Case.t) =
   let b = Buffer.create 256 in
@@ -19,6 +19,9 @@ let to_string ?(expect = []) (case : Case.t) =
     case.plan;
   (match case.adversary with None -> () | Some a -> line "adversary %s" a);
   if case.loss <> Omission.No_loss then line "loss %s" (Omission.spec_to_string case.loss);
+  (match case.queue with
+  | None -> ()
+  | Some q -> line "queue %s" (Ftc_sim.Queue_model.to_string q));
   if case.transport then line "transport on";
   List.iter (fun o -> line "expect %s" o) expect;
   Buffer.contents b
@@ -67,6 +70,7 @@ let of_string s =
   and plan = ref []
   and adversary = ref None
   and loss = ref Omission.No_loss
+  and queue = ref None
   and transport = ref false
   and expect = ref [] in
   let int_field name v store =
@@ -79,11 +83,11 @@ let of_string s =
   let parse_line l =
     match String.split_on_char ' ' l |> List.filter (fun t -> t <> "") with
     | m :: v :: _ when m = magic -> (
-        (* Version 1 files are a strict subset of version 2 (no loss or
-           transport lines), which is a strict subset of version 3 (no
-           adversary line), so all three parse with the same grammar. *)
+        (* Each version's files are a strict subset of the next: v1 has
+           no loss or transport lines, v2 no adversary line, v3 no queue
+           line — so all four parse with the same grammar. *)
         match int_of_string_opt v with
-        | Some 1 | Some 2 | Some 3 -> Ok ()
+        | Some 1 | Some 2 | Some 3 | Some 4 -> Ok ()
         | _ -> Error ("unsupported replay version " ^ v))
     | [ "protocol"; p ] ->
         protocol := Some p;
@@ -118,6 +122,12 @@ let of_string s =
             loss := spec;
             Ok ()
         | Error _ as e -> e)
+    | "queue" :: toks -> (
+        match Ftc_sim.Queue_model.of_tokens toks with
+        | Some q ->
+            queue := Some q;
+            Ok ()
+        | None -> Error ("bad queue line: " ^ l))
     | [ "transport"; "on" ] ->
         transport := true;
         Ok ()
@@ -155,6 +165,7 @@ let of_string s =
                     plan = List.rev !plan;
                     adversary = !adversary;
                     loss = !loss;
+                    queue = !queue;
                     transport = !transport;
                   },
                   List.rev !expect )

@@ -3,7 +3,7 @@
 
     Format (one item per line, [#] comments and blank lines ignored):
     {v
-    ftc-chaos-replay 3
+    ftc-chaos-replay 4
     protocol ft-agreement
     n 64
     alpha 0.69999999999999996
@@ -12,6 +12,7 @@
     crash <node> <round> drop-all|drop-none|drop-random <p>|keep-prefix <k>
     adversary <strategy-name>
     loss none|uniform <p>|burst <p> <len>|targeted <p>
+    queue drop-tail|red|ecn <capacity> <min_th> <max_th>
     transport on|off
     expect <oracle-id>
     v}
@@ -20,9 +21,9 @@
     saved, so a replay can report whether the failure still reproduces.
     Alpha and loss rates are printed with 17 significant digits, so the
     parsed case is bit-identical to the saved one and the replay is exact.
-    Version 1 files (no [loss]/[transport] lines, meaning reliable links
-    and no wrapper) and version 2 files (no [adversary] line) still
-    load. *)
+    Every earlier version's files still load: version 1 has no
+    [loss]/[transport] lines (reliable links, no wrapper), version 2 no
+    [adversary] line, version 3 no [queue] line (unbounded links). *)
 
 val to_string : ?expect:string list -> Case.t -> string
 

@@ -93,10 +93,11 @@ let reduce_rounds check case =
   done;
   (!cur, !changed)
 
-(* Simplify the omission dimension: no loss at all beats everything, then
-   losing the transport wrapper, then ever-gentler rates. A candidate that
-   changes what the oracles measure (e.g. raw+lossy skips correctness)
-   simply fails the check and is rejected. *)
+(* Simplify the omission/congestion dimension: no loss and no queue at
+   all beats everything, then dropping the queue or the transport wrapper
+   alone, then ever-gentler rates. A candidate that changes what the
+   oracles measure (e.g. raw+lossy skips correctness) simply fails the
+   check and is rejected. *)
 let reduce_loss check case =
   let changed = ref false in
   let cur = ref case in
@@ -109,8 +110,9 @@ let reduce_loss check case =
     end
     else false
   in
-  ignore (try_ { case with Case.loss = Omission.No_loss; transport = false });
+  ignore (try_ { case with Case.loss = Omission.No_loss; queue = None; transport = false });
   ignore (try_ { !cur with Case.loss = Omission.No_loss });
+  ignore (try_ { !cur with Case.queue = None });
   ignore (try_ { !cur with Case.transport = false });
   let halve = function
     | Omission.No_loss -> None

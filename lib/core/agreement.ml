@@ -101,7 +101,7 @@ end) : Protocol.S with type msg = msg = struct
     let actions = ref [] in
     let emit acts = actions := List.rev_append acts !actions in
     List.iter
-      (fun { Protocol.from_port; payload } ->
+      (fun { Protocol.from_port; payload; _ } ->
         st.known_ports <- ISet.add from_port st.known_ports;
         match payload with
         | Up v ->

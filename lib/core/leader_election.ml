@@ -287,7 +287,7 @@ end) : Protocol.S with type msg = msg = struct
     let relays = ref [] and confirm_relays = ref [] in
     let proposals = ref [] and confirms = ref [] in
     List.iter
-      (fun { Protocol.from_port; payload } ->
+      (fun { Protocol.from_port; payload; _ } ->
         st.known_ports <- ISet.add from_port st.known_ports;
         match payload with
         | Announce { rank } ->

@@ -74,7 +74,7 @@ end) : Protocol.S with type msg = msg = struct
     let actions = ref [] in
     let emit acts = actions := List.rev_append acts !actions in
     List.iter
-      (fun { Protocol.from_port; payload } ->
+      (fun { Protocol.from_port; payload; _ } ->
         match payload with
         | Up v ->
             let r = referee_of st in

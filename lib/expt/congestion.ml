@@ -1,0 +1,128 @@
+(* F14 — the congestion experiment: what bounded ingress queues do to
+   the paper's protocols, raw versus wrapped in the reliable transport.
+
+   The paper's CONGEST model gives links unbounded capacity. Here each
+   destination's access link absorbs at most [capacity] messages per
+   round (Queue_model): the election protocol funnels referee replies
+   into the currently-best candidate, so that hotspot saturates first —
+   raw runs lose the replies outright and elect badly, while the
+   transport retries across rounds (spreading arrivals over fresh
+   queues) and backs its calendar off on inferred congestion, restoring
+   success at the cost of retransmissions. The ecn table shows the
+   lossless variant: nothing is dropped, marks propagate to the wrapped
+   receivers and show up as ECN backoffs. *)
+
+module Table = Ftc_analysis.Table
+module Queue_model = Ftc_sim.Queue_model
+module Transport = Ftc_transport.Transport
+
+let le_ok (o : Runner.outcome) = (Ftc_core.Properties.check_implicit_election o.result).ok
+
+let ag_ok (o : Runner.outcome) =
+  (Ftc_core.Properties.check_implicit_agreement ~inputs:o.inputs_used o.result).ok
+
+let total f outs = List.fold_left (fun acc (o : Runner.outcome) -> acc + f o) 0 outs
+let queue_drops (o : Runner.outcome) = o.result.Ftc_sim.Engine.metrics.Ftc_sim.Metrics.msgs_dropped_queue
+let ecn_marks (o : Runner.outcome) = o.result.Ftc_sim.Engine.metrics.Ftc_sim.Metrics.msgs_ecn_marked
+
+let tstat f (o : Runner.outcome) =
+  match o.transport_stats with Some s -> f s | None -> 0
+
+(* Congested raw runs are outside the protocols' model, so violations
+   are folded into the success column, exactly as F13 treats loss. *)
+let sweep ~jobs ~protocol ~inputs ~ok ~n ~alpha ~configs ~trials ~base_seed =
+  List.map
+    (fun (q : Queue_model.config) ->
+      let spec variant =
+        {
+          (Runner.default_spec (protocol ()) ~n ~alpha) with
+          Runner.inputs;
+          queue = Some q;
+          transport = variant;
+        }
+      in
+      let seeds = Runner.seeds ~base:base_seed ~count:trials in
+      let raw = Runner.run_many_par_raw ~jobs (spec None) ~seeds in
+      let wrapped = Runner.run_many_par_raw ~jobs (spec (Some Transport.default_config)) ~seeds in
+      let ra = Runner.aggregate ~ok raw and wa = Runner.aggregate ~ok wrapped in
+      [
+        string_of_int q.Queue_model.capacity;
+        Printf.sprintf "%d/%d" ra.Runner.successes ra.Runner.trials;
+        Table.fmt_int (total queue_drops raw);
+        Table.fmt_int (total ecn_marks raw);
+        Printf.sprintf "%d/%d" wa.Runner.successes wa.Runner.trials;
+        Table.fmt_int (total queue_drops wrapped);
+        Table.fmt_int (total ecn_marks wrapped);
+        Table.fmt_int (total (tstat (fun s -> s.Transport.retransmissions)) wrapped);
+        Table.fmt_int (total (tstat (fun s -> s.Transport.ecn_backoffs)) wrapped);
+        Table.fmt_int (total (tstat (fun s -> s.Transport.congestion_drops)) wrapped);
+      ])
+    configs
+
+let headers =
+  [ "cap"; "raw ok"; "qdrop"; "mark"; "wrap ok"; "qdrop"; "mark"; "retx"; "ecnboff"; "cdrop" ]
+
+let f14 =
+  {
+    Def.id = "F14";
+    title = "congestion: bounded ingress queues, RED early drop and ECN backoff";
+    paper = "beyond the paper's unbounded-link model (Sec. II); queues = Ftc_sim.Queue_model";
+    run =
+      (fun ctx ->
+        let n = match ctx.Def.scale with Def.Quick -> 96 | Def.Full -> 256 in
+        let alpha = 0.7 in
+        let trials = Def.trials ctx ~quick:5 ~full:10 in
+        (* The grid must straddle the saturation point of the election
+           hotspot (referee replies funnelling into the best candidate).
+           Below ~n/16 the hotspot starves raw and wrapped alike —
+           retransmissions re-enter the same full queue — so the grid
+           starts where the transport's cross-round spreading can still
+           win, and ends where the link is effectively the paper's
+           unbounded one again. *)
+        let caps =
+          match ctx.Def.scale with
+          | Def.Quick -> [ 6; 8; 12; 16 ]
+          | Def.Full -> [ 8; 12; 16; 24; 32 ]
+        in
+        let grid d = List.map (fun c -> Queue_model.make ~capacity:c ~discipline:d ()) caps in
+        (* --queue-cap/--queue-model pin the sweep to that single point
+           (its table only; the other discipline's table is skipped). *)
+        let red_configs, ecn_configs =
+          match ctx.Def.queue with
+          | Some q when q.Queue_model.discipline = Queue_model.Ecn -> ([], [ q ])
+          | Some q -> ([ q ], [])
+          | None -> (grid Queue_model.Red, grid Queue_model.Ecn)
+        in
+        let params = Ftc_core.Params.default in
+        let table ~title ~protocol ~inputs ~ok ~configs ~seed_offset =
+          if configs = [] then []
+          else begin
+            let rows =
+              sweep ~jobs:ctx.Def.jobs ~protocol ~inputs ~ok ~n ~alpha ~configs ~trials
+                ~base_seed:(ctx.Def.base_seed + seed_offset)
+            in
+            [ ""; title; Table.render ~headers ~rows () ]
+          end
+        in
+        Def.section "F14" "bounded queues: raw protocols vs the congestion-aware transport"
+          (String.concat "\n"
+             ([
+                Printf.sprintf
+                  "n = %d, alpha = %.2f, %d trials per cell; every destination's ingress queue\n\
+                   holds at most 'cap' messages per round. red = probabilistic early drop\n\
+                   between the RED thresholds (lossy); ecn = congestion marks instead of drops\n\
+                   (lossless). Totals are across all trials of a cell: 'qdrop' queue drops,\n\
+                   'mark' ECN marks, 'ecnboff' transport ECN backoffs, 'cdrop' transport\n\
+                   repeated-drop inferences (each widening that message's calendar)."
+                  n alpha trials;
+              ]
+             @ table ~title:"leader election, red:"
+                 ~protocol:(fun () -> Ftc_core.Leader_election.make params)
+                 ~inputs:Runner.Zeros ~ok:le_ok ~configs:red_configs ~seed_offset:0
+             @ table ~title:"agreement, red:"
+                 ~protocol:(fun () -> Ftc_core.Agreement.make params)
+                 ~inputs:(Runner.Random_bits 0.5) ~ok:ag_ok ~configs:red_configs ~seed_offset:7
+             @ table ~title:"leader election, ecn:"
+                 ~protocol:(fun () -> Ftc_core.Leader_election.make params)
+                 ~inputs:Runner.Zeros ~ok:le_ok ~configs:ecn_configs ~seed_offset:13)));
+  }

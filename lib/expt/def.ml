@@ -5,6 +5,7 @@ type ctx = {
   base_seed : int;
   jobs : int;
   journal : Supervise.shared option;
+  queue : Ftc_sim.Queue_model.config option;
 }
 
 type t = { id : string; title : string; paper : string; run : ctx -> string }

@@ -17,6 +17,11 @@ type ctx = {
           journaled — crash-safe resume for [ftc expt]. [None] runs
           exactly as before. Experiments that treat violations as data
           (lossy raw, Byzantine probe) ignore it. *)
+  queue : Ftc_sim.Queue_model.config option;
+      (** [ftc expt --queue-cap/--queue-model] override, honoured by the
+          queue-aware experiments (F14 pins its capacity sweep to this
+          single point). Other experiments ignore it; [None] leaves each
+          experiment's own grid in force. *)
 }
 
 type t = {

@@ -14,6 +14,7 @@ let all =
     Gallery.f11;
     Gallery.f12;
     Lossy.f13;
+    Congestion.f14;
     Ablations.a1;
     Ablations.a2;
     Ablations.a3;

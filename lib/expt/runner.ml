@@ -11,6 +11,7 @@ type spec = {
   inputs : input_gen;
   adversary : unit -> Ftc_sim.Adversary.t;
   link : unit -> Ftc_sim.Link.t;
+  queue : Ftc_sim.Queue_model.config option;
   transport : Ftc_transport.Transport.config option;
   congest : bool;
   record_trace : bool;
@@ -25,6 +26,7 @@ let default_spec protocol ~n ~alpha =
     inputs = Zeros;
     adversary = Ftc_fault.Strategy.none;
     link = (fun () -> Ftc_sim.Link.reliable);
+    queue = None;
     transport = None;
     congest = true;
     record_trace = false;
@@ -96,6 +98,7 @@ let run ?(recorder = Ftc_telemetry.Recorder.disabled) spec ~seed =
       inputs = Some inputs;
       adversary = spec.adversary ();
       link = spec.link ();
+      queue = spec.queue;
       congest_limit =
         (if spec.congest then Some (congest_factor * Ftc_sim.Congest.default_limit ~n:spec.n)
          else None);
@@ -134,6 +137,9 @@ let run ?(recorder = Ftc_telemetry.Recorder.disabled) spec ~seed =
       ~per_round_bits:m.Ftc_sim.Metrics.per_round_bits ~msgs:m.Ftc_sim.Metrics.msgs_sent
       ~bits:m.Ftc_sim.Metrics.bits_sent ~dropped:m.Ftc_sim.Metrics.msgs_dropped
       ~lost_link:m.Ftc_sim.Metrics.msgs_lost_link
+      ~queue_dropped:m.Ftc_sim.Metrics.msgs_dropped_queue
+      ~ecn_marked:m.Ftc_sim.Metrics.msgs_ecn_marked
+      ~per_round_queue_peak:m.Ftc_sim.Metrics.per_round_queue_peak
       ~unroutable:m.Ftc_sim.Metrics.msgs_unroutable ~round_ns:result.Engine.round_ns
       ~start_ns
   end;

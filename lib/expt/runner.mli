@@ -14,6 +14,8 @@ type spec = {
   inputs : input_gen;
   adversary : unit -> Ftc_sim.Adversary.t;
   link : unit -> Ftc_sim.Link.t;  (** Fresh omission model per run. *)
+  queue : Ftc_sim.Queue_model.config option;
+      (** Bounded per-destination ingress queues; [None] = unbounded. *)
   transport : Ftc_transport.Transport.config option;
       (** [Some _] wraps the protocol in the reliable transport (and doubles
           the CONGEST budget: data and ack can share an edge-round). *)
@@ -29,8 +31,8 @@ type spec = {
 }
 
 val default_spec : (module Ftc_sim.Protocol.S) -> n:int -> alpha:float -> spec
-(** Zero inputs, no adversary, reliable links, no transport, CONGEST on,
-    no trace. *)
+(** Zero inputs, no adversary, reliable links, no queue, no transport,
+    CONGEST on, no trace. *)
 
 type outcome = {
   result : Ftc_sim.Engine.result;

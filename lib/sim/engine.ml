@@ -7,6 +7,7 @@ type config = {
   inputs : int array option;
   adversary : Adversary.t;
   link : Link.t;
+  queue : Queue_model.config option;
   congest_limit : int option;
   record_trace : bool;
   max_rounds_override : int option;
@@ -37,6 +38,7 @@ let default_config ~n ~alpha ~seed =
     inputs = None;
     adversary = Adversary.none;
     link = Link.reliable;
+    queue = None;
     congest_limit = Some (Congest.default_limit ~n);
     record_trace = false;
     max_rounds_override = None;
@@ -124,7 +126,9 @@ type 'msg send = {
   bits : int;
   payload : 'msg;
   mutable dropped : bool;  (* lost to the sender's crash *)
+  mutable queue_dropped : bool;  (* dropped by the destination's ingress queue *)
   mutable link_dropped : bool;  (* lost on a live link *)
+  mutable ecn : bool;  (* congestion-marked by the ECN queue discipline *)
   mutable from_port : int;  (* receiver-side port, set at delivery accounting *)
 }
 
@@ -137,8 +141,10 @@ module Make (P : Protocol.S) = struct
     let wiring_rng = Rng.split root in
     let adv_rng = Rng.split root in
     (* Split last so configs without link faults reproduce the streams of
-       runs recorded before the link stage existed. *)
+       runs recorded before the link stage existed; the queue stream
+       after that again, for the same reason. *)
     let link_rng = Rng.split root in
+    let queue_rng = Rng.split root in
     let violations = ref [] in
     let violation v = violations := v :: !violations in
     let inputs =
@@ -236,6 +242,8 @@ module Make (P : Protocol.S) = struct
        and the per-node send lists. *)
     let edge_bits : (int, int) Hashtbl.t = Hashtbl.create 256 in
     let sends_by_node : P.msg send list array = Array.make n [] in
+    (* Per-destination ingress-queue occupancy, reused across rounds. *)
+    let queue_depth = Array.make n 0 in
     (* Iterate this round's sends in the order the combined send list used
        to be built: node 0..n-1, each node's sends in action order. *)
     let iter_sends f =
@@ -301,7 +309,9 @@ module Make (P : Protocol.S) = struct
                         bits = P.msg_bits ~n payload;
                         payload;
                         dropped = false;
+                        queue_dropped = false;
                         link_dropped = false;
+                        ecn = false;
                         from_port = -1;
                       })
               actions
@@ -359,13 +369,39 @@ module Make (P : Protocol.S) = struct
                 List.iteri (fun idx s -> if idx >= k then s.dropped <- true) mine)
           end)
         crash_orders;
-      (* 4. Link faults: every message the crash stage left on the wire
-         traverses its (possibly lossy) link. Crash losses take precedence
-         in accounting: a message the crashing sender already lost never
-         reaches a link. *)
+      (* 3b. Ingress queues: every message the crash stage left on the
+         wire arrives at its destination's bounded access-link queue in
+         deterministic send order. Occupancy counts messages the queue
+         already accepted this round (queues drain fully between rounds);
+         the discipline drops, marks, or admits each arrival. Runs
+         without a queue touch neither the depth buffer nor the queue
+         RNG stream. *)
+      (match config.queue with
+      | None -> ()
+      | Some q ->
+          Array.fill queue_depth 0 n 0;
+          iter_sends (fun s ->
+              if not s.dropped then begin
+                let occupancy = queue_depth.(s.dst) in
+                match Queue_model.decide q queue_rng ~occupancy with
+                | Queue_model.Accept -> queue_depth.(s.dst) <- occupancy + 1
+                | Queue_model.Mark ->
+                    s.ecn <- true;
+                    queue_depth.(s.dst) <- occupancy + 1
+                | Queue_model.Drop -> s.queue_dropped <- true
+              end);
+          let peak = ref 0 in
+          for i = 0 to n - 1 do
+            if queue_depth.(i) > !peak then peak := queue_depth.(i)
+          done;
+          if !peak > 0 then Metrics.record_queue_depth metrics ~round:r ~depth:!peak);
+      (* 4. Link faults: every message the crash and queue stages left on
+         the wire traverses its (possibly lossy) link. Crash losses take
+         precedence over queue drops, and queue drops over link losses: a
+         message never reaches the stage after the one that lost it. *)
       if config.link != Link.reliable then
         iter_sends (fun s ->
-            if not s.dropped then
+            if not (s.dropped || s.queue_dropped) then
               let view =
                 {
                   Link.round = r;
@@ -382,7 +418,13 @@ module Make (P : Protocol.S) = struct
          up in arrival order directly — no [List.rev] per inbox per
          round. *)
       iter_sends (fun s ->
-          if s.link_dropped then begin
+          if s.queue_dropped then begin
+            Metrics.record_queue_drop metrics ~round:r ~bits:s.bits;
+            trace_add
+              (Trace.Send { round = r; src = s.src; dst = s.dst; bits = s.bits; delivered = false });
+            trace_add (Trace.Queue_dropped { round = r; src = s.src; dst = s.dst; bits = s.bits })
+          end
+          else if s.link_dropped then begin
             Metrics.record_link_loss metrics ~round:r ~bits:s.bits;
             trace_add
               (Trace.Send { round = r; src = s.src; dst = s.dst; bits = s.bits; delivered = false });
@@ -392,15 +434,24 @@ module Make (P : Protocol.S) = struct
             let delivered = not s.dropped in
             Metrics.record_send metrics ~round:r ~bits:s.bits ~delivered;
             trace_add (Trace.Send { round = r; src = s.src; dst = s.dst; bits = s.bits; delivered });
-            if delivered then s.from_port <- port_to ports.(s.dst) s.src
+            if delivered then begin
+              s.from_port <- port_to ports.(s.dst) s.src;
+              (* ECN marks count only on messages that actually arrive,
+                 so the metric equals the marks receivers observe. *)
+              if s.ecn then begin
+                Metrics.record_ecn_mark metrics ~round:r;
+                trace_add (Trace.Ecn_marked { round = r; src = s.src; dst = s.dst })
+              end
+            end
           end);
       let rec deliver_rev = function
         | [] -> ()
         | s :: rest ->
             deliver_rev rest;
-            if s.from_port >= 0 && not (s.dropped || s.link_dropped) then
+            if s.from_port >= 0 && not (s.dropped || s.queue_dropped || s.link_dropped) then
               inboxes.(s.dst) <-
-                { Protocol.from_port = s.from_port; payload = s.payload } :: inboxes.(s.dst)
+                { Protocol.from_port = s.from_port; payload = s.payload; ecn = s.ecn }
+                :: inboxes.(s.dst)
       in
       for i = n - 1 downto 0 do
         deliver_rev sends_by_node.(i)

@@ -13,6 +13,13 @@
     - beyond the paper's model, an optional {!Link} fault stage may lose
       messages of *live* senders (omission faults); such losses are
       counted apart from crash losses;
+    - also beyond the paper, an optional bounded ingress queue
+      ({!Queue_model}) sits between the crash stage and the link stage:
+      each destination's access link absorbs at most [capacity] messages
+      per round, dropping (or ECN-marking) the excess per the configured
+      discipline. Crash losses take precedence over queue drops, and
+      queue drops over link losses, so every lost message has exactly one
+      recorded cause;
     - message and bit complexity are counted at send time (a lost message
       was still sent);
     - the per-edge-per-round CONGEST budget is checked when [congest_limit]
@@ -28,6 +35,9 @@ type config = {
   inputs : int array option;  (** Per-node inputs (agreement); default 0. *)
   adversary : Adversary.t;
   link : Link.t;  (** Omission-fault model for live links; {!Link.reliable} = paper model. *)
+  queue : Queue_model.config option;
+      (** Bounded per-destination ingress queues; [None] (the default,
+          the paper model) gives links unbounded capacity. *)
   congest_limit : int option;  (** Per-edge per-round bits; [None] = LOCAL. *)
   record_trace : bool;
   max_rounds_override : int option;
@@ -78,7 +88,7 @@ type result = {
 
 val default_config : n:int -> alpha:float -> seed:int -> config
 (** CONGEST limit at {!Congest.default_limit}, no trace, no adversary,
-    reliable links. *)
+    reliable links, no ingress queues. *)
 
 val max_faulty : n:int -> alpha:float -> int
 (** [n - ceil(alpha * n)]: the largest faulty set leaving [alpha n]

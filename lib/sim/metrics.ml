@@ -2,6 +2,8 @@ type t = {
   mutable msgs_sent : int;
   mutable msgs_dropped : int;
   mutable msgs_lost_link : int;
+  mutable msgs_dropped_queue : int;
+  mutable msgs_ecn_marked : int;
   mutable msgs_unroutable : int;
   mutable bits_sent : int;
   mutable rounds_used : int;
@@ -9,6 +11,9 @@ type t = {
   mutable per_round_msgs : int array;
   mutable per_round_bits : int array;
   mutable per_round_drops : int array;
+  mutable per_round_queue_drops : int array;
+  mutable per_round_ecn_marks : int array;
+  mutable per_round_queue_peak : int array;
   mutable max_round_seen : int;
 }
 
@@ -17,6 +22,8 @@ let create () =
     msgs_sent = 0;
     msgs_dropped = 0;
     msgs_lost_link = 0;
+    msgs_dropped_queue = 0;
+    msgs_ecn_marked = 0;
     msgs_unroutable = 0;
     bits_sent = 0;
     rounds_used = 0;
@@ -24,6 +31,9 @@ let create () =
     per_round_msgs = Array.make 64 0;
     per_round_bits = Array.make 64 0;
     per_round_drops = Array.make 64 0;
+    per_round_queue_drops = Array.make 64 0;
+    per_round_ecn_marks = Array.make 64 0;
+    per_round_queue_peak = Array.make 64 0;
     max_round_seen = -1;
   }
 
@@ -40,6 +50,9 @@ let ensure_round t round =
   t.per_round_msgs <- grow t.per_round_msgs round;
   t.per_round_bits <- grow t.per_round_bits round;
   t.per_round_drops <- grow t.per_round_drops round;
+  t.per_round_queue_drops <- grow t.per_round_queue_drops round;
+  t.per_round_ecn_marks <- grow t.per_round_ecn_marks round;
+  t.per_round_queue_peak <- grow t.per_round_queue_peak round;
   if round > t.max_round_seen then t.max_round_seen <- round
 
 let record_send t ~round ~bits ~delivered =
@@ -62,6 +75,25 @@ let record_link_loss t ~round ~bits =
   t.per_round_bits.(round) <- t.per_round_bits.(round) + bits;
   t.per_round_drops.(round) <- t.per_round_drops.(round) + 1
 
+let record_queue_drop t ~round ~bits =
+  t.msgs_sent <- t.msgs_sent + 1;
+  t.bits_sent <- t.bits_sent + bits;
+  t.msgs_dropped_queue <- t.msgs_dropped_queue + 1;
+  ensure_round t round;
+  t.per_round_msgs.(round) <- t.per_round_msgs.(round) + 1;
+  t.per_round_bits.(round) <- t.per_round_bits.(round) + bits;
+  t.per_round_drops.(round) <- t.per_round_drops.(round) + 1;
+  t.per_round_queue_drops.(round) <- t.per_round_queue_drops.(round) + 1
+
+let record_ecn_mark t ~round =
+  t.msgs_ecn_marked <- t.msgs_ecn_marked + 1;
+  ensure_round t round;
+  t.per_round_ecn_marks.(round) <- t.per_round_ecn_marks.(round) + 1
+
+let record_queue_depth t ~round ~depth =
+  ensure_round t round;
+  if depth > t.per_round_queue_peak.(round) then t.per_round_queue_peak.(round) <- depth
+
 let record_unroutable t ~round =
   t.msgs_unroutable <- t.msgs_unroutable + 1;
   ensure_round t round;
@@ -78,7 +110,10 @@ let finish t ~rounds =
   if keep < Array.length t.per_round_msgs then begin
     t.per_round_msgs <- Array.sub t.per_round_msgs 0 keep;
     t.per_round_bits <- Array.sub t.per_round_bits 0 keep;
-    t.per_round_drops <- Array.sub t.per_round_drops 0 keep
+    t.per_round_drops <- Array.sub t.per_round_drops 0 keep;
+    t.per_round_queue_drops <- Array.sub t.per_round_queue_drops 0 keep;
+    t.per_round_ecn_marks <- Array.sub t.per_round_ecn_marks 0 keep;
+    t.per_round_queue_peak <- Array.sub t.per_round_queue_peak 0 keep
   end
 
 (* Eight-level block sparkline of a per-round series, scaled to its own
@@ -99,6 +134,12 @@ let pp ppf t =
      congest_violations=%d"
     t.msgs_sent t.msgs_dropped t.msgs_lost_link t.msgs_unroutable t.bits_sent t.rounds_used
     t.congest_violations;
+  (* Congestion counters only appear when a queue was configured, so
+     queue-less runs keep their historical one-line form byte for byte. *)
+  if t.msgs_dropped_queue > 0 || t.msgs_ecn_marked > 0 then
+    Format.fprintf ppf "@,queue: dropped=%d ecn-marked=%d peak-depth=%d"
+      t.msgs_dropped_queue t.msgs_ecn_marked
+      (Array.fold_left max 0 t.per_round_queue_peak);
   if Array.length t.per_round_msgs > 0 then begin
     Format.fprintf ppf "@,per-round msgs  [%s] peak=%d" (sparkline t.per_round_msgs)
       (Array.fold_left max 0 t.per_round_msgs);

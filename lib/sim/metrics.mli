@@ -17,6 +17,15 @@ type t = {
   mutable msgs_sent : int;  (** Messages sent (delivered or lost). *)
   mutable msgs_dropped : int;  (** Messages lost to crashes. *)
   mutable msgs_lost_link : int;  (** Messages lost on live links ({!Link}). *)
+  mutable msgs_dropped_queue : int;
+      (** Messages dropped by a bounded ingress queue ({!Queue_model}):
+          sent (they count toward message complexity) but never
+          delivered. *)
+  mutable msgs_ecn_marked : int;
+      (** Delivered messages carrying the ECN congestion bit. Marks on
+          messages later lost to a link fault are not counted, so this
+          reconciles exactly with [Ecn_marked] trace events and with the
+          marks receivers observe. *)
   mutable msgs_unroutable : int;
       (** [Fresh_port] sends by a node that already knew all [n-1] peers;
           never put on the wire, so not part of [msgs_sent]. *)
@@ -28,8 +37,14 @@ type t = {
   mutable per_round_bits : int array;  (** Payload bits sent in each round. *)
   mutable per_round_drops : int array;
       (** Messages that went nowhere in each round: crash-dropped +
-          link-lost + unroutable. Sibling of [per_round_msgs], same
-          length after {!finish}. *)
+          queue-dropped + link-lost + unroutable. Sibling of
+          [per_round_msgs], same length after {!finish}. *)
+  mutable per_round_queue_drops : int array;
+      (** Queue drops in each round; a sub-series of [per_round_drops]. *)
+  mutable per_round_ecn_marks : int array;  (** ECN marks delivered in each round. *)
+  mutable per_round_queue_peak : int array;
+      (** Largest ingress-queue occupancy any destination reached in each
+          round; 0 when no queue was configured or no traffic flowed. *)
   mutable max_round_seen : int;  (** Highest round with recorded activity; -1 if none. *)
 }
 
@@ -40,6 +55,17 @@ val record_send : t -> round:int -> bits:int -> delivered:bool -> unit
 
 val record_link_loss : t -> round:int -> bits:int -> unit
 (** One message put on the wire and lost by the link-fault model. *)
+
+val record_queue_drop : t -> round:int -> bits:int -> unit
+(** One message put on the wire and dropped by its destination's bounded
+    ingress queue ({!Queue_model}). *)
+
+val record_ecn_mark : t -> round:int -> unit
+(** One delivered message carried the ECN congestion bit. Recorded in
+    addition to (not instead of) its {!record_send}. *)
+
+val record_queue_depth : t -> round:int -> depth:int -> unit
+(** Fold one observed ingress-queue occupancy into the round's peak. *)
 
 val record_unroutable : t -> round:int -> unit
 (** A [Fresh_port] send with no unknown peers left: not on the wire, but

@@ -2,7 +2,7 @@ type dest = Fresh_port | Port of int | Node of int
 
 type 'msg action = { dest : dest; payload : 'msg }
 
-type 'msg incoming = { from_port : int; payload : 'msg }
+type 'msg incoming = { from_port : int; payload : 'msg; ecn : bool }
 
 type ctx = {
   n : int;

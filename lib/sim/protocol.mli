@@ -33,6 +33,11 @@ type 'msg incoming = {
           it reaches the sender. Stable: the same peer always appears
           behind the same local port. *)
   payload : 'msg;
+  ecn : bool;
+      (** Congestion bit: set when the [ecn] queue discipline marked the
+          message on its way through the destination's ingress queue
+          ({!Queue_model}); always [false] otherwise. Congestion-aware
+          layers (the transport) back off on seeing it. *)
 }
 
 type ctx = {

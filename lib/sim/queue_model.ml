@@ -1,0 +1,106 @@
+module Rng = Ftc_rng.Rng
+module Dist = Ftc_rng.Dist
+
+type discipline = Drop_tail | Red | Ecn
+
+type config = {
+  capacity : int;
+  discipline : discipline;
+  min_th : int;
+  max_th : int;
+}
+
+type decision = Accept | Mark | Drop
+
+let discipline_to_string = function
+  | Drop_tail -> "drop-tail"
+  | Red -> "red"
+  | Ecn -> "ecn"
+
+let discipline_of_string = function
+  | "drop-tail" | "droptail" | "tail" -> Some Drop_tail
+  | "red" -> Some Red
+  | "ecn" -> Some Ecn
+  | _ -> None
+
+(* Default thresholds in the RED tradition: start early-dropping at a
+   quarter of capacity, drop surely from three quarters on. *)
+let make ?min_th ?max_th ~capacity ~discipline () =
+  let min_th = match min_th with Some v -> v | None -> max 1 (capacity / 4) in
+  let max_th =
+    match max_th with Some v -> v | None -> max min_th (3 * capacity / 4)
+  in
+  { capacity; discipline; min_th; max_th }
+
+let validate c =
+  if c.capacity < 1 then
+    Error (Printf.sprintf "queue capacity %d below 1" c.capacity)
+  else if c.min_th < 0 then
+    Error (Printf.sprintf "queue min threshold %d negative" c.min_th)
+  else if c.max_th < c.min_th then
+    Error
+      (Printf.sprintf "queue max threshold %d below min threshold %d" c.max_th
+         c.min_th)
+  else if c.max_th > c.capacity then
+    Error
+      (Printf.sprintf "queue max threshold %d above capacity %d" c.max_th
+         c.capacity)
+  else Ok ()
+
+let can_drop c = c.discipline <> Ecn
+
+(* The RED curve: 0 below [min_th], 1 at or above [max_th], linear in
+   between. Checking the upper band first keeps the degenerate
+   [min_th = max_th] config well-defined (a step function). *)
+let red_probability c ~occupancy =
+  if occupancy >= c.max_th then 1.
+  else if occupancy < c.min_th then 0.
+  else float_of_int (occupancy - c.min_th) /. float_of_int (c.max_th - c.min_th)
+
+(* The RNG is consulted only inside the open RED band (0 < p < 1), so
+   drop-tail runs and out-of-band traffic draw nothing — configs that
+   never enter the band reproduce the streams of queue-less runs. *)
+let decide c rng ~occupancy =
+  match c.discipline with
+  | Drop_tail -> if occupancy >= c.capacity then Drop else Accept
+  | Red ->
+      if occupancy >= c.capacity then Drop
+      else
+        let p = red_probability c ~occupancy in
+        if p <= 0. then Accept
+        else if p >= 1. then Drop
+        else if Dist.bernoulli rng p then Drop
+        else Accept
+  | Ecn ->
+      (* Never drops: past the sure-mark point (or even past capacity,
+         which plain RED would drop) the message is marked and let
+         through, so ECN mode is lossless by construction. *)
+      let p = red_probability c ~occupancy in
+      if p <= 0. then Accept
+      else if p >= 1. then Mark
+      else if Dist.bernoulli rng p then Mark
+      else Accept
+
+let to_string c =
+  Printf.sprintf "%s %d %d %d"
+    (discipline_to_string c.discipline)
+    c.capacity c.min_th c.max_th
+
+let pp ppf c = Format.pp_print_string ppf (to_string c)
+
+let of_tokens = function
+  | [ disc; cap; min_th; max_th ] -> (
+      match
+        ( discipline_of_string disc,
+          int_of_string_opt cap,
+          int_of_string_opt min_th,
+          int_of_string_opt max_th )
+      with
+      | Some discipline, Some capacity, Some min_th, Some max_th ->
+          let c = { capacity; discipline; min_th; max_th } in
+          (match validate c with Ok () -> Some c | Error _ -> None)
+      | _ -> None)
+  | _ -> None
+
+let of_string s =
+  of_tokens (String.split_on_char ' ' (String.trim s) |> List.filter (fun t -> t <> ""))

@@ -1,0 +1,72 @@
+(** Bounded per-link ingress queues with AQM-style early drop.
+
+    The paper's CONGEST model gives every link unbounded capacity; real
+    networks do not. This model bounds what a node's access link can
+    absorb in one synchronous round: each destination has a FIFO of
+    [capacity] slots that drains fully between rounds, and every message
+    that arrives while the queue holds [occupancy] entries faces the
+    configured discipline:
+
+    - [Drop_tail] — accepted below [capacity], dropped at it.
+    - [Red] — random early detection: dropped with probability 0 below
+      [min_th], probability 1 at or above [max_th] (and always at
+      capacity), linearly interpolated in between — the
+      occupancy-keyed decision/action split of the iRED line of work.
+    - [Ecn] — same curve, but the action is a congestion mark instead
+      of a drop: the message is delivered with its ECN bit set (visible
+      to the receiving protocol via [Protocol.incoming.ecn]) and is
+      {e never} lost, even above capacity.
+
+    Queues are keyed per destination (the receiver's access link), not
+    per directed edge: under the per-edge CONGEST budget an edge carries
+    only a handful of messages per round, so per-edge queues would never
+    fill — congestion emerges where a protocol concentrates load, many
+    senders funnelling into one receiver. *)
+
+type discipline = Drop_tail | Red | Ecn
+
+type config = {
+  capacity : int;  (** Queue slots per destination per round; >= 1. *)
+  discipline : discipline;
+  min_th : int;  (** Occupancy where early drop/mark starts; in [0, max_th]. *)
+  max_th : int;  (** Occupancy of sure drop/mark; in [min_th, capacity]. *)
+}
+
+type decision = Accept | Mark | Drop
+
+val make :
+  ?min_th:int -> ?max_th:int -> capacity:int -> discipline:discipline -> unit -> config
+(** Thresholds default to [max 1 (capacity / 4)] and
+    [max min_th (3 * capacity / 4)]. *)
+
+val validate : config -> (unit, string) result
+
+val can_drop : config -> bool
+(** Whether the discipline can lose messages: [true] except for [Ecn]. *)
+
+val red_probability : config -> occupancy:int -> float
+(** The pure RED curve: 0 below [min_th], 1 at or above [max_th],
+    linear and non-decreasing in between. *)
+
+val decide : config -> Ftc_rng.Rng.t -> occupancy:int -> decision
+(** The discipline's verdict on a message arriving at a queue holding
+    [occupancy] accepted messages. Draws from [rng] only when the RED
+    probability is strictly between 0 and 1, so out-of-band traffic
+    perturbs no random stream. [Ecn] never returns [Drop]. *)
+
+val discipline_to_string : discipline -> string
+(** ["drop-tail"], ["red"], or ["ecn"]. *)
+
+val discipline_of_string : string -> discipline option
+
+val to_string : config -> string
+(** ["<discipline> <capacity> <min_th> <max_th>"] — the replay-file and
+    spec-hash encoding; inverse of {!of_string}. *)
+
+val pp : Format.formatter -> config -> unit
+
+val of_tokens : string list -> config option
+(** Parse the four {!to_string} fields, validating; [None] on malformed
+    or invalid input. *)
+
+val of_string : string -> config option

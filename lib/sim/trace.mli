@@ -9,13 +9,22 @@
     [delivered = false] (it was sent and counts in the paper's message
     complexity) and a [Link_lost] marker attributing the loss to the
     {!Link} model rather than a crash — so send/drop counts from the trace
-    still reconcile exactly with {!Metrics}. *)
+    still reconcile exactly with {!Metrics}. A message dropped by a
+    bounded ingress queue ({!Queue_model}) is recorded the same way, with
+    a [Queue_dropped] marker in place of [Link_lost]. *)
 
 type event =
   | Send of { round : int; src : int; dst : int; bits : int; delivered : bool }
   | Crash of { round : int; node : int }
   | Link_lost of { round : int; src : int; dst : int; bits : int }
       (** Emitted alongside the undelivered [Send] it explains. *)
+  | Queue_dropped of { round : int; src : int; dst : int; bits : int }
+      (** Dropped by the destination's bounded ingress queue
+          ({!Queue_model}); emitted alongside the undelivered [Send] it
+          explains, like [Link_lost]. *)
+  | Ecn_marked of { round : int; src : int; dst : int }
+      (** The message was delivered carrying the ECN congestion bit;
+          emitted alongside its delivered [Send]. *)
   | Unroutable of { round : int; node : int }
       (** A [Fresh_port] send with no unknown peer left; never sent. *)
 

@@ -38,7 +38,8 @@ let pool_monitor recorder pool_name =
    feed. Everything arrives as plain values so callers in any layer
    (expt runner, chaos case) can use it. *)
 let record_run recorder ~protocol ~seed ~ok ~phases ~rounds_used ~per_round_msgs
-    ~per_round_bits ~msgs ~bits ~dropped ~lost_link ~unroutable ~round_ns ~start_ns =
+    ~per_round_bits ~msgs ~bits ~dropped ~lost_link ~queue_dropped ~ecn_marked
+    ~per_round_queue_peak ~unroutable ~round_ns ~start_ns =
   if Recorder.enabled recorder then begin
     let track = Printf.sprintf "seed-%d" seed in
     let dur_ns = Int64.sub (Recorder.now_ns recorder) start_ns in
@@ -55,10 +56,17 @@ let record_run recorder ~protocol ~seed ~ok ~phases ~rounds_used ~per_round_msgs
     Registry.incr reg (metric_prefix ^ "bits_total") bits;
     Registry.incr reg (metric_prefix ^ "msgs_dropped_total") dropped;
     Registry.incr reg (metric_prefix ^ "msgs_lost_link_total") lost_link;
+    Registry.incr reg (metric_prefix ^ "msgs_dropped_queue_total") queue_dropped;
+    Registry.incr reg (metric_prefix ^ "msgs_ecn_marked_total") ecn_marked;
     Registry.incr reg (metric_prefix ^ "msgs_unroutable_total") unroutable;
     Registry.observe reg (metric_prefix ^ "trial_msgs") msgs;
     Registry.observe reg (metric_prefix ^ "trial_bits") bits;
     Registry.observe reg (metric_prefix ^ "trial_rounds") rounds_used;
     Registry.observe reg (metric_prefix ^ "trial_wall_ns") (Int64.to_int dur_ns);
-    Array.iter (fun m -> Registry.observe reg (metric_prefix ^ "round_msgs") m) per_round_msgs
+    Array.iter (fun m -> Registry.observe reg (metric_prefix ^ "round_msgs") m) per_round_msgs;
+    (* Queue occupancy histogram: one sample per round that saw a nonzero
+       ingress-queue peak, so queue-less runs add no series at all. *)
+    Array.iter
+      (fun d -> if d > 0 then Registry.observe reg (metric_prefix ^ "queue_occupancy") d)
+      per_round_queue_peak
   end

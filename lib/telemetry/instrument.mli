@@ -23,6 +23,9 @@ val record_run :
   bits:int ->
   dropped:int ->
   lost_link:int ->
+  queue_dropped:int ->
+  ecn_marked:int ->
+  per_round_queue_peak:int array ->
   unroutable:int ->
   round_ns:int64 array ->
   start_ns:int64 ->
@@ -30,4 +33,8 @@ val record_run :
 (** Record one finished trial: a [Trial] event on track ["seed-N"], one
     [Span] per protocol phase (cut along [phases]), and the standard
     counters/histograms ([ftc_msgs_total], [ftc_trial_wall_ns],
-    [ftc_round_msgs], ...). No-op on a disabled recorder. *)
+    [ftc_round_msgs], ...). Congestion series: [queue_dropped] and
+    [ecn_marked] feed [ftc_msgs_dropped_queue_total] /
+    [ftc_msgs_ecn_marked_total], and each nonzero entry of
+    [per_round_queue_peak] is one [ftc_queue_occupancy] histogram
+    sample. No-op on a disabled recorder. *)

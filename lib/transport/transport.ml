@@ -10,7 +10,19 @@ let validate_config c =
   else if c.backoff_cap < c.timeout then
     Error (Printf.sprintf "backoff cap %d below timeout %d" c.backoff_cap c.timeout)
   else if c.budget < 0 then Error (Printf.sprintf "negative retransmission budget %d" c.budget)
-  else Ok ()
+  else begin
+    (* The calendar doubles timeouts from [timeout] up to [backoff_cap];
+       a cap off the doubling ladder would silently bind one step early.
+       Reject it instead of rounding. *)
+    let rec on_ladder t = t = c.backoff_cap || (t < c.backoff_cap && on_ladder (2 * t)) in
+    if not (on_ladder c.timeout) then
+      Error
+        (Printf.sprintf
+           "backoff cap %d is not a power-of-two multiple of timeout %d (the doubling \
+            calendar would skip it)"
+           c.backoff_cap c.timeout)
+    else Ok ()
+  end
 
 (* Offset of transmission i (0-based) within the window: doubling timeouts
    capped at [backoff_cap]. The window is sized so the last permitted
@@ -32,6 +44,8 @@ type stats = {
   mutable duplicates : int;
   mutable gave_up : int;
   mutable unroutable : int;
+  mutable ecn_backoffs : int;
+  mutable congestion_drops : int;
   mutable max_timeout : int;
 }
 
@@ -45,14 +59,19 @@ let fresh_stats () =
     duplicates = 0;
     gave_up = 0;
     unroutable = 0;
+    ecn_backoffs = 0;
+    congestion_drops = 0;
     max_timeout = 0;
   }
 
+(* One line, every field, declaration order — golden-tested so F13/F14
+   logs stay machine-greppable across versions. *)
 let pp_stats ppf s =
   Format.fprintf ppf
-    "data=%d retx=%d acks=%d acked=%d delivered=%d dups=%d gave_up=%d unroutable=%d"
+    "data=%d retx=%d acks=%d acked=%d delivered=%d dups=%d gave_up=%d unroutable=%d \
+     ecn_backoffs=%d congestion_drops=%d max_timeout=%d"
     s.data_sent s.retransmissions s.acks_sent s.acked s.delivered_unique s.duplicates s.gave_up
-    s.unroutable
+    s.unroutable s.ecn_backoffs s.congestion_drops s.max_timeout
 
 (* Sequence numbers ride in every data message and ack; 2 log n bits is
    room for n^2 messages per sender, far beyond the Õ(√n) protocols. *)
@@ -79,6 +98,7 @@ module Make
     mutable timeout : int;
     mutable sent : int;  (* transmissions so far, first included *)
     mutable ack_deadline : int;  (* last round an ack for this can still arrive *)
+    mutable congested : bool;  (* calendar widened after repeated losses *)
   }
 
   type state = {
@@ -88,6 +108,8 @@ module Make
     mutable pending : pending list;
     mutable buffer : P.msg Protocol.incoming list;  (* reversed arrival order *)
     seen : (int * int, unit) Hashtbl.t;  (* (from_port, seq) already delivered *)
+    mutable congestion : int;  (* ECN backoff exponent, 0..3 *)
+    mutable signal_seen : bool;  (* an ECN mark arrived since the last window boundary *)
   }
 
   let name = P.name ^ "+transport"
@@ -111,9 +133,15 @@ module Make
       pending = [];
       buffer = [];
       seen = Hashtbl.create 64;
+      congestion = 0;
+      signal_seen = false;
     }
 
   let record_timeout t = if t > stats.max_timeout then stats.max_timeout <- t
+
+  (* The maximum ECN backoff: timeouts shifted by 3 (x8) still fit a few
+     transmissions into the default 24-round window. *)
+  let max_congestion = 3
 
   let step ctx st ~round ~inbox =
     let out = ref [] in
@@ -122,9 +150,11 @@ module Make
        and buffered for the next inner round. Receiver-side port openings
        show up here as fresh [from_port] values, keeping the port mirror
        in sync with the engine. *)
+    let marked = ref false in
     List.iter
-      (fun { Protocol.from_port; payload } ->
+      (fun { Protocol.from_port; payload; ecn } ->
         if from_port >= st.next_port then st.next_port <- from_port + 1;
+        if ecn then marked := true;
         match payload with
         | Ack seq ->
             let confirmed, rest = List.partition (fun p -> p.seq = seq) st.pending in
@@ -140,15 +170,31 @@ module Make
             else begin
               Hashtbl.replace st.seen (from_port, seq) ();
               stats.delivered_unique <- stats.delivered_unique + 1;
-              st.buffer <- { Protocol.from_port; payload } :: st.buffer
+              st.buffer <- { Protocol.from_port; payload; ecn } :: st.buffer
             end)
       inbox;
+    (* ECN reaction: any congestion mark this step escalates the node's
+       backoff exponent one level (at most one level per step), widening
+       every timeout below — the multiplicative backoff beyond the
+       loss-driven doubling. The mark also arms [signal_seen] so the
+       exponent holds through the next window boundary. *)
+    if !marked then begin
+      st.signal_seen <- true;
+      if st.congestion < max_congestion then begin
+        st.congestion <- st.congestion + 1;
+        stats.ecn_backoffs <- stats.ecn_backoffs + 1
+      end
+    end;
     (* 2. Window boundary: deliver the buffered data as the inner round's
        inbox, and ship the inner protocol's sends with fresh sequence
        numbers. First transmissions keep the inner destination (a
        [Fresh_port] must really open the port); retransmissions go through
        the port the mirror says that send opened. *)
     if round mod w = 0 then begin
+      (* A window with no congestion signal decays the ECN exponent one
+         level (AIMD-style recovery); one with a signal just re-arms. *)
+      if st.signal_seen then st.signal_seen <- false
+      else if st.congestion > 0 then st.congestion <- st.congestion - 1;
       let inner_inbox = List.rev st.buffer in
       st.buffer <- [];
       let inner', actions = P.step ctx st.inner ~round:(round / w) ~inbox:inner_inbox in
@@ -177,7 +223,8 @@ module Make
               let seq = st.next_seq in
               st.next_seq <- seq + 1;
               stats.data_sent <- stats.data_sent + 1;
-              record_timeout cfg.timeout;
+              let eff = cfg.timeout lsl st.congestion in
+              record_timeout eff;
               emit dest (Data { seq; payload });
               st.pending <-
                 {
@@ -185,10 +232,11 @@ module Make
                   retx_dest;
                   payload;
                   window_end = round + w;
-                  next_at = round + cfg.timeout;
+                  next_at = min (round + eff) (round + w);
                   timeout = cfg.timeout;
                   sent = 1;
                   ack_deadline = round + 2;
+                  congested = false;
                 }
                 :: st.pending)
         actions
@@ -205,9 +253,23 @@ module Make
             stats.retransmissions <- stats.retransmissions + 1;
             p.sent <- p.sent + 1;
             p.ack_deadline <- round + 2;
-            p.timeout <- min cfg.backoff_cap (2 * p.timeout);
-            record_timeout p.timeout;
-            p.next_at <- round + p.timeout;
+            (* Two unacked transmissions suggest a queue is eating them,
+               not random loss: widen this message's calendar past the
+               plain doubling (quadruple, cap lifted 4x) so later copies
+               stop re-filling the queue that dropped the earlier ones. *)
+            if p.sent >= 3 && not p.congested then begin
+              p.congested <- true;
+              stats.congestion_drops <- stats.congestion_drops + 1
+            end;
+            let growth, cap =
+              if p.congested then (4, 4 * cfg.backoff_cap) else (2, cfg.backoff_cap)
+            in
+            p.timeout <- min cap (growth * p.timeout);
+            let eff = p.timeout lsl st.congestion in
+            record_timeout eff;
+            (* Clamp to the window so the give-up check still reaches the
+               entry before the run ends. *)
+            p.next_at <- min (round + eff) p.window_end;
             true
           end
           else if round >= p.ack_deadline then begin

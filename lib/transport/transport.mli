@@ -19,11 +19,23 @@
     charge every ack and retransmission like any other message (so wrapped
     runs need roughly double the per-edge CONGEST budget — a data message
     and an ack can share an edge-round), and {!stats} breaks the overhead
-    down by cause. *)
+    down by cause.
+
+    The transport is congestion-aware: an incoming ECN mark (set by the
+    [ecn] queue discipline, see [Ftc_sim.Queue_model]) escalates a
+    per-node backoff exponent that widens every timeout multiplicatively
+    (x2 per escalation, up to x8), decaying one level per mark-free
+    window; and a message whose first two transmissions both vanish is
+    inferred to be feeding a full queue — its own calendar switches from
+    doubling to quadrupling with a 4x-lifted cap. Both reactions spread
+    retransmissions out in time instead of re-filling the queue that
+    dropped them. *)
 
 type config = {
   timeout : int;  (** Rounds before the first retransmission; >= 2 (the ack RTT). *)
-  backoff_cap : int;  (** Timeouts double up to this cap; >= [timeout]. *)
+  backoff_cap : int;
+      (** Timeouts double up to this cap; must be [timeout * 2^k] for
+          some [k >= 0], so the cap lies on the doubling ladder. *)
   budget : int;  (** Maximum retransmissions per message; >= 0. *)
 }
 
@@ -45,11 +57,25 @@ type stats = {
   mutable duplicates : int;  (** Copies suppressed by receiver-side dedup. *)
   mutable gave_up : int;  (** Messages abandoned unacked (budget or window spent). *)
   mutable unroutable : int;  (** Fresh-port sends past n-1 ports: forwarded untracked. *)
-  mutable max_timeout : int;  (** Largest timeout the calendar ever used. *)
+  mutable ecn_backoffs : int;
+      (** Escalations of a node's ECN backoff exponent: steps in which a
+          congestion-marked message arrived while the exponent was below
+          its x8 cap. *)
+  mutable congestion_drops : int;
+      (** Messages inferred queue-dropped — both of their first two
+          transmissions vanished — whose calendars were widened from
+          doubling to quadrupling. *)
+  mutable max_timeout : int;
+      (** Largest effective timeout the calendar ever used, ECN widening
+          included. *)
 }
 
 val fresh_stats : unit -> stats
+
 val pp_stats : Format.formatter -> stats -> unit
+(** One line, all fields, stable declaration order (golden-tested):
+    [data retx acks acked delivered dups gave_up unroutable ecn_backoffs
+    congestion_drops max_timeout], each as [name=%d]. *)
 
 val seq_bits : n:int -> int
 (** Framing bits added to every data message and ack: [2 * Congest.id_bits]. *)

@@ -76,7 +76,8 @@ let test_trace_metrics_every_adversary () =
                   incr sends;
                   bits := !bits + b;
                   if delivered then delivered_bits := !delivered_bits + b else incr dropped
-              | Trace.Crash _ | Trace.Link_lost _ | Trace.Unroutable _ -> ())
+              | Trace.Crash _ | Trace.Link_lost _ | Trace.Queue_dropped _ | Trace.Ecn_marked _
+              | Trace.Unroutable _ -> ())
             (Trace.events t);
           Alcotest.(check int) (name ^ ": sends = msgs_sent") r.metrics.msgs_sent !sends;
           Alcotest.(check int) (name ^ ": drops = msgs_dropped") r.metrics.msgs_dropped !dropped;
@@ -99,6 +100,7 @@ let clean_case =
     plan = [];
     adversary = None;
     loss = Ftc_fault.Omission.No_loss;
+    queue = None;
     transport = false;
   }
 
@@ -136,6 +138,7 @@ let kutten_known_bad () =
       plan = [];
       adversary = None;
       loss = Ftc_fault.Omission.No_loss;
+      queue = None;
       transport = false;
     }
   in
@@ -402,6 +405,54 @@ let test_replay_fixture_files_still_validate_and_balance () =
                 (List.map (fun f -> Format.asprintf "%a" Oracle.pp f) findings)))
     fixtures
 
+(* The same guarantee for artifacts that live on disk: the checked-in
+   version-3 and version-4 fixture files must keep replaying to the
+   exact run they recorded. The pinned constants are the metrics those
+   files produced when they were written — any drift in the parser, the
+   rng streams, or the engine's event order shows up here as a changed
+   number, i.e. the counterexample silently became a different case. *)
+let test_replay_fixtures_on_disk_bit_identical () =
+  let read_file path =
+    (* dune runtest runs us next to fixtures/; a manual `dune exec`
+       from the project root sees them under test/ instead. *)
+    let path = if Sys.file_exists path then path else Filename.concat "test" path in
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let fixtures =
+    [
+      (* (path, msgs_sent, bits_sent, dropped, lost_link, dropped_queue, ecn_marked, rounds) *)
+      ("fixtures/replay-v3.ftc", 72_258, 2_146_827, 15, 1_485, 0, 0, 1_969);
+      ("fixtures/replay-v4.ftc", 69_812, 2_038_184, 15, 0, 0, 63_210, 1_969);
+    ]
+  in
+  List.iter
+    (fun (path, sent, bits, dropped, lost, qdrop, marked, rounds) ->
+      match Chaos.Replay.of_string (read_file path) with
+      | Error e -> Alcotest.failf "%s: parse failed: %s" path e
+      | Ok (case, _expect) -> (
+          Alcotest.(check bool) (path ^ ": validates") true
+            (Result.is_ok (Case.validate case));
+          match Case.run case with
+          | Error e -> Alcotest.failf "%s: %s" path (Case.error_to_string e)
+          | Ok (r, findings) ->
+              Alcotest.(check (list string)) (path ^ ": oracles clean") []
+                (List.map (fun f -> Format.asprintf "%a" Oracle.pp f) findings);
+              Alcotest.(check int) (path ^ ": msgs_sent") sent r.Engine.metrics.msgs_sent;
+              Alcotest.(check int) (path ^ ": bits_sent") bits r.Engine.metrics.bits_sent;
+              Alcotest.(check int) (path ^ ": msgs_dropped") dropped r.Engine.metrics.msgs_dropped;
+              Alcotest.(check int) (path ^ ": msgs_lost_link") lost r.Engine.metrics.msgs_lost_link;
+              Alcotest.(check int)
+                (path ^ ": msgs_dropped_queue")
+                qdrop r.Engine.metrics.msgs_dropped_queue;
+              Alcotest.(check int)
+                (path ^ ": msgs_ecn_marked")
+                marked r.Engine.metrics.msgs_ecn_marked;
+              Alcotest.(check int) (path ^ ": rounds_used") rounds r.Engine.rounds_used))
+    fixtures
+
 let test_replay_parser_rejects_garbage () =
   Alcotest.(check bool) "garbage" true (Result.is_error (Chaos.Replay.of_string "hello\nworld"));
   Alcotest.(check bool) "empty" true (Result.is_error (Chaos.Replay.of_string ""));
@@ -455,6 +506,8 @@ let () =
           Alcotest.test_case "parser rejects garbage" `Quick test_replay_parser_rejects_garbage;
           Alcotest.test_case "fixture files validate + balance" `Quick
             test_replay_fixture_files_still_validate_and_balance;
+          Alcotest.test_case "on-disk fixtures bit-identical" `Quick
+            test_replay_fixtures_on_disk_bit_identical;
         ] );
       ( "sweep-cases",
         [

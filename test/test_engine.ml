@@ -46,7 +46,7 @@ module Ping_pong = struct
   let step (_ctx : Protocol.ctx) st ~round ~inbox =
     let actions = ref [] in
     List.iter
-      (fun { Protocol.from_port; payload } ->
+      (fun { Protocol.from_port; payload; _ } ->
         match payload with
         | Ping ->
             st.pings_seen <- st.pings_seen + 1;
@@ -281,7 +281,8 @@ let test_link_partial_loss_reconciles () =
               incr sends;
               if not delivered then incr undelivered
           | Trace.Link_lost _ -> incr link_lost
-          | Trace.Crash _ | Trace.Unroutable _ -> ())
+          | Trace.Crash _ | Trace.Queue_dropped _ | Trace.Ecn_marked _ | Trace.Unroutable _ ->
+              ())
         (Trace.events t);
       Alcotest.(check int) "sends match metrics" r.metrics.msgs_sent !sends;
       Alcotest.(check int) "losses match metrics" r.metrics.msgs_lost_link !link_lost;
@@ -515,7 +516,7 @@ module Double_ping = struct
 
   let step (_ : Protocol.ctx) st ~round ~inbox =
     List.iter
-      (fun { Protocol.from_port; payload = Dping } ->
+      (fun { Protocol.from_port; payload = Dping; _ } ->
         st.ports_seen <- from_port :: st.ports_seen)
       inbox;
     let actions =

@@ -8,8 +8,8 @@ module Stats = Ftc_analysis.Stats
 
 let test_registry_ids_unique () =
   let ids = Registry.ids () in
-  Alcotest.(check int) "18 experiments" 18 (List.length ids);
-  Alcotest.(check int) "unique ids" 18 (List.length (List.sort_uniq compare ids))
+  Alcotest.(check int) "19 experiments" 19 (List.length ids);
+  Alcotest.(check int) "unique ids" 19 (List.length (List.sort_uniq compare ids))
 
 let test_registry_covers_design_index () =
   List.iter
@@ -17,7 +17,7 @@ let test_registry_covers_design_index () =
       match Registry.find id with
       | Some e -> Alcotest.(check string) "id matches" id e.Def.id
       | None -> Alcotest.failf "experiment %s missing" id)
-    [ "T1"; "F1"; "F2"; "F3"; "F4"; "F5"; "F6"; "F7"; "F8"; "F9"; "F10"; "F11"; "F12"; "F13"; "A1"; "A2"; "A3"; "A4" ]
+    [ "T1"; "F1"; "F2"; "F3"; "F4"; "F5"; "F6"; "F7"; "F8"; "F9"; "F10"; "F11"; "F12"; "F13"; "F14"; "A1"; "A2"; "A3"; "A4" ]
 
 let test_registry_find_case_insensitive () =
   Alcotest.(check bool) "lowercase works" true (Registry.find "f9" <> None);
@@ -112,7 +112,10 @@ let test_quick_experiment_runs () =
   match Registry.find "F6" with
   | None -> Alcotest.fail "F6 missing"
   | Some e ->
-      let report = e.Def.run { Def.scale = Def.Quick; base_seed = 3; jobs = 1; journal = None } in
+      let report =
+        e.Def.run
+          { Def.scale = Def.Quick; base_seed = 3; jobs = 1; journal = None; queue = None }
+      in
       Alcotest.(check bool) "produces a table" true
         (Astring.String.is_infix ~affix:"whp band" report)
 

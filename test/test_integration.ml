@@ -60,7 +60,8 @@ let trace_consistency name proto () =
               incr crashes;
               Alcotest.(check bool) (name ^ ": crash flagged") true r.crashed.(node);
               Alcotest.(check int) (name ^ ": crash round matches") round r.crash_round.(node)
-          | Trace.Link_lost _ | Trace.Unroutable _ ->
+          | Trace.Link_lost _ | Trace.Queue_dropped _ | Trace.Ecn_marked _ | Trace.Unroutable _
+            ->
               Alcotest.fail (name ^ ": link events impossible on reliable links"))
         (Trace.events t);
       Alcotest.(check int) (name ^ ": trace sends = metrics") r.metrics.msgs_sent !sends;
