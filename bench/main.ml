@@ -223,6 +223,28 @@ let throughput_workload ~jobs =
   (Printf.sprintf "leader-election n=%d alpha=%.1f random-crashes x%d trials" n alpha trials,
    trials, dt)
 
+(* Exhaustive-verifier calibration for BENCH_perf.json: one small space
+   swept end to end (every crash schedule of the ft-agreement protocol
+   at n=3 against every oracle), recording canonical states/sec at the
+   jobs value CI ran with. The report is deterministic across --jobs, so
+   printing it keeps the CI jobs=1 vs jobs=2 stdout diff meaningful for
+   the verifier fan-out too. *)
+let verify_workload ~jobs =
+  let cfg =
+    { (Ftc_verify.Verify.default_config ~protocol:"ft-agreement") with
+      Ftc_verify.Verify.n = 3; jobs }
+  in
+  let t0 = now_s () in
+  match Ftc_verify.Verify.run cfg with
+  | Error e ->
+      Printf.eprintf "verify workload failed: %s\n" e;
+      ("verify ft-agreement n=3 exhaustive", 0, 0.)
+  | Ok r ->
+      let dt = now_s () -. t0 in
+      print_endline (Ftc_verify.Verify.summary r);
+      ( "verify ft-agreement n=3 alpha=0.5 exhaustive",
+        r.Ftc_verify.Verify.explored_states, dt )
+
 (* Telemetry overhead gate: the same trial workload timed with the
    disabled recorder and with a live one, alternated reps with the min
    of each side kept, so frequency scaling and cache warmth cancel out
@@ -269,6 +291,11 @@ let emit_perf_json ~jobs ~experiment_times =
   Printf.fprintf oc "    \"overhead_pct\": %.1f,\n    \"budget_pct\": %.1f,\n" overhead_pct
     telemetry_budget_pct;
   Printf.fprintf oc "    \"within_budget\": %b\n  },\n" (overhead_pct <= telemetry_budget_pct);
+  let v_workload, v_states, v_dt = verify_workload ~jobs in
+  Printf.fprintf oc "  \"verify\": {\n    \"workload\": %S,\n    \"states\": %d,\n" v_workload
+    v_states;
+  Printf.fprintf oc "    \"seconds\": %.3f,\n    \"states_per_sec\": %.1f\n  },\n" v_dt
+    (if v_dt > 0. then float_of_int v_states /. v_dt else 0.);
   Printf.fprintf oc "  \"experiments\": [\n";
   List.iteri
     (fun i (id, dt) ->

@@ -10,6 +10,8 @@
                   decomposition (the lower-bound object)
      chaos      — fuzz adversaries across every registered protocol; on a
                   violation, shrink and write a replay file
+     verify     — exhaustively enumerate every adversary schedule at small
+                  n (with symmetry reduction) against the safety oracles
      replay     — deterministically re-execute a saved chaos reproducer,
                   or every entry of a quarantine file
      trace      — summarise or regenerate a --telemetry output directory
@@ -778,6 +780,213 @@ let chaos budget seed n_min n_max protocols omission queue_cap queue_model out j
       Printf.printf "reproducer written to %s — run `ftc replay %s`\n" out out;
       1
 
+(* -- verify command -- *)
+
+(* Stdout here is part of the resume contract: everything printed is
+   derived from the report (which a resumed run reconstructs exactly),
+   never from live progress, so `--resume` output is byte-identical to
+   an uninterrupted run. Progress and resume notes go to stderr. *)
+let verify protocols n alpha horizon keep_prefix_max grid seeds_per_state seed jobs
+    max_states keep_going no_reduction no_problem_oracles journal resume out telemetry =
+  let jobs = parse_jobs jobs in
+  let protocols =
+    match protocols with [] -> [ "ft-leader-election"; "ft-agreement" ] | ps -> ps
+  in
+  let journal, resume =
+    match (journal, resume) with
+    | Some _, Some _ ->
+        prerr_endline "--journal and --resume are mutually exclusive";
+        exit 2
+    | None, Some path -> (Some path, true)
+    | j, None -> (j, false)
+  in
+  if journal <> None && List.length protocols > 1 then begin
+    prerr_endline "verify: --journal/--resume need a single --protocol (one journal per space)";
+    exit 2
+  end;
+  with_telemetry telemetry @@ fun recorder ->
+  let codes =
+    List.map
+      (fun protocol ->
+        let cfg =
+          {
+            (Ftc_verify.Verify.default_config ~protocol) with
+            n;
+            alpha;
+            horizon;
+            keep_prefix_max;
+            grid;
+            seeds_per_state;
+            base_seed = seed;
+            reduction = not no_reduction;
+            problem_oracles = not no_problem_oracles;
+            max_states;
+            keep_going;
+            jobs;
+          }
+        in
+        match Ftc_verify.Verify.run ~recorder ?journal ~resume ~log:prerr_endline cfg with
+        | Error e ->
+            Printf.eprintf "verify: %s\n" e;
+            exit 2
+        | Ok report ->
+            print_endline (Ftc_verify.Verify.summary report);
+            List.iter
+              (fun (v : Ftc_verify.Verify.violation) ->
+                Printf.printf "violation at state %d (seed index %d):\n  %s\n" v.index
+                  v.seed_index v.state;
+                List.iter (fun d -> Printf.printf "  %s\n" d) v.details)
+              report.Ftc_verify.Verify.violations;
+            (match report.Ftc_verify.Verify.violations with
+            | [] -> ()
+            | first :: _ ->
+                let path =
+                  match out with
+                  | Some p -> p
+                  | None -> Printf.sprintf "verify-%s.ftc" protocol
+                in
+                Ftc_chaos.Replay.save ~expect:first.oracles path first.case;
+                Printf.printf "counterexample written to %s — run `ftc replay %s`\n" path
+                  path);
+            Ftc_verify.Verify.exit_code report)
+      protocols
+  in
+  if List.mem 1 codes then 1 else if List.mem 3 codes then 3 else 0
+
+let verify_cmd =
+  let doc =
+    "Exhaustively enumerate every adversary schedule at small n — faulty sets, per-node \
+     crash rounds, final-round partial-delivery rules, optionally the chaos loss/queue grid \
+     — against the safety oracles, with symmetry reduction over the anonymous nodes. BFS \
+     order makes the first counterexample minimal by construction; it is written as a \
+     replay file for $(b,ftc replay). Exits 0 on an exhaustive clean sweep, 1 on a \
+     violation, 3 on a clean but capped sweep, 2 on usage or resume errors."
+  in
+  let protocols =
+    Arg.(
+      value
+      & opt_all string []
+      & info [ "protocol" ] ~docv:"NAME"
+          ~doc:
+            "Verify this catalog protocol (repeatable; default ft-leader-election and \
+             ft-agreement).")
+  in
+  let n =
+    Arg.(
+      value & opt int 4 & info [ "n" ] ~docv:"N" ~doc:"Network size; the space is exhaustive \
+                                                      only for small N (at most 8).")
+  in
+  let alpha =
+    Arg.(
+      value
+      & opt float 0.5
+      & info [ "a"; "alpha" ] ~docv:"ALPHA"
+          ~doc:"Guaranteed non-faulty fraction; the crash budget is $(b,N - ceil(ALPHA N)).")
+  in
+  let horizon =
+    Arg.(
+      value
+      & opt int 0
+      & info [ "horizon" ] ~docv:"R"
+          ~doc:
+            "Crash rounds range over [0, $(docv)); 0 means the protocol's full round \
+             calendar.")
+  in
+  let keep_prefix_max =
+    Arg.(
+      value
+      & opt int 2
+      & info [ "keep-prefix-max" ] ~docv:"K"
+          ~doc:
+            "Partial final-round delivery: besides drop-none and drop-all, try keep-prefix \
+             1..$(docv).")
+  in
+  let grid =
+    Arg.(
+      value
+      & flag
+      & info [ "grid" ]
+          ~doc:
+            "Also sweep the chaos catalog's fixed loss/queue grid points (ECN and drop-tail \
+             queues, heavy raw loss, light loss under the transport). Droppy raw points are \
+             judged by the accounting oracles only, as in the fuzzer.")
+  in
+  let seeds_per_state =
+    Arg.(
+      value
+      & opt int 1
+      & info [ "seeds-per-state" ] ~docv:"S"
+          ~doc:"Coin assignments tried per canonical schedule.")
+  in
+  let max_states =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-states" ] ~docv:"M"
+          ~doc:"Stop after $(docv) states; a clean capped sweep exits 3, not 0.")
+  in
+  let keep_going =
+    Arg.(
+      value
+      & flag
+      & info [ "keep-going" ]
+          ~doc:"Collect every violation instead of stopping at the first (minimal) one.")
+  in
+  let no_reduction =
+    Arg.(
+      value
+      & flag
+      & info [ "no-reduction" ]
+          ~doc:
+            "Enumerate raw labelled schedules instead of canonical forms (the reference \
+             mode the symmetry-soundness tests compare against).")
+  in
+  let no_problem_oracles =
+    Arg.(
+      value
+      & flag
+      & info [ "no-problem-oracles" ]
+          ~doc:
+            "Check only the accounting oracles (model, congest, termination, \
+             trace-metrics): the w.h.p. election/agreement properties are expected to have \
+             failing schedules at small n, and this flag verifies everything else \
+             exhaustively despite them.")
+  in
+  let verify_journal =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "journal" ] ~docv:"FILE"
+          ~doc:
+            "Write-ahead exploration journal: one record per completed state chunk, flushed \
+             as it finishes, so a killed run can be resumed with $(b,--resume) $(docv).")
+  in
+  let verify_resume =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "resume" ] ~docv:"FILE"
+          ~doc:
+            "Resume the journal of an interrupted run of the $(i,same) verification: \
+             journaled chunks are restored without re-running, the rest are explored and \
+             appended. Stdout is byte-identical to an uninterrupted run. A journal of a \
+             different configuration is rejected (exit 2).")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"FILE"
+          ~doc:
+            "Where to write the first counterexample's replay file (default \
+             verify-$(i,protocol).ftc).")
+  in
+  Cmd.v (Cmd.info "verify" ~doc)
+    Term.(
+      const verify $ protocols $ n $ alpha $ horizon $ keep_prefix_max $ grid
+      $ seeds_per_state $ seed_arg $ jobs_arg $ max_states $ keep_going $ no_reduction
+      $ no_problem_oracles $ verify_journal $ verify_resume $ out $ telemetry_arg)
+
 (* -- replay command -- *)
 
 (* Re-execute every quarantined trial of a supervised sweep. Entries
@@ -1132,7 +1341,7 @@ let list_cmd =
 let main =
   let doc = "fault-tolerant leader election and agreement (Kumar & Molla, PODC'21/TPDS'23)" in
   Cmd.group (Cmd.info "ftc" ~version:"1.0.0" ~doc)
-    [ election_cmd; agreement_cmd; sweep_cmd; expt_cmd; clouds_cmd; chaos_cmd; replay_cmd;
-      trace_cmd; list_cmd ]
+    [ election_cmd; agreement_cmd; sweep_cmd; expt_cmd; clouds_cmd; chaos_cmd; verify_cmd;
+      replay_cmd; trace_cmd; list_cmd ]
 
 let () = exit (Cmd.eval' main)

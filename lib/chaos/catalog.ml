@@ -143,6 +143,65 @@ module Faulty_probe = struct
     { Ftc_sim.Observation.role = Ftc_sim.Observation.Bystander; rank = None; has_decided = true }
 end
 
+(* A deliberately crash-*fragile* binary agreement protocol: correct in
+   every fault-free run, deterministically wrong under partial round-0
+   delivery. Round 0 each node broadcasts its input bit; round 1 each
+   node computes the minimum bit it has seen and a tally of received
+   messages, then decides that minimum when the tally is full (n - 1)
+   and the complement otherwise. Fault-free every node sees everything
+   and agrees on the global minimum (valid). A round-0 crash keeping a
+   k-message prefix (0 < k < n - 1) splits the live nodes into full-tally
+   and short-tally groups that decide opposite bits — and crash-drop-all
+   on all-equal inputs makes everyone decide the complement of every
+   input, violating validity. The verifier's demo target: its minimal
+   counterexample (one crash, round 0, keep-prefix 1, all-zero inputs)
+   sits at the very front of the BFS order, and no later schedule or
+   relabelling fails differently, so the exhaustive sweep is cheap to
+   pin in tests and CI. *)
+module Crash_probe = struct
+  type state = { n : int; input : int; tally : int option; min_seen : int }
+  type msg = int
+
+  let name = "crash-probe"
+  let knowledge = `KT0
+  let msg_bits ~n:_ _ = 1
+  let max_rounds ~n:_ ~alpha:_ = 3
+  let phases = Ftc_sim.Protocol.single_phase
+
+  let init (ctx : Ftc_sim.Protocol.ctx) =
+    let input = ctx.input land 1 in
+    { n = ctx.n; input; tally = None; min_seen = input }
+
+  let step _ st ~round ~inbox =
+    match round with
+    | 0 ->
+        ( st,
+          List.init (st.n - 1) (fun _ ->
+              { Ftc_sim.Protocol.dest = Ftc_sim.Protocol.Fresh_port; payload = st.input }) )
+    | 1 ->
+        let tally = List.length inbox in
+        let min_seen =
+          List.fold_left
+            (fun acc (m : msg Ftc_sim.Protocol.incoming) -> min acc m.payload)
+            st.min_seen inbox
+        in
+        ({ st with tally = Some tally; min_seen }, [])
+    | _ -> (st, [])
+
+  let decide st =
+    match st.tally with
+    | None -> Ftc_sim.Decision.Undecided
+    | Some t ->
+        Ftc_sim.Decision.Agreed (if t = st.n - 1 then st.min_seen else 1 - st.min_seen)
+
+  let observe st =
+    {
+      Ftc_sim.Observation.role = Ftc_sim.Observation.Bystander;
+      rank = None;
+      has_decided = st.tally <> None;
+    }
+end
+
 (* Runnable via [find] (so [ftc sweep]/[ftc replay] can name them) but
    deliberately NOT in [all]: the fuzzer cycles deterministically through
    [all], and growing that list would silently reshuffle every recorded
@@ -156,6 +215,15 @@ let extras =
       explicit = true;
       inputs = Bits;
       crash_tolerant = false;
+      quiesces = true;
+    };
+    {
+      name = "crash-probe";
+      make = (fun () -> (module Crash_probe : Ftc_sim.Protocol.S));
+      kind = Agreement;
+      explicit = false;
+      inputs = Bits;
+      crash_tolerant = true;
       quiesces = true;
     };
   ]

@@ -39,8 +39,11 @@ val extras : entry list
 (** Runnable-but-not-fuzzed entries: diagnostic protocols such as
     [faulty-probe] (a KT0 protocol that addresses by node id, violating
     the model on every seed — the deterministic failure generator the
-    supervision tests and the quarantine CI demo are built on).
-    {!find}/{!names} see them; the fuzzer never does. *)
+    supervision tests and the quarantine CI demo are built on) and
+    [crash-probe] (a crash-fragile binary agreement protocol that is
+    correct fault-free and deterministically violates agreement or
+    validity under partial round-0 delivery — the exhaustive verifier's
+    demo target). {!find}/{!names} see them; the fuzzer never does. *)
 
 val find : string -> entry option
 (** Searches [all] then [extras]. *)

@@ -1,0 +1,134 @@
+(** The schedule space [ftc verify] enumerates, with symmetry reduction.
+
+    For one protocol at one (n, alpha), a {e schedule} fixes everything
+    the adversary (and the input assignment) may choose:
+
+    - the environment: one of a fixed list of loss/queue/transport grid
+      points (the pure paper model alone unless the caller asks for the
+      chaos catalog's grid);
+    - per node, an input value from the protocol's input domain;
+    - per node, optionally a crash: a round in [0, horizon) and a
+      final-round delivery rule drawn from the fixed severity ladder
+      [drop-none, keep-prefix 1 .. keep-prefix K, drop-all] — with at
+      most [f = Engine.max_faulty] crashed nodes in total.
+
+    The network is anonymous (KT0), so schedules that differ only by a
+    permutation of node identities are the same adversary behaviour. A
+    schedule is summarised by its per-node {!label}s; the {e canonical
+    form} sorts the label vector, and the verifier explores one
+    representative per orbit, weighting it by {!orbit_size}. To keep the
+    quotient sound the representative's execution must not depend on
+    which orbit member named it: {!to_case} therefore derives the engine
+    seed from the canonical encoding (FNV-1a, xor the caller's base
+    seed), never from raw node positions.
+
+    Enumeration ({!states}) is a lazy {!Seq.t} in BFS order — grid point,
+    then crash count, then crash-label multiset (round-major, mildest
+    rule first), then input multiset — so the first violating state met
+    is a minimal counterexample by construction, and spaces far larger
+    than memory can stream through the explorer. {!count} is closed-form
+    (multiset coefficients), never by enumeration. *)
+
+type env = {
+  loss : Ftc_fault.Omission.spec;
+  queue : Ftc_sim.Queue_model.config option;
+  transport : bool;
+}
+
+val pure_env : env
+(** The paper model: reliable links, unbounded queues, no transport. *)
+
+val grid_envs : env list
+(** The fixed chaos-catalog grid points added by [--grid], after
+    {!pure_env}: lossless ECN queue (cap 2), droppy drop-tail queue
+    (cap 2), heavy raw uniform loss (25%), and light uniform loss (5%)
+    under the retransmitting transport. Droppy raw points are judged by
+    the accounting oracles only, exactly as in the fuzzer. *)
+
+val env_to_string : env -> string
+
+type label = { input : int; crash : (int * int) option }
+(** One node's schedule role: its input, and [Some (round, rule_index)]
+    if it crashes ([rule_index] into {!t.rules}). *)
+
+type state = { env : int; labels : label array }
+(** One schedule: an index into {!t.envs} and one label per node. *)
+
+type t = {
+  entry : Ftc_chaos.Catalog.entry;
+  protocol : string;
+  n : int;
+  alpha : float;
+  f : int;  (** Fault budget, [Engine.max_faulty ~n ~alpha]. *)
+  horizon : int;  (** Crash rounds range over [0, horizon). *)
+  rules : Ftc_sim.Adversary.drop_rule array;
+      (** The severity ladder; index order is the BFS order. *)
+  envs : env array;
+  inputs : int array;  (** The per-node input domain, ascending. *)
+  fixed_inputs : int array option;
+      (** When set (a sorted multiset of length [n]), only schedules
+          whose joint input multiset equals it are enumerated — the test
+          hook behind the qcheck-over-inputs soundness property. *)
+}
+
+val make :
+  ?keep_prefix_max:int ->
+  ?grid:bool ->
+  ?horizon:int ->
+  ?fixed_inputs:int array ->
+  protocol:string ->
+  n:int ->
+  alpha:float ->
+  unit ->
+  (t, string) result
+(** Build the space. [keep_prefix_max] (default 2) is K in the rule
+    ladder; [horizon] 0 (the default) means the protocol's full round
+    calendar; [grid] (default false) appends {!grid_envs}. Errors on an
+    unknown protocol, n outside [2, 8] (the closed-form counters and
+    orbit factorials assume small n), a horizon beyond the calendar, or
+    malformed [fixed_inputs]. *)
+
+val label_compare : label -> label -> int
+(** Non-crashed before crashed; non-crashed by input; crashed by
+    (round, rule index, input). *)
+
+val canonicalize : state -> state
+(** Sort the label vector by {!label_compare}. Idempotent, and invariant
+    across every permutation of an orbit. *)
+
+val orbit_size : t -> state -> int
+(** How many distinct labelled schedules map to this state's canonical
+    form: n! / prod (multiplicity!) over equal labels. *)
+
+type counts = { canonical : int; schedules : int }
+
+val count : t -> counts
+(** Closed form: [canonical] distinct canonical states, [schedules]
+    labelled schedules (= sum of orbit sizes). With [fixed_inputs] the
+    closed form does not apply and both are computed by folding
+    {!states} — test-scale only. *)
+
+val states : t -> state Seq.t
+(** Every canonical state, lazily, in BFS order. *)
+
+val all_states : t -> state Seq.t
+(** Every labelled schedule (no symmetry reduction), lazily: the
+    reference enumeration the soundness tests compare against. Order is
+    env-major, then lexicographic over per-node label indices; crash
+    budget and [fixed_inputs] filters apply as in {!states}. *)
+
+val encode : t -> state -> string
+(** Stable one-line encoding of a state (protocol, env, labels) — the
+    journal/report spelling, and the string the seed is derived from
+    (after {!canonicalize}). *)
+
+val derive_seed : t -> base_seed:int -> seed_index:int -> state -> int
+(** FNV-1a over [encode (canonicalize state)] and [seed_index], xor
+    [base_seed], masked non-negative. Equal across an orbit. *)
+
+val to_case : t -> base_seed:int -> seed_index:int -> state -> Ftc_chaos.Case.t
+(** Materialise the state as a chaos case: node [i] takes label [i]'s
+    input and crash entry, the env supplies loss/queue/transport, and
+    the seed comes from {!derive_seed} — so every orbit member builds a
+    case with the same seed, and running the canonical representative
+    stands for the whole orbit. *)
