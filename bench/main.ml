@@ -245,6 +245,32 @@ let verify_workload ~jobs =
       ( "verify ft-agreement n=3 alpha=0.5 exhaustive",
         r.Ftc_verify.Verify.explored_states, dt )
 
+(* Fast-engine calibration for BENCH_perf.json: one ft-leader-election
+   trial on the struct-of-arrays engine ({!Ftc_sim.Fast_engine}) at a
+   pinned large n, recording ns per node-round — the per-unit cost the
+   flat-array design is supposed to hold roughly constant as n grows
+   (the F1/F2 extended decades up to n = 10^6 depend on it). The budget
+   is deliberately loose against CI-runner noise; correctness is owned
+   by the differential suite, this gate only catches order-of-magnitude
+   regressions (an accidental O(n) scan per round, a lost cache). *)
+let fast_engine_budget_ns_per_node_round = 200.
+
+let fast_engine_workload () =
+  let n = 100_000 and alpha = 0.5 in
+  let spec =
+    {
+      (Ftc_expt.Runner.default_spec (le ()) ~n ~alpha) with
+      Ftc_expt.Runner.adversary = random_adv;
+      fast_protocol = Some (Ftc_core.Leader_election_fast.make ~explicit:false params);
+    }
+  in
+  let t0 = now_s () in
+  let outcome = Ftc_expt.Runner.run spec ~seed:1 in
+  let dt = now_s () -. t0 in
+  let rounds = outcome.Ftc_expt.Runner.result.Ftc_sim.Engine.rounds_used in
+  (Printf.sprintf "leader-election n=%d alpha=%.1f random-crashes, fast engine" n alpha,
+   n, rounds, dt)
+
 (* Telemetry overhead gate: the same trial workload timed with the
    disabled recorder and with a live one, alternated reps with the min
    of each side kept, so frequency scaling and cache warmth cancel out
@@ -296,6 +322,17 @@ let emit_perf_json ~jobs ~experiment_times =
     v_states;
   Printf.fprintf oc "    \"seconds\": %.3f,\n    \"states_per_sec\": %.1f\n  },\n" v_dt
     (if v_dt > 0. then float_of_int v_states /. v_dt else 0.);
+  let fe_workload, fe_n, fe_rounds, fe_dt = fast_engine_workload () in
+  let fe_ns =
+    if fe_n > 0 && fe_rounds > 0 then fe_dt *. 1e9 /. float_of_int (fe_n * fe_rounds) else 0.
+  in
+  Printf.fprintf oc "  \"fast_engine\": {\n    \"workload\": %S,\n    \"n\": %d,\n" fe_workload
+    fe_n;
+  Printf.fprintf oc "    \"rounds\": %d,\n    \"seconds\": %.3f,\n" fe_rounds fe_dt;
+  Printf.fprintf oc "    \"ns_per_node_round\": %.1f,\n    \"budget_ns_per_node_round\": %.1f,\n"
+    fe_ns fast_engine_budget_ns_per_node_round;
+  Printf.fprintf oc "    \"within_budget\": %b\n  },\n"
+    (fe_ns <= fast_engine_budget_ns_per_node_round);
   Printf.fprintf oc "  \"experiments\": [\n";
   List.iteri
     (fun i (id, dt) ->
@@ -339,7 +376,7 @@ let () =
     ids;
   let keep_going = List.mem "--keep-going" flags in
   if not (List.mem "--no-bench" flags) then emit_f13_json (run_microbenches ids);
-  let ctx = { Ftc_expt.Def.scale; base_seed = seed; jobs; journal = None; queue = None } in
+  let ctx = { Ftc_expt.Def.scale; base_seed = seed; jobs; journal = None; queue = None; fast_engine = false } in
   let experiment_times = ref [] in
   let failures = ref [] in
   List.iter

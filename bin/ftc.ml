@@ -128,6 +128,27 @@ let queue_model_arg =
            red (probabilistic early drop between the RED thresholds), or ecn (congestion mark \
            instead of drop — lossless).")
 
+let engine_arg =
+  Arg.(
+    value
+    & opt (enum [ ("classic", `Classic); ("fast", `Fast) ]) `Classic
+    & info [ "engine" ] ~docv:"ENGINE"
+        ~doc:
+          "Simulation engine: $(b,classic) (the closure engine, the default) or $(b,fast) \
+           (the struct-of-arrays engine — bit-identical results, pinned by the differential \
+           suite, and fast enough for n = 10^6). The fast engine does not take \
+           $(b,--transport).")
+
+(* Shared by election/agreement: the fast engine runs raw protocols
+   only — the reliable-transport wrapper is a classic protocol
+   transformer — so asking for both is a usage error, like the other
+   argument conflicts. *)
+let reject_fast_transport ~engine ~transport_on =
+  if engine = `Fast && transport_on then begin
+    prerr_endline "--engine fast does not support --transport";
+    exit 2
+  end
+
 (* Shared by every command taking --queue-cap: bad capacities and unknown
    disciplines are usage errors (exit 2), mirroring parse_loss. *)
 let parse_queue ~cap ~model =
@@ -416,10 +437,11 @@ let election_report ~explicit seed (o : Ftc_expt.Runner.outcome) =
   { report = Buffer.contents b; success }
 
 let election n alpha seed adversary_name explicit trials loss loss_model queue_cap queue_model
-    transport_on jobs keep_going journal resume quarantine trial_timeout telemetry =
+    transport_on engine jobs keep_going journal resume quarantine trial_timeout telemetry =
   let loss = parse_loss ~loss ~model:loss_model in
   let queue = parse_queue ~cap:queue_cap ~model:queue_model in
   let jobs = parse_jobs jobs in
+  reject_fast_transport ~engine ~transport_on;
   match adversary_of_name adversary_name with
   | Error e ->
       prerr_endline e;
@@ -436,20 +458,26 @@ let election n alpha seed adversary_name explicit trials loss loss_model queue_c
              ~n ~alpha ~inputs:Ftc_expt.Runner.Zeros ~adversary ~trace:false)
           with
           Ftc_expt.Runner.trial_timeout;
+          fast_protocol =
+            (if engine = `Fast then Some (Ftc_core.Leader_election_fast.make ~explicit params)
+             else None);
         }
       in
+      (* The engine line is appended only for fast runs, so journals of
+         classic runs keep their historical hash. *)
       let spec_hash =
         spec_hash_of
-          [
-            "election";
-            Printf.sprintf "explicit=%b" explicit;
-            Printf.sprintf "n=%d" n;
-            Printf.sprintf "alpha=%.17g" alpha;
-            "adversary=" ^ adversary_name;
-            "loss=" ^ Ftc_fault.Omission.spec_to_string loss;
-            queue_hash_line queue;
-            Printf.sprintf "transport=%b" transport_on;
-          ]
+          ([
+             "election";
+             Printf.sprintf "explicit=%b" explicit;
+             Printf.sprintf "n=%d" n;
+             Printf.sprintf "alpha=%.17g" alpha;
+             "adversary=" ^ adversary_name;
+             "loss=" ^ Ftc_fault.Omission.spec_to_string loss;
+             queue_hash_line queue;
+             Printf.sprintf "transport=%b" transport_on;
+           ]
+          @ if engine = `Fast then [ "engine=fast" ] else [])
       in
       let run_trial seed =
         let o = Ftc_expt.Runner.run ~recorder spec ~seed in
@@ -486,10 +514,12 @@ let agreement_report ~explicit seed (o : Ftc_expt.Runner.outcome) =
   { report = Buffer.contents b; success = rep.ok }
 
 let agreement n alpha seed adversary_name explicit trials ones_prob loss loss_model queue_cap
-    queue_model transport_on jobs keep_going journal resume quarantine trial_timeout telemetry =
+    queue_model transport_on engine jobs keep_going journal resume quarantine trial_timeout
+    telemetry =
   let loss = parse_loss ~loss ~model:loss_model in
   let queue = parse_queue ~cap:queue_cap ~model:queue_model in
   let jobs = parse_jobs jobs in
+  reject_fast_transport ~engine ~transport_on;
   match adversary_of_name adversary_name with
   | Error e ->
       prerr_endline e;
@@ -508,21 +538,26 @@ let agreement n alpha seed adversary_name explicit trials ones_prob loss loss_mo
              ~adversary ~trace:false)
           with
           Ftc_expt.Runner.trial_timeout;
+          fast_protocol =
+            (if engine = `Fast then Some (Ftc_core.Agreement_fast.make ~explicit params)
+             else None);
         }
       in
+      (* As in [election]: classic journals keep their historical hash. *)
       let spec_hash =
         spec_hash_of
-          [
-            "agreement";
-            Printf.sprintf "explicit=%b" explicit;
-            Printf.sprintf "n=%d" n;
-            Printf.sprintf "alpha=%.17g" alpha;
-            "adversary=" ^ adversary_name;
-            Printf.sprintf "ones=%.17g" ones_prob;
-            "loss=" ^ Ftc_fault.Omission.spec_to_string loss;
-            queue_hash_line queue;
-            Printf.sprintf "transport=%b" transport_on;
-          ]
+          ([
+             "agreement";
+             Printf.sprintf "explicit=%b" explicit;
+             Printf.sprintf "n=%d" n;
+             Printf.sprintf "alpha=%.17g" alpha;
+             "adversary=" ^ adversary_name;
+             Printf.sprintf "ones=%.17g" ones_prob;
+             "loss=" ^ Ftc_fault.Omission.spec_to_string loss;
+             queue_hash_line queue;
+             Printf.sprintf "transport=%b" transport_on;
+           ]
+          @ if engine = `Fast then [ "engine=fast" ] else [])
       in
       let run_trial seed =
         let o = Ftc_expt.Runner.run ~recorder spec ~seed in
@@ -627,9 +662,10 @@ let sweep protocol_name n alpha seed adversary_name trials loss loss_model queue
 
 (* -- expt command -- *)
 
-let expt ids full seed queue_cap queue_model jobs journal resume =
+let expt ids full seed queue_cap queue_model engine jobs journal resume =
   let queue = parse_queue ~cap:queue_cap ~model:queue_model in
   let jobs = parse_jobs jobs in
+  let fast_engine = engine = `Fast in
   let all_ids = Ftc_expt.Registry.ids () in
   let ids = match ids with [] -> all_ids | ids -> List.map String.uppercase_ascii ids in
   let bad = List.filter (fun id -> Ftc_expt.Registry.find id = None) ids in
@@ -644,12 +680,16 @@ let expt ids full seed queue_cap queue_model jobs journal resume =
        records depend on besides their own key: scale and base seed. The
        experiment selection is deliberately excluded — records are keyed
        per experiment, so a resumed run may cover a different subset. *)
-    (* The queue line is appended only when the override is set, so
-       journals of queue-less runs keep their historical hash. *)
+    (* The queue and engine lines are appended only when the override is
+       set, so journals of default runs keep their historical hash. The
+       engine matters to the journal because the fast engine unlocks
+       sweep points (F1/F2's extended decades) that do not exist in
+       classic journals. *)
     let spec_hash =
       spec_hash_of
         ([ "expt"; (if full then "scale=full" else "scale=quick"); Printf.sprintf "seed=%d" seed ]
-        @ match queue with None -> [] | Some _ -> [ queue_hash_line queue ])
+        @ (match queue with None -> [] | Some _ -> [ queue_hash_line queue ])
+        @ if fast_engine then [ "engine=fast" ] else [])
     in
     let journal =
       match (journal, resume) with
@@ -664,7 +704,7 @@ let expt ids full seed queue_cap queue_model jobs journal resume =
             Printf.eprintf "cannot resume: %s\n" msg;
             exit 2)
     in
-    let ctx = { Ftc_expt.Def.scale; base_seed = seed; jobs; journal; queue } in
+    let ctx = { Ftc_expt.Def.scale; base_seed = seed; jobs; journal; queue; fast_engine } in
     Fun.protect
       ~finally:(fun () -> Option.iter Supervise.close_shared journal)
       (fun () ->
@@ -1175,8 +1215,8 @@ let election_cmd =
     (Cmd.info "election" ~doc)
     Term.(
       const election $ n_arg $ alpha_arg $ seed_arg $ adversary_arg $ explicit_arg $ trials_arg
-      $ loss_arg $ loss_model_arg $ queue_cap_arg $ queue_model_arg $ transport_arg $ jobs_arg
-      $ keep_going_arg $ journal_arg $ resume_arg $ quarantine_arg $ trial_timeout_arg
+      $ loss_arg $ loss_model_arg $ queue_cap_arg $ queue_model_arg $ transport_arg $ engine_arg
+      $ jobs_arg $ keep_going_arg $ journal_arg $ resume_arg $ quarantine_arg $ trial_timeout_arg
       $ telemetry_arg)
 
 let agreement_cmd =
@@ -1192,8 +1232,8 @@ let agreement_cmd =
     Term.(
       const agreement $ n_arg $ alpha_arg $ seed_arg $ adversary_arg $ explicit_arg $ trials_arg
       $ ones $ loss_arg $ loss_model_arg $ queue_cap_arg $ queue_model_arg $ transport_arg
-      $ jobs_arg $ keep_going_arg $ journal_arg $ resume_arg $ quarantine_arg $ trial_timeout_arg
-      $ telemetry_arg)
+      $ engine_arg $ jobs_arg $ keep_going_arg $ journal_arg $ resume_arg $ quarantine_arg
+      $ trial_timeout_arg $ telemetry_arg)
 
 let sweep_cmd =
   let doc =
@@ -1239,8 +1279,8 @@ let expt_cmd =
   in
   Cmd.v (Cmd.info "expt" ~doc)
     Term.(
-      const expt $ ids $ full $ seed_arg $ queue_cap_arg $ queue_model_arg $ jobs_arg $ journal
-      $ resume)
+      const expt $ ids $ full $ seed_arg $ queue_cap_arg $ queue_model_arg $ engine_arg
+      $ jobs_arg $ journal $ resume)
 
 let clouds_cmd =
   let doc = "Trace a run and print its influence-cloud decomposition (Thm 4.2/5.2)." in

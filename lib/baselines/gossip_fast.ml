@@ -1,0 +1,83 @@
+module Fast_protocol = Ftc_sim.Fast_protocol
+module Decision = Ftc_sim.Decision
+module Observation = Ftc_sim.Observation
+module Congest = Ftc_sim.Congest
+
+(* Fast-engine port of {!Gossip} (push-gossip min-aggregation). One
+   word per message: the pushed value. Every node is active every
+   round — the classic protocol sends [fanout] fresh pushes per node
+   per round until the calendar ends — so the port simply keeps every
+   node awake through the decide round. Inputs can be arbitrary ints,
+   so the decision is a separate flag, not a value sentinel. *)
+
+module Make (C : sig
+  val fanout : int
+end) : Fast_protocol.S = struct
+  let name = "push-gossip"
+  let knowledge = `KT0
+  let words = 1
+  let msg_bits ~n:_ _w0 = Congest.tag_bits + 1
+
+  let gossip_rounds ~n =
+    let rec log2 acc v = if v <= 1 then acc else log2 (acc + 1) (v / 2) in
+    (2 * log2 0 n) + 4
+
+  let max_rounds ~n ~alpha:_ = gossip_rounds ~n + 1
+  let phases ~n ~alpha:_ = [ ("push-rumours", 0); ("decide", gossip_rounds ~n) ]
+
+  type t = {
+    gossip_rounds : int;
+    value : int array;
+    decided : Bytes.t;
+    rt : Fast_protocol.runtime;
+  }
+
+  let decide t i =
+    if Bytes.get t.decided i = '\000' then Decision.Undecided else Decision.Agreed t.value.(i)
+
+  (* Only two observation values exist; share them rather than
+     allocating one per call (observe runs per active node per round). *)
+  let obs_undecided = { Observation.bystander with has_decided = false }
+  let obs_decided = { Observation.bystander with has_decided = true }
+  let observe t i = t.rt.Fast_protocol.obs.(i)
+
+  let create ~n ~alpha:_ ~inputs ~node_rngs:_ rt =
+    let t =
+      {
+        gossip_rounds = gossip_rounds ~n;
+        value = Array.copy inputs;
+        decided = Bytes.make n '\000';
+        rt;
+      }
+    in
+    for i = 0 to n - 1 do
+      rt.Fast_protocol.obs.(i) <- obs_undecided;
+      rt.Fast_protocol.wake i
+    done;
+    t
+
+  let step t ~node:i ~round ~inbox_start ~inbox_count =
+    let rt = t.rt in
+    let iw = rt.Fast_protocol.inbox_words in
+    for m = 0 to inbox_count - 1 do
+      let v = iw.{inbox_start + m} in
+      if v < t.value.(i) then t.value.(i) <- v
+    done;
+    if round < t.gossip_rounds then begin
+      let v = t.value.(i) in
+      for _ = 1 to C.fanout do
+        rt.Fast_protocol.emit_fresh v 0 0
+      done
+    end;
+    if round = t.gossip_rounds then begin
+      Bytes.set t.decided i '\001';
+      rt.Fast_protocol.obs.(i) <- obs_decided;
+      rt.Fast_protocol.note_decided i
+    end;
+    if round + 1 <= t.gossip_rounds then rt.Fast_protocol.wake i
+end
+
+let make ?(fanout = 2) () =
+  (module Make (struct
+    let fanout = fanout
+  end) : Fast_protocol.S)

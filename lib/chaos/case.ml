@@ -141,6 +141,58 @@ let run ?watchdog ?(recorder = Ftc_telemetry.Recorder.disabled) case =
       end;
       Ok (result, findings)
 
+(* The same execution on the struct-of-arrays fast engine. Kept
+   deliberately parallel to [run]: identical adversary materialization,
+   identical config, identical oracle pass — the result is bit-identical
+   to [run]'s by the differential suite's contract, so the two share
+   expectations (pinned fixture metrics included). Transport cases are
+   rejected: the wrapper is a classic protocol transformer. *)
+let run_fast ?watchdog case =
+  match validate case with
+  | Error _ as e -> e
+  | Ok entry -> (
+      match entry.Catalog.fast with
+      | None ->
+          Error
+            (Invalid_case
+               (Printf.sprintf "protocol %s has no fast-engine port" case.protocol))
+      | Some _ when case.transport ->
+          Error (Invalid_case "the fast engine does not support the transport wrapper")
+      | Some mk_fast ->
+          let (module FP : Ftc_sim.Fast_protocol.S) = mk_fast () in
+          let module FE = Ftc_sim.Fast_engine.Make (FP) in
+          let adversary =
+            match case.adversary with
+            | Some name -> (List.assoc name (Strategy.all ())) ()
+            | None ->
+                if case.plan = [] then Adversary.none else Strategy.scheduled case.plan ()
+          in
+          let result =
+            FE.run
+              {
+                Engine.n = case.n;
+                alpha = case.alpha;
+                seed = case.seed;
+                inputs = Some case.inputs;
+                adversary;
+                link = Omission.to_link case.loss;
+                queue = case.queue;
+                congest_limit = Some (Ftc_sim.Congest.default_limit ~n:case.n);
+                record_trace = true;
+                max_rounds_override = None;
+                watchdog;
+                round_clock = None;
+              }
+          in
+          let queue_can_drop =
+            match case.queue with
+            | Some q -> Ftc_sim.Queue_model.can_drop q
+            | None -> false
+          in
+          let lossy_raw = case.loss <> Omission.No_loss || queue_can_drop in
+          let findings = Oracle.check ~lossy_raw entry ~inputs:case.inputs result in
+          Ok (result, findings))
+
 let findings case = match run case with Error _ -> [] | Ok (_, fs) -> fs
 
 let rule_to_string = function

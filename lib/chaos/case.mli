@@ -60,6 +60,17 @@ val run :
     the standard metric feed — a case marked [ok] iff the oracles found
     nothing. *)
 
+val run_fast :
+  ?watchdog:(unit -> bool) ->
+  t ->
+  (Ftc_sim.Engine.result * Oracle.finding list, error) result
+(** As {!run}, but on the struct-of-arrays fast engine
+    ({!Ftc_sim.Fast_engine}) via the catalog entry's [fast] port —
+    bit-identical results by the differential suite's contract. Errors
+    with [Invalid_case] when the protocol has no fast port or the case
+    asks for the transport wrapper (a classic-engine protocol
+    transformer). *)
+
 val findings : t -> Oracle.finding list
 (** [findings c] = oracle findings of [run c], [[]] if the case itself is
     invalid. The shrinker's re-check predicate. *)

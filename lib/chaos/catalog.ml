@@ -5,6 +5,7 @@ type input_kind = No_inputs | Bits | Values of int
 type entry = {
   name : string;
   make : unit -> (module Ftc_sim.Protocol.S);
+  fast : (unit -> (module Ftc_sim.Fast_protocol.S)) option;
   kind : kind;
   explicit : bool;
   inputs : input_kind;
@@ -19,6 +20,7 @@ let all =
     {
       name = "ft-leader-election";
       make = (fun () -> Ftc_core.Leader_election.make params);
+      fast = Some (fun () -> Ftc_core.Leader_election_fast.make params);
       kind = Election;
       explicit = false;
       inputs = No_inputs;
@@ -28,6 +30,7 @@ let all =
     {
       name = "ft-leader-election-explicit";
       make = (fun () -> Ftc_core.Leader_election.make ~explicit:true params);
+      fast = Some (fun () -> Ftc_core.Leader_election_fast.make ~explicit:true params);
       kind = Election;
       explicit = true;
       inputs = No_inputs;
@@ -37,6 +40,7 @@ let all =
     {
       name = "ft-agreement";
       make = (fun () -> Ftc_core.Agreement.make params);
+      fast = Some (fun () -> Ftc_core.Agreement_fast.make params);
       kind = Agreement;
       explicit = false;
       inputs = Bits;
@@ -46,6 +50,7 @@ let all =
     {
       name = "ft-agreement-explicit";
       make = (fun () -> Ftc_core.Agreement.make ~explicit:true params);
+      fast = Some (fun () -> Ftc_core.Agreement_fast.make ~explicit:true params);
       kind = Agreement;
       explicit = true;
       inputs = Bits;
@@ -55,6 +60,7 @@ let all =
     {
       name = "ft-min-agreement";
       make = (fun () -> Ftc_core.Min_agreement.make params);
+      fast = None;
       kind = Agreement;
       explicit = false;
       inputs = Values 50;
@@ -64,6 +70,7 @@ let all =
     {
       name = "floodset";
       make = (fun () -> Ftc_baselines.Floodset.make ());
+      fast = None;
       kind = Agreement;
       explicit = true;
       inputs = Bits;
@@ -73,6 +80,7 @@ let all =
     {
       name = "rotating-coordinator";
       make = (fun () -> Ftc_baselines.Rotating.make ());
+      fast = None;
       kind = Agreement;
       explicit = true;
       inputs = Bits;
@@ -82,6 +90,7 @@ let all =
     {
       name = "push-gossip";
       make = (fun () -> Ftc_baselines.Gossip.make ());
+      fast = Some (fun () -> Ftc_baselines.Gossip_fast.make ());
       kind = Agreement;
       explicit = true;
       inputs = Bits;
@@ -91,6 +100,7 @@ let all =
     {
       name = "tree-agreement";
       make = (fun () -> Ftc_baselines.Tree_agreement.make ());
+      fast = None;
       kind = Agreement;
       explicit = true;
       inputs = Bits;
@@ -100,6 +110,7 @@ let all =
     {
       name = "kutten-leader-election";
       make = (fun () -> Ftc_baselines.Kutten_le.make ());
+      fast = None;
       kind = Election;
       explicit = false;
       inputs = No_inputs;
@@ -109,6 +120,7 @@ let all =
     {
       name = "amp-agreement";
       make = (fun () -> Ftc_baselines.Amp_agreement.make ());
+      fast = None;
       kind = Agreement;
       explicit = false;
       inputs = Bits;
@@ -211,6 +223,7 @@ let extras =
     {
       name = "faulty-probe";
       make = (fun () -> (module Faulty_probe : Ftc_sim.Protocol.S));
+      fast = None;
       kind = Agreement;
       explicit = true;
       inputs = Bits;
@@ -220,6 +233,7 @@ let extras =
     {
       name = "crash-probe";
       make = (fun () -> (module Crash_probe : Ftc_sim.Protocol.S));
+      fast = None;
       kind = Agreement;
       explicit = false;
       inputs = Bits;

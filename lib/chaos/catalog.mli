@@ -20,6 +20,11 @@ type input_kind =
 type entry = {
   name : string;  (** Stable id, used in replay files. *)
   make : unit -> (module Ftc_sim.Protocol.S);
+  fast : (unit -> (module Ftc_sim.Fast_protocol.S)) option;
+      (** The protocol's struct-of-arrays twin for
+          {!Ftc_sim.Fast_engine}, when one has been ported. The twin is
+          bit-identical to [make] by the differential suite's contract;
+          [None] means the protocol only runs on the classic engine. *)
   kind : kind;
   explicit : bool;  (** Hold the protocol to the explicit variant's oracle. *)
   inputs : input_kind;

@@ -4,10 +4,25 @@ module Omission = Ftc_fault.Omission
 let magic = "ftc-chaos-replay"
 let version = 4
 
-let to_string ?(expect = []) (case : Case.t) =
+(* The smallest format version whose grammar can express the case.
+   Feature introduction order: v2 added [loss]/[transport], v3 the named
+   [adversary], v4 the [queue] line. *)
+let version_of (case : Case.t) =
+  if case.queue <> None then 4
+  else if case.adversary <> None then 3
+  else if case.loss <> Omission.No_loss || case.transport then 2
+  else 1
+
+let to_string ?version:(v = version) ?(expect = []) (case : Case.t) =
+  if v < 1 || v > version then
+    invalid_arg (Printf.sprintf "Replay.to_string: unsupported version %d" v);
+  let need = version_of case in
+  if v < need then
+    invalid_arg
+      (Printf.sprintf "Replay.to_string: case needs format version %d, asked for %d" need v);
   let b = Buffer.create 256 in
   let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
-  line "%s %d" magic version;
+  line "%s %d" magic v;
   line "protocol %s" case.protocol;
   line "n %d" case.n;
   line "alpha %.17g" case.alpha;

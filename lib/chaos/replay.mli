@@ -25,7 +25,16 @@
     [loss]/[transport] lines (reliable links, no wrapper), version 2 no
     [adversary] line, version 3 no [queue] line (unbounded links). *)
 
-val to_string : ?expect:string list -> Case.t -> string
+val to_string : ?version:int -> ?expect:string list -> Case.t -> string
+(** [version] (default: the current format, 4) selects which format
+    version to emit — old versions are still written by the round-trip
+    tests that pin the v1–v4 grammar. Raises [Invalid_argument] when the
+    version is unknown or cannot express the case (see {!version_of}). *)
+
+val version_of : Case.t -> int
+(** The smallest format version whose grammar expresses the case: 4 with
+    a queue, 3 with a named adversary, 2 with loss or the transport,
+    1 otherwise. *)
 
 val of_string : string -> (Case.t * string list, string) result
 (** Returns the case and its expected oracle ids. *)

@@ -1,0 +1,225 @@
+module Fast_protocol = Ftc_sim.Fast_protocol
+module Decision = Ftc_sim.Decision
+module Observation = Ftc_sim.Observation
+module Congest = Ftc_sim.Congest
+module Dist = Ftc_rng.Dist
+
+(* Fast-engine port of {!Agreement}. Codec (2 words per message):
+
+     tag (w0)   classic message    w1
+     0          Up                 value
+     1          Down               -
+     2          Announce_value     value
+
+   Event-driven stepping is safe because everything in the classic
+   step is same-step reactive: a referee forwards Down in the very
+   step a 0 arrives, a candidate decides and forwards in the very step
+   its has_zero flips (round 0 input, or a Down delivery), so a step
+   with an empty inbox between those events changes nothing. The only
+   time-driven transitions — the round-0 registration, the decide-1
+   fallback at implicit_end - 1, and the explicit broadcast at
+   implicit_end — are covered by keeping candidates awake through the
+   calendar. The classic [announced] flag is dropped: only candidates
+   with an Agreed decision can broadcast, and for every other node the
+   flag is write-only. [known_ports] = {0 .. port_count - 1} as in the
+   election port. *)
+
+type cand = { mutable has_zero : bool; mutable forwarded : bool }
+
+type referee = {
+  mutable cand_ports : int array;  (* dedup'd reply ports, arrival order *)
+  mutable cand_n : int;
+  mutable has_zero : bool;
+  mutable forwarded : bool;
+}
+
+module Make (C : sig
+  val params : Params.t
+  val explicit : bool
+end) : Fast_protocol.S = struct
+  let params = C.params
+
+  let name = if C.explicit then "ft-agreement-explicit" else "ft-agreement"
+  let knowledge = `KT0
+  let words = 2
+
+  let msg_bits ~n w0 =
+    match w0 with
+    | 0 | 1 -> Congest.tag_bits + 1 (* Up / Down *)
+    | _ -> Congest.tag_bits + 1 + Congest.id_bits ~n (* Announce_value *)
+
+  let implicit_rounds ~n ~alpha = 2 + (2 * Params.iterations params ~n ~alpha)
+  let max_rounds ~n ~alpha = implicit_rounds ~n ~alpha + if C.explicit then 2 else 0
+
+  let phases ~n ~alpha =
+    [ ("candidate-sampling", 0); ("agreement-flooding", 1) ]
+    @ if C.explicit then [ ("value-broadcast", implicit_rounds ~n ~alpha) ] else []
+
+  type t = {
+    n : int;
+    k : int;
+    implicit_end : int;
+    input : int array;  (* normalised to 0/1 *)
+    cand : cand option array;
+    referee : referee option array;
+    dec : int array;  (* -1 = Undecided, else the agreed value *)
+    rt : Fast_protocol.runtime;
+  }
+
+  let decide t i = if t.dec.(i) < 0 then Decision.Undecided else Decision.Agreed t.dec.(i)
+
+  let compute_obs t i =
+    let role =
+      if t.cand.(i) <> None then Observation.Candidate
+      else if t.referee.(i) <> None then Observation.Referee
+      else Observation.Bystander
+    in
+    { Observation.role; rank = None; has_decided = t.dec.(i) >= 0 }
+
+  let observe t i = t.rt.Fast_protocol.obs.(i)
+
+  let create ~n ~alpha ~inputs ~node_rngs rt =
+    let p = Params.candidate_prob params ~n ~alpha in
+    let t =
+      {
+        n;
+        k = Params.referee_count params ~n ~alpha;
+        implicit_end = implicit_rounds ~n ~alpha;
+        input = Array.map (fun v -> if v <> 0 then 1 else 0) inputs;
+        cand = Array.make n None;
+        referee = Array.make n None;
+        dec = Array.make n (-1);
+        rt;
+      }
+    in
+    for i = 0 to n - 1 do
+      if Dist.bernoulli node_rngs.(i) p then begin
+        t.cand.(i) <- Some { has_zero = t.input.(i) = 0; forwarded = false };
+        (* Step 0: a candidate holding 0 decides 0 immediately. *)
+        if t.input.(i) = 0 then t.dec.(i) <- 0;
+        rt.Fast_protocol.wake i
+      end
+    done;
+    for i = 0 to n - 1 do
+      rt.Fast_protocol.obs.(i) <- compute_obs t i
+    done;
+    t
+
+  let referee_of t i =
+    match t.referee.(i) with
+    | Some r -> r
+    | None ->
+        let r = { cand_ports = Array.make 4 0; cand_n = 0; has_zero = false; forwarded = false } in
+        t.referee.(i) <- Some r;
+        if t.cand.(i) = None then t.rt.Fast_protocol.obs.(i) <- compute_obs t i;
+        r
+
+  let register_port r p =
+    let rec mem j = j < r.cand_n && (r.cand_ports.(j) = p || mem (j + 1)) in
+    if not (mem 0) then begin
+      if r.cand_n = Array.length r.cand_ports then begin
+        let a = Array.make (2 * r.cand_n) 0 in
+        Array.blit r.cand_ports 0 a 0 r.cand_n;
+        r.cand_ports <- a
+      end;
+      r.cand_ports.(r.cand_n) <- p;
+      r.cand_n <- r.cand_n + 1
+    end
+
+  let note_decided t i =
+    t.rt.Fast_protocol.obs.(i) <- compute_obs t i;
+    t.rt.Fast_protocol.note_decided i
+
+  let step t ~node:i ~round ~inbox_start ~inbox_count =
+    let rt = t.rt in
+    let iw = rt.Fast_protocol.inbox_words and ip = rt.Fast_protocol.inbox_port in
+    for m = 0 to inbox_count - 1 do
+      let idx = inbox_start + m in
+      let base = idx * 2 in
+      match iw.{base} with
+      | 0 ->
+          (* Up *)
+          let r = referee_of t i in
+          register_port r ip.(idx);
+          if iw.{base + 1} = 0 then r.has_zero <- true
+      | 1 -> ( (* Down *)
+          match t.cand.(i) with Some c -> c.has_zero <- true | None -> ())
+      | _ ->
+          (* Announce_value: adopt the smaller value; Undecided adopts. *)
+          let v = iw.{base + 1} in
+          if t.dec.(i) < 0 then begin
+            t.dec.(i) <- v;
+            note_decided t i
+          end
+          else if t.dec.(i) > v then t.dec.(i) <- v
+    done;
+    (* A node serving as both candidate and referee shares its memory:
+       a 0 held by either half is held by both. *)
+    (match (t.cand.(i), t.referee.(i)) with
+    | Some c, Some r ->
+        if r.has_zero then c.has_zero <- true;
+        if c.has_zero then r.has_zero <- true
+    | (Some _ | None), _ -> ());
+    (* Candidate duties. *)
+    (match t.cand.(i) with
+    | None -> ()
+    | Some c ->
+        if round = 0 then begin
+          c.forwarded <- c.has_zero;
+          for _ = 1 to t.k do
+            rt.Fast_protocol.emit_fresh 0 t.input.(i) 0
+          done
+        end
+        else begin
+          if c.has_zero && t.dec.(i) < 0 then begin
+            t.dec.(i) <- 0;
+            note_decided t i
+          end;
+          if c.has_zero && not c.forwarded then begin
+            c.forwarded <- true;
+            (* Reply ports are 0 .. k-1 (round-0 fresh sends), emitted
+               descending: classic rev_maps the ascending list. *)
+            for p = t.k - 1 downto 0 do
+              rt.Fast_protocol.emit_port p 0 0 0
+            done
+          end;
+          if round = t.implicit_end - 1 && t.dec.(i) < 0 then begin
+            t.dec.(i) <- 1;
+            note_decided t i
+          end
+        end);
+    (* Referee duties: forward a held 0 to all my candidates, once. *)
+    (match t.referee.(i) with
+    | None -> ()
+    | Some r ->
+        if r.has_zero && not r.forwarded then begin
+          r.forwarded <- true;
+          for j = 0 to r.cand_n - 1 do
+            rt.Fast_protocol.emit_port r.cand_ports.(j) 1 0 0
+          done
+        end);
+    (* Explicit extension: decided candidates tell the whole network. *)
+    if C.explicit && round = t.implicit_end && t.cand.(i) <> None && t.dec.(i) >= 0 then begin
+      let cnt = rt.Fast_protocol.port_count i in
+      let v = t.dec.(i) in
+      for p = cnt - 1 downto 0 do
+        rt.Fast_protocol.emit_port p 2 v 0
+      done;
+      for _ = 1 to t.n - 1 - cnt do
+        rt.Fast_protocol.emit_fresh 2 v 0
+      done
+    end;
+    (* Candidates stay awake through the calendar (decide-1 fallback at
+       implicit_end - 1, broadcast at implicit_end in explicit mode);
+       referees are purely reactive. *)
+    if
+      t.cand.(i) <> None
+      && round + 1 <= (if C.explicit then t.implicit_end else t.implicit_end - 1)
+    then rt.Fast_protocol.wake i
+end
+
+let make ?(explicit = false) params =
+  (module Make (struct
+    let params = params
+    let explicit = explicit
+  end) : Fast_protocol.S)

@@ -6,6 +6,11 @@ type ctx = {
   jobs : int;
   journal : Supervise.shared option;
   queue : Ftc_sim.Queue_model.config option;
+  fast_engine : bool;
+      (* Run trials on the struct-of-arrays fast engine where a port
+         exists (bit-identical by the differential suite), and unlock
+         the sweep points that are only tractable there (F1/F2's
+         extended decades up to n = 10^6). *)
 }
 
 type t = { id : string; title : string; paper : string; run : ctx -> string }

@@ -22,6 +22,12 @@ type ctx = {
           queue-aware experiments (F14 pins its capacity sweep to this
           single point). Other experiments ignore it; [None] leaves each
           experiment's own grid in force. *)
+  fast_engine : bool;
+      (** [ftc expt --engine fast]: run trials on the struct-of-arrays
+          fast engine where a protocol port exists (bit-identical to the
+          classic engine by the differential suite's contract) and
+          unlock the sweep points only tractable there — F1/F2's
+          extended decades up to n = 10^6. *)
 }
 
 type t = {

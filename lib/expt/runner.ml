@@ -16,6 +16,14 @@ type spec = {
   congest : bool;
   record_trace : bool;
   trial_timeout : float option;
+  fast_protocol : (module Ftc_sim.Fast_protocol.S) option;
+      (** When set, trials run on the struct-of-arrays fast engine with
+          this codec-based port instead of [protocol]'s closure engine.
+          The port must be the fast twin of [protocol] (same name, same
+          semantics — pinned by the differential suite); [protocol] is
+          still consulted for telemetry naming and callers' predicates.
+          Incompatible with [transport]: the wrapper is a classic
+          protocol transformer. *)
 }
 
 let default_spec protocol ~n ~alpha =
@@ -31,6 +39,7 @@ let default_spec protocol ~n ~alpha =
     congest = true;
     record_trace = false;
     trial_timeout = None;
+    fast_protocol = None;
   }
 
 type outcome = {
@@ -86,7 +95,6 @@ let run ?(recorder = Ftc_telemetry.Recorder.disabled) spec ~seed =
         (wrapped, Some stats, 2)
   in
   let (module P : Ftc_sim.Protocol.S) = protocol in
-  let module E = Engine.Make (P) in
   let inputs = materialize_inputs spec ~seed in
   let telemetry_on = Ftc_telemetry.Recorder.enabled recorder in
   let start_ns = Ftc_telemetry.Recorder.now_ns recorder in
@@ -118,7 +126,18 @@ let run ?(recorder = Ftc_telemetry.Recorder.disabled) spec ~seed =
          else None);
     }
   in
-  let result = E.run cfg in
+  let result =
+    match spec.fast_protocol with
+    | Some fm ->
+        if spec.transport <> None then
+          invalid_arg "Runner.run: the fast engine does not support transport wrapping";
+        let module FP = (val fm : Ftc_sim.Fast_protocol.S) in
+        let module FE = Ftc_sim.Fast_engine.Make (FP) in
+        FE.run cfg
+    | None ->
+        let module E = Engine.Make (P) in
+        E.run cfg
+  in
   if telemetry_on then begin
     let m = result.Engine.metrics in
     (* [ok] here is the model-level health of the run, not the

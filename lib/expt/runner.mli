@@ -28,6 +28,14 @@ type spec = {
           deadline; the outcome comes back with
           [result.watchdog_expired = true] and the supervisor classifies
           the trial as [Watchdog_expired]. [None] (default) = no budget. *)
+  fast_protocol : (module Ftc_sim.Fast_protocol.S) option;
+      (** When set, trials run on the struct-of-arrays fast engine
+          ({!Ftc_sim.Fast_engine}) with this codec-based port instead of
+          [protocol]'s closure engine — bit-identical results, pinned by
+          the differential suite. [protocol] is still consulted for
+          telemetry naming and callers' predicates. Incompatible with
+          [transport] ({!run} raises [Invalid_argument]): the transport
+          wrapper is a classic protocol transformer. *)
 }
 
 val default_spec : (module Ftc_sim.Protocol.S) -> n:int -> alpha:float -> spec

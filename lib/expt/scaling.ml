@@ -5,17 +5,25 @@ module Params = Ftc_core.Params
 
 let params = Params.default
 
-let le_spec ?(explicit = false) ~n ~alpha () =
+(* [fast] routes the trials through the struct-of-arrays engine — the
+   outcomes are bit-identical (pinned by the differential suite), so
+   every aggregate below is engine-independent; only the reachable n
+   changes. *)
+let le_spec ?(explicit = false) ?(fast = false) ~n ~alpha () =
   {
     (Runner.default_spec (Ftc_core.Leader_election.make ~explicit params) ~n ~alpha) with
     adversary = (fun () -> Ftc_fault.Strategy.random_crashes ());
+    fast_protocol =
+      (if fast then Some (Ftc_core.Leader_election_fast.make ~explicit params) else None);
   }
 
-let ag_spec ?(explicit = false) ~n ~alpha () =
+let ag_spec ?(explicit = false) ?(fast = false) ~n ~alpha () =
   {
     (Runner.default_spec (Ftc_core.Agreement.make ~explicit params) ~n ~alpha) with
     inputs = Runner.Random_bits 0.5;
     adversary = (fun () -> Ftc_fault.Strategy.random_crashes ());
+    fast_protocol =
+      (if fast then Some (Ftc_core.Agreement_fast.make ~explicit params) else None);
   }
 
 let le_ok (o : Runner.outcome) = (Ftc_core.Properties.check_implicit_election o.result).ok
@@ -85,11 +93,19 @@ let f1 =
           | Def.Quick -> [ 128; 256; 512; 1024 ]
           | Def.Full -> [ 256; 512; 1024; 2048; 4096; 8192 ]
         in
+        (* The fast engine unlocks two more decades of n — the regime
+           where the paper's sublinear scaling separates visually from
+           the Theta(n^2) baselines. Classic runs keep the historical
+           point set (and byte-identical output). *)
+        let ns =
+          if ctx.fast_engine && ctx.scale = Def.Full then ns @ [ 65536; 262144; 1048576 ]
+          else ns
+        in
         let trials = Def.trials ctx ~quick:3 ~full:8 in
         let alpha = 0.7 in
         let points =
           sweep ~ctx ~id:"F1"
-            ~spec_of:(fun n -> le_spec ~n:(int_of_float n) ~alpha ())
+            ~spec_of:(fun n -> le_spec ~fast:ctx.fast_engine ~n:(int_of_float n) ~alpha ())
             ~ok:le_ok ~xs:(List.map float_of_int ns) ~trials ()
         in
         let fit =
@@ -116,12 +132,18 @@ let f2 =
     paper = "Thm 4.1: messages scale as alpha^(-5/2)";
     run =
       (fun ctx ->
-        let n = match ctx.scale with Def.Quick -> 256 | Def.Full -> 1024 in
+        (* Under the fast engine the Full-scale alpha sweep moves two
+           decades right in n, into fast-engine-only territory. *)
+        let n =
+          match ctx.scale with
+          | Def.Quick -> 256
+          | Def.Full -> if ctx.fast_engine then 131072 else 1024
+        in
         let alphas = [ 0.3; 0.4; 0.5; 0.65; 0.8; 1.0 ] in
         let trials = Def.trials ctx ~quick:3 ~full:8 in
         let points =
           sweep ~ctx ~id:"F2"
-            ~spec_of:(fun alpha -> le_spec ~n ~alpha ())
+            ~spec_of:(fun alpha -> le_spec ~fast:ctx.fast_engine ~n ~alpha ())
             ~ok:le_ok ~xs:alphas ~trials ()
         in
         let fit = Fit.power_law (metric_pairs points msgs_mean) in
@@ -160,14 +182,14 @@ let f3 =
                   Runner.aggregate_stats
                     (Supervise.run_many_journaled ~jobs:ctx.jobs ~journal:ctx.journal
                        ~key:(Printf.sprintf "F3:le:n=%d:alpha=%.17g" n alpha)
-                       ~ok:le_ok (le_spec ~n ~alpha ())
+                       ~ok:le_ok (le_spec ~fast:ctx.fast_engine ~n ~alpha ())
                        ~seeds:(Runner.seeds ~base:ctx.base_seed ~count:trials))
                 in
                 let ag =
                   Runner.aggregate_stats
                     (Supervise.run_many_journaled ~jobs:ctx.jobs ~journal:ctx.journal
                        ~key:(Printf.sprintf "F3:ag:n=%d:alpha=%.17g" n alpha)
-                       ~ok:ag_ok (ag_spec ~n ~alpha ())
+                       ~ok:ag_ok (ag_spec ~fast:ctx.fast_engine ~n ~alpha ())
                        ~seeds:(Runner.seeds ~base:(ctx.base_seed + 7) ~count:trials))
                 in
                 let budget = Float.log (float_of_int n) /. alpha in
@@ -213,7 +235,7 @@ let f4 =
         let alpha = 0.7 in
         let points =
           sweep ~ctx ~id:"F4"
-            ~spec_of:(fun n -> ag_spec ~n:(int_of_float n) ~alpha ())
+            ~spec_of:(fun n -> ag_spec ~fast:ctx.fast_engine ~n:(int_of_float n) ~alpha ())
             ~ok:ag_ok ~xs:(List.map float_of_int ns) ~trials ()
         in
         let fit =
@@ -243,7 +265,7 @@ let f5 =
         let trials = Def.trials ctx ~quick:3 ~full:8 in
         let points =
           sweep ~ctx ~id:"F5"
-            ~spec_of:(fun alpha -> ag_spec ~n ~alpha ())
+            ~spec_of:(fun alpha -> ag_spec ~fast:ctx.fast_engine ~n ~alpha ())
             ~ok:ag_ok ~xs:alphas ~trials ()
         in
         let fit = Fit.power_law (metric_pairs points msgs_mean) in
@@ -274,12 +296,12 @@ let f10 =
         let alpha = 0.7 in
         let le_points =
           sweep ~ctx ~id:"F10:le"
-            ~spec_of:(fun n -> le_spec ~explicit:true ~n:(int_of_float n) ~alpha ())
+            ~spec_of:(fun n -> le_spec ~explicit:true ~fast:ctx.fast_engine ~n:(int_of_float n) ~alpha ())
             ~ok:le_explicit_ok ~xs:(List.map float_of_int ns) ~trials ()
         in
         let ag_points =
           sweep ~ctx ~id:"F10:ag"
-            ~spec_of:(fun n -> ag_spec ~explicit:true ~n:(int_of_float n) ~alpha ())
+            ~spec_of:(fun n -> ag_spec ~explicit:true ~fast:ctx.fast_engine ~n:(int_of_float n) ~alpha ())
             ~ok:ag_explicit_ok ~xs:(List.map float_of_int ns) ~trials ~base_seed_offset:13 ()
         in
         let le_fit = Fit.power_law (metric_pairs le_points msgs_mean) in

@@ -1,7 +1,7 @@
 let bernoulli rng p =
   if p <= 0. then false
   else if p >= 1. then true
-  else Rng.float rng < p
+  else Rng.below rng p
 
 let geometric rng p =
   if p <= 0. || p > 1. then invalid_arg "Dist.geometric: p must be in (0, 1]";

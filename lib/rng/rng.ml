@@ -16,13 +16,13 @@ let int t bound =
   if bound land (bound - 1) = 0 then
     (* Power of two: take low bits, which are well distributed in
        xoshiro256++. *)
-    Int64.to_int (Int64.logand (bits64 t) (Int64.of_int (bound - 1)))
+    Xoshiro.next_low62 t land (bound - 1)
   else begin
     (* Rejection sampling on 62 bits to avoid modulo bias. *)
     let mask = (1 lsl 62) - 1 in
     let limit = mask / bound * bound in
     let rec draw () =
-      let v = Int64.to_int (bits64 t) land mask in
+      let v = Xoshiro.next_low62 t in
       if v < limit then v mod bound else draw ()
     in
     draw ()
@@ -33,9 +33,12 @@ let int_in t lo hi =
   lo + int t (hi - lo + 1)
 
 let float t =
-  (* 53 high bits, the mantissa width of a double. *)
-  Int64.to_float (Int64.shift_right_logical (bits64 t) 11) *. 0x1.0p-53
+  (* 53 high bits, the mantissa width of a double; [float_of_int] is
+     exact up to 2^53, so this equals the Int64 formulation. *)
+  float_of_int (Xoshiro.next_hi53 t) *. 0x1.0p-53
 
-let bool t = Int64.logand (bits64 t) 1L = 1L
+let below t p = float_of_int (Xoshiro.next_hi53 t) *. 0x1.0p-53 < p
+
+let bool t = Xoshiro.next_bit t = 1
 
 let copy = Xoshiro.copy

@@ -39,6 +39,10 @@ val int_in : t -> int -> int -> int
 val float : t -> float
 (** [float t] is uniform on [0, 1) with 53 bits of precision. *)
 
+val below : t -> float -> bool
+(** [below t p] is [float t < p] without boxing the intermediate float
+    — the allocation-free core of {!Dist.bernoulli}. Always draws. *)
+
 val bool : t -> bool
 (** [bool t] is a fair coin. *)
 

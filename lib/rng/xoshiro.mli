@@ -15,5 +15,19 @@ val of_seed : int64 -> t
 val next : t -> int64
 (** [next t] advances the state and returns the next 64-bit output. *)
 
+val next_low62 : t -> int
+(** [next_low62 t] advances the state once (the same draw as {!next})
+    and returns the low 62 bits of the output as a native [int],
+    without allocating. *)
+
+val next_hi53 : t -> int
+(** [next_hi53 t] advances the state once and returns the high 53 bits
+    of the output (the mantissa width of a double) without
+    allocating. *)
+
+val next_bit : t -> int
+(** [next_bit t] advances the state once and returns the output's low
+    bit without allocating. *)
+
 val copy : t -> t
 (** [copy t] is an independent snapshot that replays [t]'s future. *)

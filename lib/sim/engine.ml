@@ -50,76 +50,6 @@ let max_faulty ~n ~alpha =
   let non_faulty = int_of_float (ceil (alpha *. float_of_int n)) in
   max 0 (n - min n non_faulty)
 
-(* Per-node lazy port table. Ports are dense small integers; the peer
-   behind each used port is recorded both ways so that the same peer is
-   always seen behind the same local port, as a fixed hidden permutation
-   would guarantee. *)
-type ports = {
-  peer_of_port : (int, int) Hashtbl.t;
-  port_of_peer : (int, int) Hashtbl.t;
-  mutable next_port : int;
-  mutable complement : int list;
-      (** Once most peers are known, the unknown ones in a pre-shuffled
-          order; consumed by [fresh_peer]. Empty = not built yet. *)
-}
-
-let ports_create () =
-  {
-    peer_of_port = Hashtbl.create 8;
-    port_of_peer = Hashtbl.create 8;
-    next_port = 0;
-    complement = [];
-  }
-
-(* The port leading from [node] to [peer], opening it if needed. *)
-let port_to ports peer =
-  match Hashtbl.find_opt ports.port_of_peer peer with
-  | Some p -> p
-  | None ->
-      let p = ports.next_port in
-      ports.next_port <- p + 1;
-      Hashtbl.replace ports.peer_of_port p peer;
-      Hashtbl.replace ports.port_of_peer peer p;
-      p
-
-(* Opening a fresh port reveals a uniform node among those not already
-   behind a used port (and not self). Rejection sampling is O(1) expected
-   while used ports are a minority; past n/2 we build the complement once,
-   shuffled, and consume it — a uniformly shuffled complement yields
-   exactly uniform sampling without replacement, and keeps broadcast-to-
-   all linear instead of quadratic. Entries that became known through a
-   received message meanwhile are skipped on pop. *)
-let fresh_peer wiring_rng ports ~n ~self =
-  let used = Hashtbl.length ports.port_of_peer in
-  if used >= n - 1 then None
-  else if used < n / 2 && ports.complement = [] then begin
-    let rec draw () =
-      let peer = Rng.int wiring_rng n in
-      if peer = self || Hashtbl.mem ports.port_of_peer peer then draw () else peer
-    in
-    Some (draw ())
-  end
-  else begin
-    if ports.complement = [] then begin
-      let remaining = ref [] in
-      for peer = n - 1 downto 0 do
-        if peer <> self && not (Hashtbl.mem ports.port_of_peer peer) then
-          remaining := peer :: !remaining
-      done;
-      let arr = Array.of_list !remaining in
-      Ftc_rng.Dist.shuffle wiring_rng arr;
-      ports.complement <- Array.to_list arr
-    end;
-    let rec pop () =
-      match ports.complement with
-      | [] -> None
-      | peer :: rest ->
-          ports.complement <- rest;
-          if Hashtbl.mem ports.port_of_peer peer then pop () else Some peer
-    in
-    pop ()
-  end
-
 type 'msg send = {
   src : int;
   dst : int;
@@ -165,7 +95,7 @@ module Make (P : Protocol.S) = struct
           })
     in
     let states = Array.init n (fun i -> P.init ctxs.(i)) in
-    let ports = Array.init n (fun _ -> ports_create ()) in
+    let ports = Array.init n (fun _ -> Ports.create ()) in
     (* Faulty set. *)
     let f_budget = max_faulty ~n ~alpha:config.alpha in
     let faulty = Array.make n false in
@@ -208,16 +138,16 @@ module Make (P : Protocol.S) = struct
              already known) drops the send — the only way it can happen is
              a broadcast over-approximating its fresh count — but the drop
              is counted and traced, never silent. *)
-          match fresh_peer wiring_rng ports.(src) ~n ~self:src with
+          match Ports.fresh_peer wiring_rng ports.(src) ~n ~self:src with
           | None ->
               Metrics.record_unroutable metrics ~round;
               trace_add (Trace.Unroutable { round; node = src });
               None
           | Some peer ->
-              let _port = port_to ports.(src) peer in
+              let _port = Ports.port_to ports.(src) peer in
               Some peer)
       | Protocol.Port p -> (
-          match Hashtbl.find_opt ports.(src).peer_of_port p with
+          match Ports.peer_of_port ports.(src) p with
           | Some peer -> Some peer
           | None ->
               violation (Violation.Unknown_port { node = src; port = p });
@@ -435,7 +365,7 @@ module Make (P : Protocol.S) = struct
             Metrics.record_send metrics ~round:r ~bits:s.bits ~delivered;
             trace_add (Trace.Send { round = r; src = s.src; dst = s.dst; bits = s.bits; delivered });
             if delivered then begin
-              s.from_port <- port_to ports.(s.dst) s.src;
+              s.from_port <- Ports.port_to ports.(s.dst) s.src;
               (* ECN marks count only on messages that actually arrive,
                  so the metric equals the marks receivers observe. *)
               if s.ecn then begin

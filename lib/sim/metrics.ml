@@ -66,6 +66,22 @@ let record_send t ~round ~bits ~delivered =
     t.per_round_drops.(round) <- t.per_round_drops.(round) + 1
   end
 
+(* Equivalent to [msgs] calls of [record_send] whose bits sum to [bits]
+   and of which [dropped] had [delivered = false]; one call per round
+   keeps the engine's per-message loop free of counter read-modify-writes. *)
+let record_send_batch t ~round ~msgs ~bits ~dropped =
+  if msgs > 0 then begin
+    t.msgs_sent <- t.msgs_sent + msgs;
+    t.bits_sent <- t.bits_sent + bits;
+    ensure_round t round;
+    t.per_round_msgs.(round) <- t.per_round_msgs.(round) + msgs;
+    t.per_round_bits.(round) <- t.per_round_bits.(round) + bits;
+    if dropped > 0 then begin
+      t.msgs_dropped <- t.msgs_dropped + dropped;
+      t.per_round_drops.(round) <- t.per_round_drops.(round) + dropped
+    end
+  end
+
 let record_link_loss t ~round ~bits =
   t.msgs_sent <- t.msgs_sent + 1;
   t.bits_sent <- t.bits_sent + bits;

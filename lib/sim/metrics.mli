@@ -53,6 +53,11 @@ val create : unit -> t
 val record_send : t -> round:int -> bits:int -> delivered:bool -> unit
 (** One message put on the wire; [delivered:false] means a crash ate it. *)
 
+val record_send_batch : t -> round:int -> msgs:int -> bits:int -> dropped:int -> unit
+(** Fold a whole round's worth of {!record_send}s in one call: [msgs]
+    messages totalling [bits] bits, of which [dropped] were undelivered.
+    No-op when [msgs = 0]. *)
+
 val record_link_loss : t -> round:int -> bits:int -> unit
 (** One message put on the wire and lost by the link-fault model. *)
 

@@ -114,7 +114,7 @@ let test_quick_experiment_runs () =
   | Some e ->
       let report =
         e.Def.run
-          { Def.scale = Def.Quick; base_seed = 3; jobs = 1; journal = None; queue = None }
+          { Def.scale = Def.Quick; base_seed = 3; jobs = 1; journal = None; queue = None; fast_engine = false }
       in
       Alcotest.(check bool) "produces a table" true
         (Astring.String.is_infix ~affix:"whp band" report)

@@ -43,6 +43,60 @@ let test_xoshiro_copy_replays () =
   let ys = List.init 20 (fun _ -> Xoshiro.next b) in
   Alcotest.(check (list int64)) "copy replays future" xs ys
 
+(* Direct Int64 transcription of the reference xoshiro256++, seeded the
+   same way; the production split-word implementation must reproduce
+   its stream bit for bit, and every projection must equal the
+   corresponding slice of the same draw. *)
+module Xoshiro_ref = struct
+  type t = { mutable s0 : int64; mutable s1 : int64; mutable s2 : int64; mutable s3 : int64 }
+
+  let of_seed seed =
+    let sm = Splitmix.create seed in
+    let s0 = Splitmix.next sm in
+    let s1 = Splitmix.next sm in
+    let s2 = Splitmix.next sm in
+    let s3 = Splitmix.next sm in
+    if Int64.logor (Int64.logor s0 s1) (Int64.logor s2 s3) = 0L then { s0 = 1L; s1; s2; s3 }
+    else { s0; s1; s2; s3 }
+
+  let rotl x k = Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
+
+  let next t =
+    let result = Int64.add (rotl (Int64.add t.s0 t.s3) 23) t.s0 in
+    let tmp = Int64.shift_left t.s1 17 in
+    t.s2 <- Int64.logxor t.s2 t.s0;
+    t.s3 <- Int64.logxor t.s3 t.s1;
+    t.s1 <- Int64.logxor t.s1 t.s2;
+    t.s0 <- Int64.logxor t.s0 t.s3;
+    t.s2 <- Int64.logxor t.s2 tmp;
+    t.s3 <- rotl t.s3 45;
+    result
+end
+
+let test_xoshiro_matches_int64_reference () =
+  List.iter
+    (fun seed ->
+      let a = Xoshiro.of_seed seed and r = Xoshiro_ref.of_seed seed in
+      for _ = 1 to 2_000 do
+        Alcotest.(check int64)
+          (Printf.sprintf "seed %Ld stream" seed)
+          (Xoshiro_ref.next r) (Xoshiro.next a)
+      done)
+    [ 0L; 1L; 7L; -1L; 0x123456789ABCDEFL ]
+
+let test_xoshiro_projections_slice_one_draw () =
+  let a = Xoshiro.of_seed 13L and r = Xoshiro_ref.of_seed 13L in
+  for _ = 1 to 2_000 do
+    let v = Xoshiro_ref.next r in
+    Alcotest.(check int)
+      "low62" (Int64.to_int v land ((1 lsl 62) - 1)) (Xoshiro.next_low62 a);
+    let v = Xoshiro_ref.next r in
+    Alcotest.(check int)
+      "hi53" (Int64.to_int (Int64.shift_right_logical v 11)) (Xoshiro.next_hi53 a);
+    let v = Xoshiro_ref.next r in
+    Alcotest.(check int) "bit" (Int64.to_int (Int64.logand v 1L)) (Xoshiro.next_bit a)
+  done
+
 let test_int_bounds () =
   let rng = Rng.create 1 in
   for _ = 1 to 10_000 do
@@ -170,6 +224,10 @@ let () =
         [
           Alcotest.test_case "deterministic" `Quick test_xoshiro_deterministic;
           Alcotest.test_case "copy replays" `Quick test_xoshiro_copy_replays;
+          Alcotest.test_case "matches Int64 reference" `Quick
+            test_xoshiro_matches_int64_reference;
+          Alcotest.test_case "projections slice one draw" `Quick
+            test_xoshiro_projections_slice_one_draw;
         ] );
       ( "rng",
         [
