@@ -300,6 +300,66 @@ let telemetry_overhead ~jobs =
   done;
   (!off, !live)
 
+(* Service-mode calibration for BENCH_perf.json: a real server (its own
+   domain, temp Unix socket, 2 workers) driven end to end by the open-loop
+   client, recording instances/sec and submit-to-terminal latency
+   quantiles. Exercises the whole serve stack — framing, admission,
+   supervision, the exactly-one-reply ledger — under load; the block also
+   records [lost], which CI asserts is 0. *)
+let serve_workload () =
+  let path =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "ftc-bench-serve-%d.sock" (Unix.getpid ()))
+  in
+  if Sys.file_exists path then Sys.remove path;
+  let drain = Atomic.make false in
+  let cfg =
+    {
+      (Ftc_serve.Server.default_config (Ftc_serve.Server.Unix_sock path)) with
+      Ftc_serve.Server.workers = 2;
+      bound = 64;
+    }
+  in
+  let server = Domain.spawn (fun () -> Ftc_serve.Server.run ~drain cfg) in
+  let rec wait_bind tries =
+    if not (Sys.file_exists path) then
+      if tries = 0 then failwith "bench serve: server never bound"
+      else begin
+        Unix.sleepf 0.02;
+        wait_bind (tries - 1)
+      end
+  in
+  wait_bind 250;
+  (* Modest scale: single-core CI runners serialise the worker domains,
+     so instance count, not worker count, sets the wall time here. *)
+  let total = 24 in
+  let ccfg =
+    {
+      (Ftc_serve.Client.default_config (Ftc_serve.Server.Unix_sock path)) with
+      Ftc_serve.Client.total;
+      n = 48;
+      base_seed = 1;
+    }
+  in
+  let t0 = now_s () in
+  let stats =
+    match Ftc_serve.Client.run ccfg with
+    | Ok s -> s
+    | Error e -> failwith ("bench serve: client: " ^ e)
+  in
+  let dt = now_s () -. t0 in
+  Atomic.set drain true;
+  let summary =
+    match Domain.join server with
+    | Ok s -> s
+    | Error e -> failwith ("bench serve: server: " ^ e)
+  in
+  if Sys.file_exists path then Sys.remove path;
+  Printf.eprintf "[serve workload: %d instances in %.2f s, %d worker(s)]\n%!" total dt
+    cfg.Ftc_serve.Server.workers;
+  ( Printf.sprintf "serve 2 workers, ft-leader-election n=48 alpha=0.125 x%d instances" total,
+    stats, summary, dt )
+
 let emit_perf_json ~jobs ~experiment_times =
   let workload, trials, dt = throughput_workload ~jobs in
   let tel_off, tel_on = telemetry_overhead ~jobs in
@@ -333,6 +393,14 @@ let emit_perf_json ~jobs ~experiment_times =
     fe_ns fast_engine_budget_ns_per_node_round;
   Printf.fprintf oc "    \"within_budget\": %b\n  },\n"
     (fe_ns <= fast_engine_budget_ns_per_node_round);
+  let s_workload, s_stats, s_summary, s_dt = serve_workload () in
+  Printf.fprintf oc "  \"serve\": {\n    \"workload\": %S,\n    \"instances\": %d,\n" s_workload
+    s_summary.Ftc_serve.Server.results;
+  Printf.fprintf oc "    \"seconds\": %.3f,\n    \"instances_per_sec\": %.1f,\n" s_dt
+    (if s_dt > 0. then float_of_int s_summary.Ftc_serve.Server.results /. s_dt else 0.);
+  Printf.fprintf oc "    \"p50_ms\": %d,\n    \"p99_ms\": %d,\n" s_stats.Ftc_serve.Client.p50_ms
+    s_stats.Ftc_serve.Client.p99_ms;
+  Printf.fprintf oc "    \"lost\": %d\n  },\n" s_summary.Ftc_serve.Server.lost;
   Printf.fprintf oc "  \"experiments\": [\n";
   List.iteri
     (fun i (id, dt) ->

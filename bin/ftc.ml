@@ -12,6 +12,10 @@
                   violation, shrink and write a replay file
      verify     — exhaustively enumerate every adversary schedule at small
                   n (with symmetry reduction) against the safety oracles
+     serve      — long-running election/agreement service: bounded
+                  admission, supervised crash-restarting workers, live
+                  fault injection, graceful SIGTERM drain
+     client     — open-loop load generator for serve, with ladder backoff
      replay     — deterministically re-execute a saved chaos reproducer,
                   or every entry of a quarantine file
      trace      — summarise or regenerate a --telemetry output directory
@@ -149,6 +153,29 @@ let reject_fast_transport ~engine ~transport_on =
     exit 2
   end
 
+(* sweep, chaos and verify have no engine choice — they pin the classic
+   engine (verify also cross-checks the fast one internally). A stray
+   --engine on them is a usage error (exit 2), never a silent no-op:
+   otherwise "--engine fast" would look accepted while changing
+   nothing. *)
+let reject_engine_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "engine" ] ~docv:"ENGINE"
+        ~doc:
+          "Rejected with exit 2. This command has no engine choice; it always runs the classic \
+           engine. Only $(b,election), $(b,agreement) and $(b,expt) take $(b,--engine).")
+
+let reject_engine ~cmd = function
+  | None -> ()
+  | Some v ->
+      Printf.eprintf
+        "ftc %s does not take --engine (got %s): it always runs the classic engine. Only \
+         election, agreement and expt take --engine.\n"
+        cmd v;
+      exit 2
+
 (* Shared by every command taking --queue-cap: bad capacities and unknown
    disciplines are usage errors (exit 2), mirroring parse_loss. *)
 let parse_queue ~cap ~model =
@@ -285,7 +312,8 @@ let with_telemetry dir f =
         Ftc_telemetry.Export.trace_file Ftc_telemetry.Export.prom_file;
       code
 
-let supervise_config ~recorder ~jobs ~keep_going ~journal ~resume ~quarantine ~trial_timeout =
+let supervise_config ?(stop = fun () -> false) ~recorder ~jobs ~keep_going ~journal ~resume
+    ~quarantine ~trial_timeout () =
   (match trial_timeout with
   | Some t when t <= 0. ->
       Printf.eprintf "--trial-timeout must be positive (got %g)\n" t;
@@ -307,6 +335,7 @@ let supervise_config ~recorder ~jobs ~keep_going ~journal ~resume ~quarantine ~t
     quarantine = Some quarantine;
     trial_timeout;
     recorder;
+    stop;
   }
 
 (* The journaled payload of one completed trial: its rendered report and
@@ -450,6 +479,7 @@ let election n alpha seed adversary_name explicit trials loss loss_model queue_c
       with_telemetry telemetry @@ fun recorder ->
       let config =
         supervise_config ~recorder ~jobs ~keep_going ~journal ~resume ~quarantine ~trial_timeout
+          ()
       in
       let spec =
         {
@@ -528,6 +558,7 @@ let agreement n alpha seed adversary_name explicit trials ones_prob loss loss_mo
       with_telemetry telemetry @@ fun recorder ->
       let config =
         supervise_config ~recorder ~jobs ~keep_going ~journal ~resume ~quarantine ~trial_timeout
+          ()
       in
       let spec =
         {
@@ -569,20 +600,12 @@ let agreement n alpha seed adversary_name explicit trials ones_prob loss loss_mo
 
 (* -- sweep command -- *)
 
-(* Per-seed inputs for a catalog protocol, drawn from a stream distinct
-   from the engine's (same xor tweak as [Runner.materialize_inputs]). *)
-let sweep_inputs (entry : Ftc_chaos.Catalog.entry) ~n ~seed =
-  let rng = Ftc_rng.Rng.create (seed lxor 0x5bd1e995) in
-  match entry.inputs with
-  | Ftc_chaos.Catalog.No_inputs -> Array.make n 0
-  | Ftc_chaos.Catalog.Bits -> Array.init n (fun _ -> if Ftc_rng.Rng.bool rng then 1 else 0)
-  | Ftc_chaos.Catalog.Values bound -> Array.init n (fun _ -> Ftc_rng.Rng.int rng (bound + 1))
-
 let sweep_report seed (result : Ftc_sim.Engine.result) =
   { report = Printf.sprintf "seed %d: clean\n%s" seed (metrics_lines result); success = true }
 
 let sweep protocol_name n alpha seed adversary_name trials loss loss_model queue_cap queue_model
-    transport_on jobs keep_going journal resume quarantine trial_timeout telemetry =
+    transport_on jobs keep_going journal resume quarantine trial_timeout telemetry engine =
+  reject_engine ~cmd:"sweep" engine;
   let loss = parse_loss ~loss ~model:loss_model in
   let queue = parse_queue ~cap:queue_cap ~model:queue_model in
   let jobs = parse_jobs jobs in
@@ -599,8 +622,22 @@ let sweep protocol_name n alpha seed adversary_name trials loss loss_model queue
   end;
   let entry = Option.get (Ftc_chaos.Catalog.find protocol_name) in
   with_telemetry telemetry @@ fun recorder ->
+  (* SIGTERM = drain, mirroring ftc serve: stop admitting queued trials,
+     let running ones finish and be journaled (the WAL already flushes
+     per trial, so the checkpoint is free), exit 3 for partial results.
+     Resume with --resume to run the rest. *)
+  let sigterm = Atomic.make false in
+  (try
+     Sys.set_signal Sys.sigterm
+       (Sys.Signal_handle
+          (fun _ ->
+            Atomic.set sigterm true;
+            prerr_endline "sigterm: draining — finishing in-flight trials, journal checkpointed"))
+   with Invalid_argument _ -> ());
   let config =
-    supervise_config ~recorder ~jobs ~keep_going ~journal ~resume ~quarantine ~trial_timeout
+    supervise_config
+      ~stop:(fun () -> Atomic.get sigterm)
+      ~recorder ~jobs ~keep_going ~journal ~resume ~quarantine ~trial_timeout ()
   in
   let mk_case seed =
     {
@@ -608,7 +645,7 @@ let sweep protocol_name n alpha seed adversary_name trials loss loss_model queue
       n;
       alpha;
       seed;
-      inputs = sweep_inputs entry ~n ~seed;
+      inputs = Ftc_chaos.Catalog.gen_inputs entry ~n ~seed;
       plan = [];
       adversary = Some adversary_name;
       loss;
@@ -772,7 +809,8 @@ let clouds n alpha seed adversary_name scale_factor =
 let print_findings findings =
   List.iter (fun f -> Printf.printf "  %s\n" (Format.asprintf "%a" Ftc_chaos.Oracle.pp f)) findings
 
-let chaos budget seed n_min n_max protocols omission queue_cap queue_model out jobs =
+let chaos budget seed n_min n_max protocols omission queue_cap queue_model out jobs engine =
+  reject_engine ~cmd:"chaos" engine;
   let queue = parse_queue ~cap:queue_cap ~model:queue_model in
   let jobs = parse_jobs jobs in
   if budget < 0 then begin
@@ -826,8 +864,9 @@ let chaos budget seed n_min n_max protocols omission queue_cap queue_model out j
    derived from the report (which a resumed run reconstructs exactly),
    never from live progress, so `--resume` output is byte-identical to
    an uninterrupted run. Progress and resume notes go to stderr. *)
-let verify protocols n alpha horizon keep_prefix_max grid seeds_per_state seed jobs
-    max_states keep_going no_reduction no_problem_oracles journal resume out telemetry =
+let verify protocols n alpha horizon keep_prefix_max grid seeds_per_state seed jobs max_states
+    keep_going no_reduction no_problem_oracles journal resume out telemetry engine =
+  reject_engine ~cmd:"verify" engine;
   let jobs = parse_jobs jobs in
   let protocols =
     match protocols with [] -> [ "ft-leader-election"; "ft-agreement" ] | ps -> ps
@@ -1025,7 +1064,8 @@ let verify_cmd =
     Term.(
       const verify $ protocols $ n $ alpha $ horizon $ keep_prefix_max $ grid
       $ seeds_per_state $ seed_arg $ jobs_arg $ max_states $ keep_going $ no_reduction
-      $ no_problem_oracles $ verify_journal $ verify_resume $ out $ telemetry_arg)
+      $ no_problem_oracles $ verify_journal $ verify_resume $ out $ telemetry_arg
+      $ reject_engine_arg)
 
 (* -- replay command -- *)
 
@@ -1188,6 +1228,105 @@ let trace_export dir =
         Ftc_telemetry.Export.prom_file Ftc_telemetry.Export.events_file;
       0
 
+(* -- serve / client commands -- *)
+
+let serve_addr ~socket ~tcp ~default =
+  match (socket, tcp) with
+  | Some _, Some _ ->
+      prerr_endline "--socket and --tcp are mutually exclusive";
+      exit 2
+  | Some path, None -> Ftc_serve.Server.Unix_sock path
+  | None, Some port ->
+      if port < 1 || port > 65535 then begin
+        Printf.eprintf "--tcp port must be in [1, 65535] (got %d)\n" port;
+        exit 2
+      end;
+      Ftc_serve.Server.Tcp port
+  | None, None -> Ftc_serve.Server.Unix_sock default
+
+let parse_inject ~inject ~inject_seed =
+  match Ftc_serve.Inject.parse inject with
+  | Ok i -> Ftc_serve.Inject.with_seed i inject_seed
+  | Error e ->
+      Printf.eprintf "--inject: %s (presets: %s)\n" e
+        (String.concat ", " (List.map fst Ftc_serve.Inject.catalog));
+      exit 2
+
+let serve socket tcp workers bound timeout_ms grace_ms inject inject_seed telemetry =
+  let addr = serve_addr ~socket ~tcp ~default:"ftc-serve.sock" in
+  let inject = parse_inject ~inject ~inject_seed in
+  if workers < 1 then begin
+    Printf.eprintf "--workers must be at least 1 (got %d)\n" workers;
+    exit 2
+  end;
+  if bound < 1 then begin
+    Printf.eprintf "--bound must be at least 1 (got %d)\n" bound;
+    exit 2
+  end;
+  if timeout_ms < 1 || grace_ms < 1 then begin
+    prerr_endline "--timeout-ms and --grace-ms must be positive";
+    exit 2
+  end;
+  with_telemetry telemetry @@ fun recorder ->
+  let drain = Atomic.make false in
+  List.iter
+    (fun s ->
+      try Sys.set_signal s (Sys.Signal_handle (fun _ -> Atomic.set drain true))
+      with Invalid_argument _ -> ())
+    [ Sys.sigterm; Sys.sigint ];
+  let cfg =
+    {
+      (Ftc_serve.Server.default_config addr) with
+      Ftc_serve.Server.workers;
+      bound;
+      default_timeout_ms = timeout_ms;
+      grace_ms;
+      inject;
+      recorder;
+      log = (fun line -> Printf.eprintf "%s\n%!" line);
+    }
+  in
+  match Ftc_serve.Server.run ~drain cfg with
+  | Error e ->
+      Printf.eprintf "serve: %s\n" e;
+      1
+  | Ok s ->
+      print_endline (Ftc_serve.Server.summary_line s);
+      Ftc_serve.Server.exit_code s
+
+let client socket tcp total rate protocol n alpha adversary seed timeout_ms retries =
+  let addr = serve_addr ~socket ~tcp ~default:"ftc-serve.sock" in
+  if total < 1 then begin
+    Printf.eprintf "--total must be at least 1 (got %d)\n" total;
+    exit 2
+  end;
+  if retries < 0 then begin
+    Printf.eprintf "--retries must be non-negative (got %d)\n" retries;
+    exit 2
+  end;
+  let cfg =
+    {
+      (Ftc_serve.Client.default_config addr) with
+      Ftc_serve.Client.total;
+      rate;
+      protocol;
+      n;
+      alpha;
+      adversary;
+      base_seed = seed;
+      timeout_ms;
+      retries;
+      log = (fun line -> Printf.eprintf "%s\n%!" line);
+    }
+  in
+  match Ftc_serve.Client.run cfg with
+  | Error e ->
+      Printf.eprintf "client: %s\n" e;
+      1
+  | Ok stats ->
+      print_endline (Ftc_serve.Client.stats_line stats);
+      Ftc_serve.Client.exit_code stats
+
 (* -- list command -- *)
 
 let list_all () =
@@ -1253,7 +1392,7 @@ let sweep_cmd =
       const sweep $ protocol $ n_arg $ alpha_arg $ seed_arg $ adversary_arg $ trials_arg
       $ loss_arg $ loss_model_arg $ queue_cap_arg $ queue_model_arg $ transport_arg $ jobs_arg
       $ keep_going_arg $ journal_arg $ resume_arg $ quarantine_arg $ trial_timeout_arg
-      $ telemetry_arg)
+      $ telemetry_arg $ reject_engine_arg)
 
 let expt_cmd =
   let doc = "Run experiments by id (default: all, quick scale)." in
@@ -1328,7 +1467,7 @@ let chaos_cmd =
   Cmd.v (Cmd.info "chaos" ~doc)
     Term.(
       const chaos $ budget $ seed_arg $ n_min $ n_max $ protocols $ omission $ queue_cap_arg
-      $ queue_model_arg $ out $ jobs_arg)
+      $ queue_model_arg $ out $ jobs_arg $ reject_engine_arg)
 
 let replay_cmd =
   let doc =
@@ -1374,6 +1513,139 @@ let trace_cmd =
     (Cmd.info "trace" ~doc:"Summarise or regenerate a $(b,--telemetry) output directory.")
     [ summary_cmd; export_cmd ]
 
+let socket_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH"
+        ~doc:"Unix-domain socket path (default ftc-serve.sock). Mutually exclusive with \
+              $(b,--tcp).")
+
+let tcp_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "tcp" ] ~docv:"PORT" ~doc:"Listen on (or connect to) 127.0.0.1:$(docv) instead of \
+                                        a Unix socket.")
+
+let serve_cmd =
+  let doc =
+    "Run the election/agreement service: a long-running server multiplexing concurrent \
+     protocol instances over supervised worker domains, with bounded admission (overload is \
+     shed with a retry-after hint, memory never grows past $(b,--bound) open instances), \
+     per-instance watchdog deadlines, worker crash-restart with requeue, live fault \
+     injection ($(b,--inject)), and graceful drain on SIGTERM (stop admission, finish \
+     in-flight instances, exit 0). Every accepted request receives exactly one terminal \
+     reply; the final summary line reports $(b,lost=0) when that held."
+  in
+  let workers =
+    Arg.(
+      value
+      & opt int 4
+      & info [ "workers" ] ~docv:"W" ~doc:"Worker domains executing instances.")
+  in
+  let bound =
+    Arg.(
+      value
+      & opt int 256
+      & info [ "bound" ] ~docv:"B"
+          ~doc:"Admission bound: maximum open (queued + in-flight) instances; beyond it \
+                submits are shed.")
+  in
+  let timeout_ms =
+    Arg.(
+      value
+      & opt int 10_000
+      & info [ "timeout-ms" ] ~docv:"MS"
+          ~doc:"Default per-instance watchdog deadline (a submit may override it downward or \
+                upward with its own timeout_ms field).")
+  in
+  let grace_ms =
+    Arg.(
+      value
+      & opt int 30_000
+      & info [ "grace-ms" ] ~docv:"MS"
+          ~doc:"Drain grace: how long to wait for in-flight instances after SIGTERM before \
+                giving up on the worker join.")
+  in
+  let inject =
+    Arg.(
+      value
+      & opt string "none"
+      & info [ "inject" ] ~docv:"SPEC"
+          ~doc:
+            "Service-layer fault injection: $(b,none), a preset (worker-kill, instance-kill, \
+             frame-chaos, conn-chaos, mayhem) or an explicit kind:rate list, e.g. \
+             $(b,kill-worker:0.1,delay-frame:0.05). Kinds: kill-instance, kill-worker, \
+             delay-frame, truncate-frame, drop-conn. Deterministic given \
+             $(b,--inject-seed).")
+  in
+  let inject_seed =
+    Arg.(
+      value
+      & opt int 0
+      & info [ "inject-seed" ] ~docv:"SEED" ~doc:"Seed for the injection decision stream.")
+  in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(
+      const serve $ socket_arg $ tcp_arg $ workers $ bound $ timeout_ms $ grace_ms $ inject
+      $ inject_seed $ telemetry_arg)
+
+let client_cmd =
+  let doc =
+    "Open-loop load generator for $(b,ftc serve): submit $(b,--total) instances at \
+     $(b,--rate) per second, retry shed submits with bounded exponential backoff (the \
+     transport's doubling ladder, floored by the server's retry-after hint), reconnect on \
+     dropped connections, and report throughput and completion-latency quantiles."
+  in
+  let total =
+    Arg.(value & opt int 100 & info [ "total" ] ~docv:"K" ~doc:"Instances to submit.")
+  in
+  let rate =
+    Arg.(
+      value
+      & opt float 0.
+      & info [ "rate" ] ~docv:"R"
+          ~doc:"Submits per second (open-loop schedule); 0 = as fast as possible.")
+  in
+  let protocol =
+    Arg.(
+      value
+      & opt string "ft-leader-election"
+      & info [ "protocol" ] ~docv:"NAME" ~doc:"A chaos-catalog protocol name (see $(b,ftc list)).")
+  in
+  let client_n =
+    Arg.(value & opt int 64 & info [ "n" ] ~docv:"N" ~doc:"Network size per instance.")
+  in
+  let client_alpha =
+    Arg.(
+      value
+      & opt float 0.125
+      & info [ "a"; "alpha" ] ~docv:"ALPHA" ~doc:"Guaranteed non-faulty fraction.")
+  in
+  let client_adversary =
+    Arg.(
+      value
+      & opt string "none"
+      & info [ "adversary" ] ~docv:"NAME" ~doc:"Crash adversary per instance (none = fault-free).")
+  in
+  let timeout_ms =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "timeout-ms" ] ~docv:"MS" ~doc:"Per-instance server-side deadline override.")
+  in
+  let retries =
+    Arg.(
+      value
+      & opt int 4
+      & info [ "retries" ] ~docv:"K" ~doc:"Max submission attempts per instance when shed.")
+  in
+  Cmd.v (Cmd.info "client" ~doc)
+    Term.(
+      const client $ socket_arg $ tcp_arg $ total $ rate $ protocol $ client_n $ client_alpha
+      $ client_adversary $ seed_arg $ timeout_ms $ retries)
+
 let list_cmd =
   Cmd.v (Cmd.info "list" ~doc:"List experiments, protocols and adversaries.")
     Term.(const list_all $ const ())
@@ -1382,6 +1654,6 @@ let main =
   let doc = "fault-tolerant leader election and agreement (Kumar & Molla, PODC'21/TPDS'23)" in
   Cmd.group (Cmd.info "ftc" ~version:"1.0.0" ~doc)
     [ election_cmd; agreement_cmd; sweep_cmd; expt_cmd; clouds_cmd; chaos_cmd; verify_cmd;
-      replay_cmd; trace_cmd; list_cmd ]
+      serve_cmd; client_cmd; replay_cmd; trace_cmd; list_cmd ]
 
 let () = exit (Cmd.eval' main)

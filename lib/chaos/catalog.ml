@@ -245,3 +245,12 @@ let extras =
 let find name = List.find_opt (fun e -> e.name = name) (all @ extras)
 
 let names () = List.map (fun e -> e.name) (all @ extras)
+
+(* Same xor tweak as [Ftc_expt.Runner.materialize_inputs]: inputs come
+   from a stream distinct from the engine's own coins for the seed. *)
+let gen_inputs entry ~n ~seed =
+  let rng = Ftc_rng.Rng.create (seed lxor 0x5bd1e995) in
+  match entry.inputs with
+  | No_inputs -> Array.make n 0
+  | Bits -> Array.init n (fun _ -> if Ftc_rng.Rng.bool rng then 1 else 0)
+  | Values bound -> Array.init n (fun _ -> Ftc_rng.Rng.int rng (bound + 1))

@@ -54,3 +54,9 @@ val find : string -> entry option
 (** Searches [all] then [extras]. *)
 
 val names : unit -> string list
+
+val gen_inputs : entry -> n:int -> seed:int -> int array
+(** Per-seed inputs for [entry]'s {!input_kind}, drawn from a stream
+    distinct from the engine's (the [Runner.materialize_inputs] xor
+    tweak), so the same seed feeds the protocol the same inputs whether
+    the case comes from [ftc sweep] or the serve front-end. *)

@@ -29,6 +29,7 @@ type config = {
   quarantine : string option;
   trial_timeout : float option;
   recorder : Ftc_telemetry.Recorder.t;
+  stop : unit -> bool;
 }
 
 let default_config =
@@ -40,6 +41,7 @@ let default_config =
     quarantine = None;
     trial_timeout = None;
     recorder = Ftc_telemetry.Recorder.disabled;
+    stop = (fun () -> false);
   }
 
 exception Resume_error of string
@@ -139,7 +141,7 @@ let run config ~spec_hash ~encode ~decode ?(replay_doc = fun _ -> None) ~run_tri
     end
   in
   let one seed =
-    if Atomic.get abort then begin
+    if Atomic.get abort || config.stop () then begin
       heartbeat Skipped;
       (seed, Skipped)
     end

@@ -51,6 +51,13 @@ type config = {
       (** Sweep telemetry sink: one [Heartbeat] event and outcome
           counter per finished trial, plus a pool monitor on the
           worker pool. Default: the disabled recorder (zero cost). *)
+  stop : unit -> bool;
+      (** Polled before each queued trial starts; once true, remaining
+          trials come back [Skipped] while running ones finish and are
+          journaled — a cooperative drain, the sweep counterpart of the
+          serve front-end's SIGTERM handling. The journal needs no extra
+          checkpoint: every completed trial was already flushed. Default:
+          never stop. *)
 }
 
 val default_config : config

@@ -1,0 +1,64 @@
+type state = Running | Done | Crashed of exn
+
+(* [outcome] is written by the worker domain just before it terminates
+   and read by the supervisor; an Atomic gives the publication a
+   happens-before edge without a lock. *)
+type t = {
+  name : string;
+  body : unit -> unit;
+  outcome : state Atomic.t;
+  mutable domain : unit Domain.t option;  (** [None] once reaped. *)
+  mutable reaped : state option;
+  mutable restarts : int;
+}
+
+let spawn_into t =
+  Atomic.set t.outcome Running;
+  t.reaped <- None;
+  t.domain <-
+    Some
+      (Domain.spawn (fun () ->
+           match t.body () with
+           | () -> Atomic.set t.outcome Done
+           | exception e -> Atomic.set t.outcome (Crashed e)))
+
+let start ~name body =
+  let t =
+    { name; body; outcome = Atomic.make Running; domain = None; reaped = None; restarts = 0 }
+  in
+  spawn_into t;
+  t
+
+let name t = t.name
+let state t = match t.reaped with Some s -> s | None -> Atomic.get t.outcome
+let alive t = state t = Running
+let restarts t = t.restarts
+
+let reap t =
+  match t.reaped with
+  | Some s -> Some s
+  | None -> (
+      match Atomic.get t.outcome with
+      | Running -> None
+      | terminal ->
+          (match t.domain with
+          | Some d ->
+              Domain.join d;
+              t.domain <- None
+          | None -> ());
+          t.reaped <- Some terminal;
+          Some terminal)
+
+let respawn t =
+  if t.reaped = None then
+    invalid_arg (Printf.sprintf "Respawn.respawn: worker %s not reaped" t.name);
+  t.restarts <- t.restarts + 1;
+  spawn_into t
+
+let join t =
+  match t.domain with
+  | None -> ()
+  | Some d ->
+      Domain.join d;
+      t.domain <- None;
+      t.reaped <- Some (Atomic.get t.outcome)

@@ -1,0 +1,53 @@
+(** A supervised, restartable worker domain.
+
+    {!Ftc_parallel.Pool} parallelises finite batches; a long-running
+    service needs the other shape: a worker that loops forever pulling
+    work, and a supervisor that can tell a clean exit (the worker drained
+    its queue and returned) from a crash (the body raised), reap the dead
+    domain, and spawn a replacement running the same body.
+
+    A handle owns at most one live domain at a time. The body runs once
+    per (re)spawn; when it returns or raises, the domain terminates and
+    the handle records which of the two happened. {!reap} joins the dead
+    domain (so respawning never leaks domains) and {!respawn} starts a
+    fresh one, bumping {!restarts}.
+
+    The handle is meant to be driven by a single supervising domain;
+    only {!state} is safe to poll from anywhere. *)
+
+type t
+
+type state =
+  | Running
+  | Done  (** The body returned: a clean, deliberate exit. *)
+  | Crashed of exn  (** The body raised; the exception is preserved. *)
+
+val start : name:string -> (unit -> unit) -> t
+(** Spawn a domain running the body. [name] is for logs only. *)
+
+val name : t -> string
+
+val state : t -> state
+(** Safe from any domain. [Crashed] is observable only after the body
+    has stored the exception, never before. *)
+
+val alive : t -> bool
+(** [state t = Running]. *)
+
+val reap : t -> state option
+(** If the body has finished: join the domain and return how it ended
+    ([Done] or [Crashed _]); [None] while it is still running. Idempotent
+    — a second call on a reaped handle returns the same terminal state
+    without re-joining. Must be called before {!respawn}. *)
+
+val respawn : t -> unit
+(** Start a fresh domain running the same body and increment
+    {!restarts}. Raises [Invalid_argument] unless the previous domain
+    was {!reap}ed first. *)
+
+val restarts : t -> int
+(** How many times {!respawn} has been called. *)
+
+val join : t -> unit
+(** Block until the current domain finishes and join it ({!reap} without
+    the polling). No-op on an already-reaped handle. *)

@@ -1,0 +1,339 @@
+module Transport = Ftc_transport.Transport
+module Hist = Ftc_telemetry.Hist
+
+type config = {
+  addr : Server.addr;
+  total : int;
+  rate : float;
+  protocol : string;
+  n : int;
+  alpha : float;
+  adversary : string;
+  base_seed : int;
+  timeout_ms : int option;
+  retries : int;
+  backoff : Transport.config;
+  backoff_unit_ms : int;
+  overall_timeout_ms : int;
+  log : string -> unit;
+}
+
+let default_config addr =
+  {
+    addr;
+    total = 100;
+    rate = 0.;
+    protocol = "ft-leader-election";
+    n = 64;
+    alpha = 0.125;
+    adversary = "none";
+    base_seed = 1;
+    timeout_ms = None;
+    retries = 4;
+    backoff = Transport.default_config;
+    backoff_unit_ms = 25;
+    overall_timeout_ms = 120_000;
+    log = ignore;
+  }
+
+type stats = {
+  submitted : int;
+  accepted : int;
+  results : int;
+  result_violations : int;
+  failures : int;
+  shed_retries : int;
+  gave_up : int;
+  rejected : int;
+  abandoned : int;
+  reconnects : int;
+  p50_ms : int;
+  p99_ms : int;
+  elapsed_ms : float;
+}
+
+let stats_line s =
+  Printf.sprintf
+    "client: submitted=%d accepted=%d results=%d violations=%d failures=%d shed_retries=%d \
+     gave_up=%d rejected=%d abandoned=%d reconnects=%d p50_ms=%d p99_ms=%d elapsed_ms=%.0f"
+    s.submitted s.accepted s.results s.result_violations s.failures s.shed_retries s.gave_up
+    s.rejected s.abandoned s.reconnects s.p50_ms s.p99_ms s.elapsed_ms
+
+let exit_code s = if s.abandoned = 0 then 0 else 1
+
+(* Per-submit client-side state machine:
+   Unsent(due) -> Awaiting_accept -> Awaiting_terminal -> done.
+   A shed loops back to Unsent with a later due time; a dead connection
+   sends Awaiting_accept back to Unsent (the submit was never admitted)
+   and Awaiting_terminal to Abandoned (it was — resubmitting would run
+   the instance twice). *)
+type istate =
+  | Unsent of float  (** due, ms epoch *)
+  | Awaiting_accept
+  | Awaiting_terminal
+  | Done_result of bool
+  | Done_failed
+  | Done_rejected
+  | Gave_up
+  | Abandoned
+
+type inst = {
+  idx : int;
+  mutable state : istate;
+  mutable attempts : int;  (** Submission attempts so far. *)
+  mutable first_sent_ms : float;  (** First submit write; latency epoch. *)
+}
+
+let now_ms () = Unix.gettimeofday () *. 1000.
+
+let connect addr =
+  try
+    let fd =
+      match addr with
+      | Server.Unix_sock path ->
+          let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+          Unix.connect fd (Unix.ADDR_UNIX path);
+          fd
+      | Server.Tcp port ->
+          let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+          Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+          fd
+    in
+    Ok fd
+  with Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+
+let write_all fd s =
+  let len = String.length s in
+  let rec go off = if off < len then go (off + Unix.write_substring fd s off (len - off)) in
+  go 0
+
+let run cfg =
+  (match Sys.signal Sys.sigpipe Sys.Signal_ignore with _ -> ());
+  let ladder_ms k = Transport.nth_timeout cfg.backoff k * cfg.backoff_unit_ms in
+  let start = now_ms () in
+  let deadline = start +. float_of_int cfg.overall_timeout_ms in
+  let due_of_schedule i =
+    if cfg.rate <= 0. then start else start +. (float_of_int i /. cfg.rate *. 1000.)
+  in
+  let insts =
+    Array.init cfg.total (fun i ->
+        { idx = i; state = Unsent (due_of_schedule i); attempts = 0; first_sent_ms = 0. })
+  in
+  let lat = Hist.create () in
+  let submitted = ref 0 in
+  let accepted = ref 0 in
+  let results = ref 0 in
+  let violations = ref 0 in
+  let failures = ref 0 in
+  let shed_retries = ref 0 in
+  let gave_up = ref 0 in
+  let rejected = ref 0 in
+  let abandoned = ref 0 in
+  let reconnects = ref 0 in
+  let id_of i = Printf.sprintf "c%d" i in
+  let inst_of_id id =
+    if String.length id > 1 && id.[0] = 'c' then
+      match int_of_string_opt (String.sub id 1 (String.length id - 1)) with
+      | Some i when i >= 0 && i < cfg.total -> Some insts.(i)
+      | _ -> None
+    else None
+  in
+  let fd = ref None in
+  let decoder = ref (Frame.Decoder.create ()) in
+  let conn_attempt = ref 0 in
+  let conn_retry_at = ref 0. in
+  let drop_connection () =
+    (match !fd with Some f -> ( try Unix.close f with Unix.Unix_error _ -> ()) | None -> ());
+    fd := None;
+    decoder := Frame.Decoder.create ();
+    let backoff = ladder_ms !conn_attempt in
+    incr conn_attempt;
+    conn_retry_at := now_ms () +. float_of_int backoff;
+    Array.iter
+      (fun inst ->
+        match inst.state with
+        | Awaiting_accept ->
+            (* Never admitted: safe to resubmit after the conn backoff. *)
+            inst.state <- Unsent (!conn_retry_at)
+        | Awaiting_terminal ->
+            inst.state <- Abandoned;
+            incr abandoned;
+            cfg.log (Printf.sprintf "submit %d: abandoned (connection died)" inst.idx)
+        | _ -> ())
+      insts
+  in
+  let ensure_conn () =
+    match !fd with
+    | Some _ -> true
+    | None ->
+        if now_ms () < !conn_retry_at then false
+        else begin
+          match connect cfg.addr with
+          | Ok f ->
+              if !conn_attempt > 0 then incr reconnects;
+              conn_attempt := 0;
+              fd := Some f;
+              true
+          | Error e ->
+              cfg.log (Printf.sprintf "connect: %s (retrying)" e);
+              let backoff = ladder_ms !conn_attempt in
+              incr conn_attempt;
+              conn_retry_at := now_ms () +. float_of_int backoff;
+              false
+        end
+  in
+  let send_submit f inst =
+    let s =
+      {
+        Wire.id = id_of inst.idx;
+        protocol = cfg.protocol;
+        n = cfg.n;
+        alpha = cfg.alpha;
+        seed = cfg.base_seed + inst.idx;
+        adversary = cfg.adversary;
+        timeout_ms = cfg.timeout_ms;
+      }
+    in
+    inst.attempts <- inst.attempts + 1;
+    if inst.first_sent_ms = 0. then inst.first_sent_ms <- now_ms ();
+    incr submitted;
+    match write_all f (Frame.encode (Wire.request_to_json (Wire.Submit s))) with
+    | () -> inst.state <- Awaiting_accept
+    | exception Unix.Unix_error _ ->
+        inst.state <- Unsent (now_ms ());
+        inst.attempts <- inst.attempts - 1;
+        drop_connection ()
+  in
+  let terminal inst st =
+    Hist.record lat (max 0 (int_of_float (now_ms () -. inst.first_sent_ms)));
+    inst.state <- st
+  in
+  let handle_reply = function
+    | Wire.Pong | Wire.Stats_reply _ -> ()
+    | Wire.Accepted { id; _ } -> (
+        match inst_of_id id with
+        | Some inst when inst.state = Awaiting_accept ->
+            incr accepted;
+            inst.state <- Awaiting_terminal
+        | _ -> ())
+    | Wire.Shed { id; retry_after_ms; draining } -> (
+        match inst_of_id id with
+        | Some inst when inst.state = Awaiting_accept ->
+            if draining || inst.attempts > cfg.retries then begin
+              incr gave_up;
+              inst.state <- Gave_up
+            end
+            else begin
+              incr shed_retries;
+              let wait = max retry_after_ms (ladder_ms (inst.attempts - 1)) in
+              cfg.log
+                (Printf.sprintf "submit %d: shed, retrying in %d ms (attempt %d)" inst.idx wait
+                   inst.attempts);
+              inst.state <- Unsent (now_ms () +. float_of_int wait)
+            end
+        | _ -> ())
+    | Wire.Rejected { id; reason } -> (
+        match inst_of_id id with
+        | Some inst when inst.state = Awaiting_accept ->
+            incr rejected;
+            cfg.log (Printf.sprintf "submit %d: rejected: %s" inst.idx reason);
+            inst.state <- Done_rejected
+        | _ -> ())
+    | Wire.Result { id; ok; _ } -> (
+        match inst_of_id id with
+        | Some inst when inst.state = Awaiting_terminal ->
+            incr results;
+            if not ok then incr violations;
+            terminal inst (Done_result ok)
+        | _ -> ())
+    | Wire.Failed { id; class_; detail; _ } -> (
+        match inst_of_id id with
+        | Some inst when inst.state = Awaiting_terminal ->
+            incr failures;
+            cfg.log (Printf.sprintf "submit %d: failed (%s): %s" inst.idx class_ detail);
+            terminal inst Done_failed
+        | _ -> ())
+  in
+  let all_settled () =
+    Array.for_all
+      (fun i ->
+        match i.state with
+        | Done_result _ | Done_failed | Done_rejected | Gave_up | Abandoned -> true
+        | _ -> false)
+      insts
+  in
+  let rec loop () =
+    if all_settled () then ()
+    else if now_ms () > deadline then
+      Array.iter
+        (fun inst ->
+          match inst.state with
+          | Unsent _ | Awaiting_accept | Awaiting_terminal ->
+              incr abandoned;
+              inst.state <- Abandoned
+          | _ -> ())
+        insts
+    else begin
+      (if ensure_conn () then
+         let f = Option.get !fd in
+         let now = now_ms () in
+         Array.iter
+           (fun inst ->
+             match inst.state with
+             | Unsent due when due <= now && !fd <> None -> send_submit f inst
+             | _ -> ())
+           insts);
+      (match !fd with
+      | None -> Unix.sleepf 0.01
+      | Some f -> (
+          let readable =
+            match Unix.select [ f ] [] [] 0.02 with
+            | r, _, _ -> r
+            | exception Unix.Unix_error (Unix.EINTR, _, _) -> []
+          in
+          if readable <> [] then
+            let buf = Bytes.create 4096 in
+            match Unix.read f buf 0 4096 with
+            | 0 -> drop_connection ()
+            | n ->
+                Frame.Decoder.feed !decoder buf 0 n;
+                let rec frames () =
+                  match Frame.Decoder.next !decoder with
+                  | Ok (Some json) ->
+                      (match Wire.reply_of_json json with
+                      | Ok r -> handle_reply r
+                      | Error e -> cfg.log (Printf.sprintf "bad reply frame: %s" e));
+                      frames ()
+                  | Ok None -> ()
+                  | Error e ->
+                      cfg.log (Printf.sprintf "reply stream error: %s" e);
+                      drop_connection ()
+                in
+                frames ()
+            | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) ->
+                ()
+            | exception Unix.Unix_error _ -> drop_connection ()));
+      loop ()
+    end
+  in
+  match ensure_conn () with
+  | false -> Error "cannot connect to server"
+  | true ->
+      loop ();
+      (match !fd with Some f -> ( try Unix.close f with Unix.Unix_error _ -> ()) | None -> ());
+      Ok
+        {
+          submitted = !submitted;
+          accepted = !accepted;
+          results = !results;
+          result_violations = !violations;
+          failures = !failures;
+          shed_retries = !shed_retries;
+          gave_up = !gave_up;
+          rejected = !rejected;
+          abandoned = !abandoned;
+          reconnects = !reconnects;
+          p50_ms = Hist.quantile lat 0.5;
+          p99_ms = Hist.quantile lat 0.99;
+          elapsed_ms = now_ms () -. start;
+        }

@@ -1,0 +1,66 @@
+(** [ftc client]: an open-loop load generator for the serve front-end.
+
+    Open-loop means the submission schedule is fixed by [rate] alone —
+    submit [i] is due at [i / rate] seconds after start whether or not
+    earlier submits have completed — so queue growth at the server is
+    driven by offered load, not by the client's patience. ([rate = 0.]
+    degenerates to as-fast-as-possible.)
+
+    Retry discipline, per submit: a [Shed] reply schedules a retry at
+    [now + max(retry_after_ms, ladder_ms)], where [ladder_ms] is the
+    transport's doubling backoff ladder ({!Ftc_transport.Transport.nth_timeout},
+    scaled by [backoff_unit_ms]) at the attempt number — the server's
+    hint sets the floor, the ladder guarantees the exponential growth.
+    After [retries] sheds the submit is given up. Connection failures
+    reconnect on the same ladder; a submit whose [Accepted] was already
+    seen when the connection died is {e abandoned} (its terminal reply
+    died with the connection — the server counts the same event as
+    orphaned), never resubmitted, so a client never runs an instance
+    twice. *)
+
+type config = {
+  addr : Server.addr;
+  total : int;  (** Submits to issue. *)
+  rate : float;  (** Submits per second; [0.] = no pacing. *)
+  protocol : string;
+  n : int;
+  alpha : float;
+  adversary : string;
+  base_seed : int;  (** Submit [i] carries seed [base_seed + i]. *)
+  timeout_ms : int option;  (** Per-instance server-side deadline override. *)
+  retries : int;  (** Max submission attempts per instance. *)
+  backoff : Ftc_transport.Transport.config;
+  backoff_unit_ms : int;  (** Milliseconds per ladder round (default 25). *)
+  overall_timeout_ms : int;  (** Hard wall-clock stop for the whole run. *)
+  log : string -> unit;
+}
+
+val default_config : Server.addr -> config
+(** 100 submits, unpaced, [ft-leader-election] n=64 alpha=0.125,
+    adversary [none], 4 retries, transport default ladder at 25 ms per
+    round, 120 s overall stop. *)
+
+type stats = {
+  submitted : int;  (** Submit frames actually written (retries included). *)
+  accepted : int;
+  results : int;
+  result_violations : int;  (** [Result] replies with [ok = false]. *)
+  failures : int;  (** [Failed] terminals, by class. *)
+  shed_retries : int;  (** Sheds that were retried. *)
+  gave_up : int;  (** Submits that exhausted their retry budget shed. *)
+  rejected : int;
+  abandoned : int;  (** Accepted submits whose connection died first. *)
+  reconnects : int;
+  p50_ms : int;  (** Submit-to-terminal latency quantiles, completed only. *)
+  p99_ms : int;
+  elapsed_ms : float;
+}
+
+val stats_line : stats -> string
+
+val exit_code : stats -> int
+(** [0] when every submit reached a client-side terminal state and none
+    were abandoned; [1] otherwise. *)
+
+val run : config -> (stats, string) result
+(** [Error] only when the very first connection cannot be established. *)

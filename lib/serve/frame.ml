@@ -1,0 +1,89 @@
+module Json = Ftc_journal.Json
+
+let max_len = 16 * 1024 * 1024
+
+let encode doc =
+  let payload = Json.to_string doc in
+  let n = String.length payload in
+  let b = Bytes.create (4 + n) in
+  Bytes.set b 0 (Char.chr ((n lsr 24) land 0xff));
+  Bytes.set b 1 (Char.chr ((n lsr 16) land 0xff));
+  Bytes.set b 2 (Char.chr ((n lsr 8) land 0xff));
+  Bytes.set b 3 (Char.chr (n land 0xff));
+  Bytes.blit_string payload 0 b 4 n;
+  Bytes.unsafe_to_string b
+
+let write_fd fd doc =
+  let frame = encode doc in
+  let len = String.length frame in
+  let pos = ref 0 in
+  while !pos < len do
+    pos := !pos + Unix.write_substring fd frame !pos (len - !pos)
+  done
+
+module Decoder = struct
+  (* Received bytes accumulate in [buf]; [pos] is the read cursor. The
+     consumed prefix is compacted away once it dominates the buffer, so
+     a long-lived connection stays O(one frame) in memory. *)
+  type t = {
+    mutable buf : Bytes.t;
+    mutable pos : int;  (** First unconsumed byte. *)
+    mutable len : int;  (** End of valid data. *)
+    mutable poisoned : string option;
+  }
+
+  let create () = { buf = Bytes.create 4096; pos = 0; len = 0; poisoned = None }
+
+  let compact t =
+    if t.pos > 0 && (t.pos = t.len || t.pos > Bytes.length t.buf / 2) then begin
+      Bytes.blit t.buf t.pos t.buf 0 (t.len - t.pos);
+      t.len <- t.len - t.pos;
+      t.pos <- 0
+    end
+
+  let feed t src off n =
+    if n < 0 || off < 0 || off + n > Bytes.length src then
+      invalid_arg "Frame.Decoder.feed: bad slice";
+    compact t;
+    if t.len + n > Bytes.length t.buf then begin
+      let cap = ref (max 8 (Bytes.length t.buf)) in
+      while t.len + n > !cap do
+        cap := !cap * 2
+      done;
+      let bigger = Bytes.create !cap in
+      Bytes.blit t.buf 0 bigger 0 t.len;
+      t.buf <- bigger
+    end;
+    Bytes.blit src off t.buf t.len n;
+    t.len <- t.len + n
+
+  let feed_string t s = feed t (Bytes.unsafe_of_string s) 0 (String.length s)
+
+  let buffered t = t.len - t.pos
+
+  let poison t msg =
+    t.poisoned <- Some msg;
+    Error msg
+
+  let next t =
+    match t.poisoned with
+    | Some msg -> Error msg
+    | None ->
+        if buffered t < 4 then Ok None
+        else begin
+          let b i = Char.code (Bytes.get t.buf (t.pos + i)) in
+          let declared = (b 0 lsl 24) lor (b 1 lsl 16) lor (b 2 lsl 8) lor b 3 in
+          if declared = 0 then poison t "zero-length frame"
+          else if declared > max_len then
+            poison t (Printf.sprintf "frame length %d exceeds the %d-byte cap" declared max_len)
+          else if buffered t < 4 + declared then Ok None
+          else begin
+            let payload = Bytes.sub_string t.buf (t.pos + 4) declared in
+            t.pos <- t.pos + 4 + declared;
+            compact t;
+            match Json.of_string payload with
+            | Ok doc -> Ok (Some doc)
+            | Error e -> poison t ("malformed frame payload: " ^ e)
+          end
+        end
+end

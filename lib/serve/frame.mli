@@ -1,0 +1,45 @@
+(** Length-prefixed JSON frames: the serve front-end's wire format.
+
+    One frame is a 4-byte big-endian payload length followed by exactly
+    that many bytes of UTF-8 JSON ({!Ftc_journal.Json}). The length
+    covers only the payload. Frames self-delimit, so a stream of them
+    needs no separators and survives arbitrary segmentation: the
+    {!Decoder} accepts bytes in any chunking — including a cut in the
+    middle of the length prefix — and yields complete documents only.
+
+    A declared length of zero or beyond {!max_len} is a protocol error:
+    the peer is broken or hostile, and the connection must be dropped
+    (there is no way to resynchronise a length-prefixed stream). *)
+
+val max_len : int
+(** Largest accepted payload, 16 MiB. *)
+
+val encode : Ftc_journal.Json.t -> string
+(** The full frame: 4-byte big-endian length + encoded JSON. *)
+
+val write_fd : Unix.file_descr -> Ftc_journal.Json.t -> unit
+(** Blocking write of one whole frame, retrying partial writes. Raises
+    [Unix.Unix_error] as the underlying writes do (EPIPE included —
+    callers own connection teardown). *)
+
+module Decoder : sig
+  type t
+
+  val create : unit -> t
+
+  val feed : t -> bytes -> int -> int -> unit
+  (** [feed t buf off len] appends [len] bytes of received data. *)
+
+  val feed_string : t -> string -> unit
+
+  val next : t -> (Ftc_journal.Json.t option, string) result
+  (** [Ok (Some doc)] — one complete frame was consumed; call again, a
+      single feed may complete several frames. [Ok None] — no complete
+      frame buffered yet. [Error _] — protocol error (zero/oversized
+      length or malformed JSON); the decoder is poisoned and every later
+      call returns the same error. *)
+
+  val buffered : t -> int
+  (** Bytes received but not yet consumed by a complete frame — non-zero
+      at EOF means the peer died mid-frame (a torn frame). *)
+end

@@ -1,0 +1,125 @@
+module Rng = Ftc_rng.Rng
+
+type kind = Kill_instance | Kill_worker | Delay_frame | Truncate_frame | Drop_conn
+
+let kinds = [ Kill_instance; Kill_worker; Delay_frame; Truncate_frame; Drop_conn ]
+
+let kind_to_string = function
+  | Kill_instance -> "kill-instance"
+  | Kill_worker -> "kill-worker"
+  | Delay_frame -> "delay-frame"
+  | Truncate_frame -> "truncate-frame"
+  | Drop_conn -> "drop-conn"
+
+let kind_of_string = function
+  | "kill-instance" -> Some Kill_instance
+  | "kill-worker" -> Some Kill_worker
+  | "delay-frame" -> Some Delay_frame
+  | "truncate-frame" -> Some Truncate_frame
+  | "drop-conn" -> Some Drop_conn
+  | _ -> None
+
+(* Distinct per-kind constants keep the decision streams independent:
+   the same salt firing kill-worker says nothing about delay-frame. *)
+let kind_tag = function
+  | Kill_instance -> 0x9e3779b1
+  | Kill_worker -> 0x85ebca77
+  | Delay_frame -> 0xc2b2ae3d
+  | Truncate_frame -> 0x27d4eb2f
+  | Drop_conn -> 0x165667b1
+
+type t = {
+  seed : int;
+  ki : float;
+  kw : float;
+  df : float;
+  tf : float;
+  dc : float;
+}
+
+let none = { seed = 0; ki = 0.; kw = 0.; df = 0.; tf = 0.; dc = 0. }
+
+let rate t = function
+  | Kill_instance -> t.ki
+  | Kill_worker -> t.kw
+  | Delay_frame -> t.df
+  | Truncate_frame -> t.tf
+  | Drop_conn -> t.dc
+
+let set_rate t kind r =
+  match kind with
+  | Kill_instance -> { t with ki = r }
+  | Kill_worker -> { t with kw = r }
+  | Delay_frame -> { t with df = r }
+  | Truncate_frame -> { t with tf = r }
+  | Drop_conn -> { t with dc = r }
+
+let active t = List.exists (fun k -> rate t k > 0.) kinds
+let with_seed t seed = { t with seed }
+
+let catalog =
+  [
+    ("worker-kill", "kill-worker:0.15");
+    ("instance-kill", "kill-instance:0.15");
+    ("frame-chaos", "delay-frame:0.2,truncate-frame:0.1");
+    ("conn-chaos", "drop-conn:0.15,delay-frame:0.1");
+    ("mayhem",
+     "kill-instance:0.08,kill-worker:0.08,delay-frame:0.1,truncate-frame:0.05,drop-conn:0.05");
+  ]
+
+let parse_rates spec =
+  let parts = String.split_on_char ',' spec in
+  List.fold_left
+    (fun acc part ->
+      Result.bind acc (fun t ->
+          match String.index_opt part ':' with
+          | None -> Error (Printf.sprintf "bad injection term %S (want kind:rate)" part)
+          | Some i -> (
+              let name = String.sub part 0 i in
+              let rate_s = String.sub part (i + 1) (String.length part - i - 1) in
+              match (kind_of_string name, float_of_string_opt rate_s) with
+              | None, _ ->
+                  Error
+                    (Printf.sprintf "unknown injection kind %S (known: %s)" name
+                       (String.concat ", " (List.map kind_to_string kinds)))
+              | _, None -> Error (Printf.sprintf "bad injection rate %S" rate_s)
+              | Some k, Some r when r >= 0. && r <= 1. -> Ok (set_rate t k r)
+              | _, Some r -> Error (Printf.sprintf "injection rate %g out of [0, 1]" r))))
+    (Ok none) parts
+
+let parse spec =
+  match spec with
+  | "none" | "" -> Ok none
+  | _ -> (
+      match List.assoc_opt spec catalog with
+      | Some expansion -> parse_rates expansion
+      | None -> parse_rates spec)
+
+let describe t =
+  if not (active t) then "none"
+  else
+    kinds
+    |> List.filter_map (fun k ->
+           let r = rate t k in
+           if r > 0. then Some (Printf.sprintf "%s:%g" (kind_to_string k) r) else None)
+    |> String.concat ","
+
+(* One decision = one fresh generator over a hash of (seed, kind, salt).
+   Deterministic and order-independent: replaying the same event stream
+   yields the same faults regardless of worker interleaving. *)
+let decision_rng t kind ~salt =
+  let h = ref (t.seed lxor kind_tag kind) in
+  let mix v =
+    h := !h lxor (v * 0x9e3779b1);
+    h := (!h lxor (!h lsr 16)) * 0x45d9f3b;
+    h := !h lxor (!h lsr 13)
+  in
+  mix salt;
+  mix (kind_tag kind);
+  Rng.create (!h land max_int)
+
+let fire t kind ~salt =
+  let r = rate t kind in
+  r > 0. && Rng.below (decision_rng t kind ~salt) r
+
+let delay_ms t ~salt = 1 + Rng.int (decision_rng t Delay_frame ~salt:(salt lxor 0x5f5f)) 50

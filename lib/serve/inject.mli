@@ -1,0 +1,58 @@
+(** Service-layer fault injection: the serve counterpart of the chaos
+    catalog, aimed at the {e process}, not the simulated network.
+
+    Five fault kinds, each with an independent firing rate:
+
+    - [Kill_instance] — the victim instance's kill flag is raised a few
+      rounds into its run; the per-instance watchdog stops the engine
+      and the client receives a structured [Failed "killed"] reply.
+    - [Kill_worker] — the worker domain executing the victim raises
+      mid-run and dies; the supervisor reaps it, requeues the in-flight
+      instance, and spawns a replacement.
+    - [Delay_frame] — an outgoing reply frame is held back 1–50 ms.
+    - [Truncate_frame] — an outgoing reply frame is cut mid-bytes and
+      the connection closed: the client sees a torn frame.
+    - [Drop_conn] — the connection is closed instead of writing the
+      reply: the client sees EOF mid-request.
+
+    Decisions are deterministic: whether fault [kind] fires for event
+    [salt] is a pure function of [(seed, kind, salt)], so a seeded
+    injection run is reproducible event for event, exactly like a chaos
+    case. Under every mix the oracle is unchanged — each accepted
+    request terminates in exactly one reply. *)
+
+type kind = Kill_instance | Kill_worker | Delay_frame | Truncate_frame | Drop_conn
+
+val kind_to_string : kind -> string
+(** ["kill-instance" | "kill-worker" | "delay-frame" | "truncate-frame"
+    | "drop-conn"] — the [--inject] spelling. *)
+
+type t
+
+val none : t
+(** No injection; {!active} is false and {!fire} never fires. *)
+
+val catalog : (string * string) list
+(** Named presets, mirroring the chaos catalog's role: [worker-kill],
+    [instance-kill], [frame-chaos], [conn-chaos], [mayhem] — each maps
+    to a rate-spec string {!parse} accepts. *)
+
+val parse : string -> (t, string) result
+(** Accepts ["none"], a preset name from {!catalog}, or an explicit
+    comma-separated rate list ["kind:rate,kind:rate"] with each rate in
+    [0, 1] (e.g. ["kill-worker:0.1,delay-frame:0.05"]). *)
+
+val with_seed : t -> int -> t
+(** Fix the decision seed (default 0). *)
+
+val active : t -> bool
+val rate : t -> kind -> float
+
+val fire : t -> kind -> salt:int -> bool
+(** Does [kind] fire for event [salt]? Pure in [(seed, kind, salt)]. *)
+
+val delay_ms : t -> salt:int -> int
+(** Deterministic frame-delay duration, 1–50 ms. *)
+
+val describe : t -> string
+(** Round-trips through {!parse}; ["none"] when inactive. *)

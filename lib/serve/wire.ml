@@ -1,0 +1,183 @@
+module Json = Ftc_journal.Json
+
+type submit = {
+  id : string;
+  protocol : string;
+  n : int;
+  alpha : float;
+  seed : int;
+  adversary : string;
+  timeout_ms : int option;
+}
+
+type request = Submit of submit | Ping | Stats
+
+type reply =
+  | Accepted of { id : string; ticket : int }
+  | Shed of { id : string; retry_after_ms : int; draining : bool }
+  | Rejected of { id : string; reason : string }
+  | Result of {
+      id : string;
+      ticket : int;
+      ok : bool;
+      detail : string;
+      rounds : int;
+      msgs : int;
+      bits : int;
+      attempts : int;
+    }
+  | Failed of { id : string; ticket : int; class_ : string; detail : string }
+  | Pong
+  | Stats_reply of (string * int) list
+
+let failed_watchdog = "watchdog"
+let failed_killed = "killed"
+let failed_crashed = "crashed"
+let failed_exception = "exception"
+
+(* -- encoding -- *)
+
+let request_to_json = function
+  | Ping -> Json.Obj [ ("op", Json.String "ping") ]
+  | Stats -> Json.Obj [ ("op", Json.String "stats") ]
+  | Submit s ->
+      Json.Obj
+        ([
+           ("op", Json.String "submit");
+           ("id", Json.String s.id);
+           ("protocol", Json.String s.protocol);
+           ("n", Json.Int s.n);
+           ("alpha", Json.Float s.alpha);
+           ("seed", Json.Int s.seed);
+           ("adversary", Json.String s.adversary);
+         ]
+        @ match s.timeout_ms with None -> [] | Some t -> [ ("timeout_ms", Json.Int t) ])
+
+let reply_to_json = function
+  | Pong -> Json.Obj [ ("op", Json.String "pong") ]
+  | Accepted { id; ticket } ->
+      Json.Obj [ ("op", Json.String "accepted"); ("id", Json.String id); ("ticket", Json.Int ticket) ]
+  | Shed { id; retry_after_ms; draining } ->
+      Json.Obj
+        [
+          ("op", Json.String "shed");
+          ("id", Json.String id);
+          ("retry_after_ms", Json.Int retry_after_ms);
+          ("draining", Json.Bool draining);
+        ]
+  | Rejected { id; reason } ->
+      Json.Obj
+        [ ("op", Json.String "rejected"); ("id", Json.String id); ("reason", Json.String reason) ]
+  | Result { id; ticket; ok; detail; rounds; msgs; bits; attempts } ->
+      Json.Obj
+        [
+          ("op", Json.String "result");
+          ("id", Json.String id);
+          ("ticket", Json.Int ticket);
+          ("ok", Json.Bool ok);
+          ("detail", Json.String detail);
+          ("rounds", Json.Int rounds);
+          ("msgs", Json.Int msgs);
+          ("bits", Json.Int bits);
+          ("attempts", Json.Int attempts);
+        ]
+  | Failed { id; ticket; class_; detail } ->
+      Json.Obj
+        [
+          ("op", Json.String "failed");
+          ("id", Json.String id);
+          ("ticket", Json.Int ticket);
+          ("class", Json.String class_);
+          ("detail", Json.String detail);
+        ]
+  | Stats_reply kvs ->
+      Json.Obj
+        [
+          ("op", Json.String "stats");
+          ("metrics", Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) kvs));
+        ]
+
+(* -- decoding -- *)
+
+let field name conv j =
+  match Option.bind (Json.member name j) conv with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "missing or malformed field %S" name)
+
+let ( let* ) = Result.bind
+
+let op j =
+  match Option.bind (Json.member "op" j) Json.to_str with
+  | Some op -> Ok op
+  | None -> Error "missing op"
+
+let request_of_json j =
+  let* op = op j in
+  match op with
+  | "ping" -> Ok Ping
+  | "stats" -> Ok Stats
+  | "submit" ->
+      let* id = field "id" Json.to_str j in
+      let* protocol = field "protocol" Json.to_str j in
+      let* n = field "n" Json.to_int j in
+      let* alpha = field "alpha" Json.to_float j in
+      let* seed = field "seed" Json.to_int j in
+      let* adversary = field "adversary" Json.to_str j in
+      let timeout_ms = Option.bind (Json.member "timeout_ms" j) Json.to_int in
+      Ok (Submit { id; protocol; n; alpha; seed; adversary; timeout_ms })
+  | op -> Error (Printf.sprintf "unknown request op %S" op)
+
+let reply_of_json j =
+  let* op = op j in
+  match op with
+  | "pong" -> Ok Pong
+  | "accepted" ->
+      let* id = field "id" Json.to_str j in
+      let* ticket = field "ticket" Json.to_int j in
+      Ok (Accepted { id; ticket })
+  | "shed" ->
+      let* id = field "id" Json.to_str j in
+      let* retry_after_ms = field "retry_after_ms" Json.to_int j in
+      let* draining = field "draining" Json.to_bool j in
+      Ok (Shed { id; retry_after_ms; draining })
+  | "rejected" ->
+      let* id = field "id" Json.to_str j in
+      let* reason = field "reason" Json.to_str j in
+      Ok (Rejected { id; reason })
+  | "result" ->
+      let* id = field "id" Json.to_str j in
+      let* ticket = field "ticket" Json.to_int j in
+      let* ok = field "ok" Json.to_bool j in
+      let* detail = field "detail" Json.to_str j in
+      let* rounds = field "rounds" Json.to_int j in
+      let* msgs = field "msgs" Json.to_int j in
+      let* bits = field "bits" Json.to_int j in
+      let* attempts = field "attempts" Json.to_int j in
+      Ok (Result { id; ticket; ok; detail; rounds; msgs; bits; attempts })
+  | "failed" ->
+      let* id = field "id" Json.to_str j in
+      let* ticket = field "ticket" Json.to_int j in
+      let* class_ = field "class" Json.to_str j in
+      let* detail = field "detail" Json.to_str j in
+      Ok (Failed { id; ticket; class_; detail })
+  | "stats" -> (
+      match Json.member "metrics" j with
+      | Some (Json.Obj kvs) ->
+          let ints =
+            List.filter_map
+              (fun (k, v) -> match Json.to_int v with Some i -> Some (k, i) | None -> None)
+              kvs
+          in
+          Ok (Stats_reply ints)
+      | _ -> Error "missing or malformed field \"metrics\"")
+  | op -> Error (Printf.sprintf "unknown reply op %S" op)
+
+let reply_id = function
+  | Accepted { id; _ } | Shed { id; _ } | Rejected { id; _ } | Result { id; _ } | Failed { id; _ }
+    ->
+      Some id
+  | Pong | Stats_reply _ -> None
+
+let is_terminal = function
+  | Shed _ | Rejected _ | Result _ | Failed _ -> true
+  | Accepted _ | Pong | Stats_reply _ -> false

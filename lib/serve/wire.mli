@@ -1,0 +1,68 @@
+(** The serve request/reply vocabulary carried inside {!Frame}s.
+
+    Every message is a JSON object with an ["op"] discriminator. The
+    codec is total in both directions — the client and the server each
+    encode and decode both sides, and the round-trip tests pin the
+    format — and decoding is defensive: an unknown op or a missing
+    field is an [Error], never an exception.
+
+    Reply taxonomy, which the exactly-one-reply oracle is built on:
+
+    - {e immediate terminals} — [Shed] (admission bound hit; carries a
+      retry-after hint) and [Rejected] (malformed submit). The request
+      was never accepted; this is its only reply.
+    - [Accepted] — the submit was admitted. The server now owes the
+      connection {e exactly one} deferred terminal for this instance.
+    - {e deferred terminals} — [Result] (the instance ran to its
+      verdict) and [Failed] (structured error: watchdog expiry,
+      injected kill, worker-crash retries exhausted, exception). *)
+
+type submit = {
+  id : string;  (** Client-chosen correlation id, echoed on every reply. *)
+  protocol : string;  (** A chaos-catalog protocol name. *)
+  n : int;
+  alpha : float;
+  seed : int;
+  adversary : string;  (** A {!Ftc_fault.Strategy} name. *)
+  timeout_ms : int option;  (** Per-instance deadline override. *)
+}
+
+type request = Submit of submit | Ping | Stats
+
+type reply =
+  | Accepted of { id : string; ticket : int }
+      (** [ticket] is the server's unique instance number — the ledger key. *)
+  | Shed of { id : string; retry_after_ms : int; draining : bool }
+  | Rejected of { id : string; reason : string }
+  | Result of {
+      id : string;
+      ticket : int;
+      ok : bool;  (** No oracle findings: the instance met its spec. *)
+      detail : string;  (** Findings summary when [not ok]; [""] otherwise. *)
+      rounds : int;
+      msgs : int;
+      bits : int;
+      attempts : int;  (** 1 + how many worker crashes this instance survived. *)
+    }
+  | Failed of { id : string; ticket : int; class_ : string; detail : string }
+  | Pong
+  | Stats_reply of (string * int) list  (** Registry counter/gauge snapshot. *)
+
+val failed_watchdog : string
+val failed_killed : string
+val failed_crashed : string
+val failed_exception : string
+(** The [Failed.class_] vocabulary: deadline expiry, injected
+    instance kill, worker-crash retry budget exhausted, escaped
+    exception. *)
+
+val request_to_json : request -> Ftc_journal.Json.t
+val request_of_json : Ftc_journal.Json.t -> (request, string) result
+val reply_to_json : reply -> Ftc_journal.Json.t
+val reply_of_json : Ftc_journal.Json.t -> (reply, string) result
+
+val reply_id : reply -> string option
+(** The correlation id, when the reply carries one. *)
+
+val is_terminal : reply -> bool
+(** Ends a submission attempt: anything but [Accepted]/[Pong]/[Stats_reply]. *)

@@ -35,6 +35,13 @@ let window c =
   done;
   !off + 2
 
+let nth_timeout c k =
+  let t = ref c.timeout in
+  for _ = 1 to max 0 k do
+    t := min c.backoff_cap (2 * !t)
+  done;
+  !t
+
 type stats = {
   mutable data_sent : int;
   mutable retransmissions : int;

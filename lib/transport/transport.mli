@@ -48,6 +48,12 @@ val window : config -> int
 (** Engine rounds per inner round: the last in-budget retransmission's
     offset plus 2, so its ack can land before the next inner round. *)
 
+val nth_timeout : config -> int -> int
+(** The [k]-th (0-based) wait on the doubling ladder:
+    [min (timeout * 2^k) backoff_cap]. This is the calendar {!window}
+    sums — exposed so other retry loops (the serve client's submit
+    backoff) share the transport's ladder instead of inventing one. *)
+
 type stats = {
   mutable data_sent : int;  (** First transmissions of tracked data messages. *)
   mutable retransmissions : int;

@@ -71,6 +71,39 @@ let test_json_int_exact () =
       | _ -> Alcotest.failf "int %d did not round-trip as Int" i)
     [ 0; 1; -1; 1 lsl 53; (1 lsl 53) + 1; max_int; min_int ]
 
+let test_json_escaping_exhaustive () =
+  (* Every control character must escape to \uXXXX (or a short form) and
+     decode back to the same byte: journal records and serve frames both
+     carry arbitrary report text on single lines. *)
+  for c = 0 to 0x1f do
+    let s = Printf.sprintf "a%cb" (Char.chr c) in
+    let encoded = Json.to_string (Json.String s) in
+    Alcotest.(check bool)
+      (Printf.sprintf "control 0x%02x encodes on one line" c)
+      false
+      (String.contains encoded '\n' || String.contains encoded '\r');
+    Alcotest.(check bool)
+      (Printf.sprintf "control 0x%02x escaped" c)
+      true
+      (not (String.exists (fun ch -> Char.code ch < 0x20) encoded));
+    match Json.of_string encoded with
+    | Ok (Json.String s') ->
+        Alcotest.(check string) (Printf.sprintf "control 0x%02x round-trips" c) s s'
+    | _ -> Alcotest.failf "control 0x%02x did not round-trip" c
+  done;
+  (* Multi-byte UTF-8 passes through byte-exactly: 2-, 3- and 4-byte
+     sequences, plus \u escapes decoding to the same bytes. *)
+  List.iter
+    (fun s ->
+      match Json.of_string (Json.to_string (Json.String s)) with
+      | Ok (Json.String s') -> Alcotest.(check string) (Printf.sprintf "utf8 %S" s) s s'
+      | _ -> Alcotest.failf "utf8 %S did not round-trip" s)
+    [ "caf\xc3\xa9"; "\xe2\x82\xac100"; "\xf0\x9f\x90\xab camel"; "mixed \xc3\xa9\te\x01nd" ];
+  (match Json.of_string "\"\\u00e9\\u20ac\"" with
+  | Ok (Json.String s) ->
+      Alcotest.(check string) "\\u decodes to UTF-8" "\xc3\xa9\xe2\x82\xac" s
+  | _ -> Alcotest.fail "\\u escapes did not parse")
+
 let test_json_rejects_garbage () =
   List.iter
     (fun s ->
@@ -416,6 +449,8 @@ let () =
           Alcotest.test_case "round-trips" `Quick test_json_roundtrip;
           Alcotest.test_case "ints exact" `Quick test_json_int_exact;
           Alcotest.test_case "rejects garbage" `Quick test_json_rejects_garbage;
+          Alcotest.test_case "control chars and multibyte escape" `Quick
+            test_json_escaping_exhaustive;
         ] );
       ( "journal-file",
         [
