@@ -306,7 +306,7 @@ let telemetry_overhead ~jobs =
    quantiles. Exercises the whole serve stack — framing, admission,
    supervision, the exactly-one-reply ledger — under load; the block also
    records [lost], which CI asserts is 0. *)
-let serve_workload () =
+let serve_run ?(flight = Ftc_telemetry.Flight.disabled) ~total ~n () =
   let path =
     Filename.concat (Filename.get_temp_dir_name ())
       (Printf.sprintf "ftc-bench-serve-%d.sock" (Unix.getpid ()))
@@ -318,6 +318,7 @@ let serve_workload () =
       (Ftc_serve.Server.default_config (Ftc_serve.Server.Unix_sock path)) with
       Ftc_serve.Server.workers = 2;
       bound = 64;
+      flight;
     }
   in
   let server = Domain.spawn (fun () -> Ftc_serve.Server.run ~drain cfg) in
@@ -330,14 +331,11 @@ let serve_workload () =
       end
   in
   wait_bind 250;
-  (* Modest scale: single-core CI runners serialise the worker domains,
-     so instance count, not worker count, sets the wall time here. *)
-  let total = 24 in
   let ccfg =
     {
       (Ftc_serve.Client.default_config (Ftc_serve.Server.Unix_sock path)) with
       Ftc_serve.Client.total;
-      n = 48;
+      n;
       base_seed = 1;
     }
   in
@@ -355,10 +353,42 @@ let serve_workload () =
     | Error e -> failwith ("bench serve: server: " ^ e)
   in
   if Sys.file_exists path then Sys.remove path;
-  Printf.eprintf "[serve workload: %d instances in %.2f s, %d worker(s)]\n%!" total dt
-    cfg.Ftc_serve.Server.workers;
+  (stats, summary, dt)
+
+let serve_workload () =
+  (* Modest scale: single-core CI runners serialise the worker domains,
+     so instance count, not worker count, sets the wall time here. *)
+  let total = 24 and n = 48 in
+  let stats, summary, dt = serve_run ~total ~n () in
+  Printf.eprintf "[serve workload: %d instances in %.2f s, 2 worker(s)]\n%!" total dt;
   ( Printf.sprintf "serve 2 workers, ft-leader-election n=48 alpha=0.125 x%d instances" total,
     stats, summary, dt )
+
+(* Flight-recorder overhead gate: the serve workload timed with the ring
+   disabled and with a live ring, alternated reps with the min of each
+   side kept (same protocol as the telemetry gate). The ring sits on the
+   serve hot path — every admission, start, round heartbeat, and terminal
+   records an event — so this is where the "one bool test when off, one
+   short mutexed store when on" design has to prove itself. CI fails when
+   the enabled ring costs more than the budget. *)
+let flight_budget_pct = 5.0
+
+let flight_overhead () =
+  let total = 16 and n = 32 in
+  let time_once flight =
+    let _, _, dt = serve_run ~flight ~total ~n () in
+    dt
+  in
+  ignore (time_once Ftc_telemetry.Flight.disabled) (* warm-up *);
+  (* Five alternated reps, min of each side: a serve rep is sockets plus
+     domain spawns, so single runs scatter ~5% — the mins converge to the
+     two floors, whose gap is the actual ring cost. *)
+  let off = ref infinity and live = ref infinity in
+  for _ = 1 to 5 do
+    off := Float.min !off (time_once Ftc_telemetry.Flight.disabled);
+    live := Float.min !live (time_once (Ftc_telemetry.Flight.create ~capacity:4096))
+  done;
+  (!off, !live)
 
 let emit_perf_json ~jobs ~experiment_times =
   let workload, trials, dt = throughput_workload ~jobs in
@@ -401,6 +431,14 @@ let emit_perf_json ~jobs ~experiment_times =
   Printf.fprintf oc "    \"p50_ms\": %d,\n    \"p99_ms\": %d,\n" s_stats.Ftc_serve.Client.p50_ms
     s_stats.Ftc_serve.Client.p99_ms;
   Printf.fprintf oc "    \"lost\": %d\n  },\n" s_summary.Ftc_serve.Server.lost;
+  let fl_off, fl_on = flight_overhead () in
+  let fl_pct = if fl_off > 0. then (fl_on -. fl_off) /. fl_off *. 100. else 0. in
+  Printf.fprintf oc "  \"flight\": {\n    \"workload\": %S,\n"
+    "serve 2 workers, ft-leader-election n=32 x16 instances, ring capacity 4096";
+  Printf.fprintf oc "    \"off_seconds\": %.3f,\n    \"on_seconds\": %.3f,\n" fl_off fl_on;
+  Printf.fprintf oc "    \"overhead_pct\": %.1f,\n    \"budget_pct\": %.1f,\n" fl_pct
+    flight_budget_pct;
+  Printf.fprintf oc "    \"within_budget\": %b\n  },\n" (fl_pct <= flight_budget_pct);
   Printf.fprintf oc "  \"experiments\": [\n";
   List.iteri
     (fun i (id, dt) ->

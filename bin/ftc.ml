@@ -297,22 +297,28 @@ let telemetry_arg =
            writes only to $(docv) and stderr; stdout is byte-identical to an uninstrumented \
            run.")
 
-(* The recorder for a --telemetry run, plus the flush that writes the
-   three artifacts once the sweep is done. Telemetry never touches
-   stdout — the note goes to stderr — so reference/resumed stdout
-   diffs stay clean with telemetry on. *)
-let with_telemetry dir f =
+(* The recorder and flight ring for a --telemetry run, plus the flush
+   that writes the artifacts once the sweep is done. Telemetry never
+   touches stdout — the note goes to stderr — so reference/resumed
+   stdout diffs stay clean with telemetry on. *)
+let blackbox_file = "blackbox.jsonl"
+
+let with_telemetry ?(flight_capacity = 4096) dir f =
   match dir with
-  | None -> f Ftc_telemetry.Recorder.disabled
+  | None -> f Ftc_telemetry.Recorder.disabled Ftc_telemetry.Flight.disabled
   | Some dir ->
       let recorder = Ftc_telemetry.Recorder.create () in
-      let code = f recorder in
+      let flight = Ftc_telemetry.Flight.create ~capacity:flight_capacity in
+      let code = f recorder flight in
       Ftc_telemetry.Export.write_dir ~dir recorder;
-      Printf.eprintf "telemetry: wrote %s/{%s,%s,%s}\n" dir Ftc_telemetry.Export.events_file
-        Ftc_telemetry.Export.trace_file Ftc_telemetry.Export.prom_file;
+      Ftc_telemetry.Flight.dump flight ~path:(Filename.concat dir blackbox_file)
+        ~reason:"sweep-end";
+      Printf.eprintf "telemetry: wrote %s/{%s,%s,%s,%s}\n" dir Ftc_telemetry.Export.events_file
+        Ftc_telemetry.Export.trace_file Ftc_telemetry.Export.prom_file blackbox_file;
       code
 
-let supervise_config ?(stop = fun () -> false) ~recorder ~jobs ~keep_going ~journal ~resume
+let supervise_config ?(stop = fun () -> false)
+    ?(flight = Ftc_telemetry.Flight.disabled) ~recorder ~jobs ~keep_going ~journal ~resume
     ~quarantine ~trial_timeout () =
   (match trial_timeout with
   | Some t when t <= 0. ->
@@ -335,6 +341,7 @@ let supervise_config ?(stop = fun () -> false) ~recorder ~jobs ~keep_going ~jour
     quarantine = Some quarantine;
     trial_timeout;
     recorder;
+    flight;
     stop;
   }
 
@@ -476,10 +483,10 @@ let election n alpha seed adversary_name explicit trials loss loss_model queue_c
       prerr_endline e;
       1
   | Ok adversary ->
-      with_telemetry telemetry @@ fun recorder ->
+      with_telemetry telemetry @@ fun recorder flight ->
       let config =
-        supervise_config ~recorder ~jobs ~keep_going ~journal ~resume ~quarantine ~trial_timeout
-          ()
+        supervise_config ~flight ~recorder ~jobs ~keep_going ~journal ~resume ~quarantine
+          ~trial_timeout ()
       in
       let spec =
         {
@@ -555,10 +562,10 @@ let agreement n alpha seed adversary_name explicit trials ones_prob loss loss_mo
       prerr_endline e;
       1
   | Ok adversary ->
-      with_telemetry telemetry @@ fun recorder ->
+      with_telemetry telemetry @@ fun recorder flight ->
       let config =
-        supervise_config ~recorder ~jobs ~keep_going ~journal ~resume ~quarantine ~trial_timeout
-          ()
+        supervise_config ~flight ~recorder ~jobs ~keep_going ~journal ~resume ~quarantine
+          ~trial_timeout ()
       in
       let spec =
         {
@@ -621,7 +628,7 @@ let sweep protocol_name n alpha seed adversary_name trials loss loss_model queue
     exit 2
   end;
   let entry = Option.get (Ftc_chaos.Catalog.find protocol_name) in
-  with_telemetry telemetry @@ fun recorder ->
+  with_telemetry telemetry @@ fun recorder flight ->
   (* SIGTERM = drain, mirroring ftc serve: stop admitting queued trials,
      let running ones finish and be journaled (the WAL already flushes
      per trial, so the checkpoint is free), exit 3 for partial results.
@@ -637,7 +644,7 @@ let sweep protocol_name n alpha seed adversary_name trials loss loss_model queue
   let config =
     supervise_config
       ~stop:(fun () -> Atomic.get sigterm)
-      ~recorder ~jobs ~keep_going ~journal ~resume ~quarantine ~trial_timeout ()
+      ~flight ~recorder ~jobs ~keep_going ~journal ~resume ~quarantine ~trial_timeout ()
   in
   let mk_case seed =
     {
@@ -883,7 +890,7 @@ let verify protocols n alpha horizon keep_prefix_max grid seeds_per_state seed j
     prerr_endline "verify: --journal/--resume need a single --protocol (one journal per space)";
     exit 2
   end;
-  with_telemetry telemetry @@ fun recorder ->
+  with_telemetry telemetry @@ fun recorder _flight ->
   let codes =
     List.map
       (fun protocol ->
@@ -1252,7 +1259,8 @@ let parse_inject ~inject ~inject_seed =
         (String.concat ", " (List.map fst Ftc_serve.Inject.catalog));
       exit 2
 
-let serve socket tcp workers bound timeout_ms grace_ms inject inject_seed telemetry =
+let serve socket tcp workers bound timeout_ms grace_ms inject inject_seed telemetry blackbox
+    flight_capacity =
   let addr = serve_addr ~socket ~tcp ~default:"ftc-serve.sock" in
   let inject = parse_inject ~inject ~inject_seed in
   if workers < 1 then begin
@@ -1267,13 +1275,27 @@ let serve socket tcp workers bound timeout_ms grace_ms inject inject_seed teleme
     prerr_endline "--timeout-ms and --grace-ms must be positive";
     exit 2
   end;
-  with_telemetry telemetry @@ fun recorder ->
+  if flight_capacity < 1 then begin
+    Printf.eprintf "--flight-capacity must be at least 1 (got %d)\n" flight_capacity;
+    exit 2
+  end;
+  with_telemetry ~flight_capacity telemetry @@ fun recorder tflight ->
+  (* One ring serves both planes: --telemetry gets it dumped into the
+     telemetry dir at exit, --blackbox gets it dumped on every trigger. *)
+  let flight =
+    if Ftc_telemetry.Flight.enabled tflight then tflight
+    else if blackbox <> None then Ftc_telemetry.Flight.create ~capacity:flight_capacity
+    else Ftc_telemetry.Flight.disabled
+  in
   let drain = Atomic.make false in
+  let dump_signal = Atomic.make false in
   List.iter
     (fun s ->
       try Sys.set_signal s (Sys.Signal_handle (fun _ -> Atomic.set drain true))
       with Invalid_argument _ -> ())
     [ Sys.sigterm; Sys.sigint ];
+  (try Sys.set_signal Sys.sigquit (Sys.Signal_handle (fun _ -> Atomic.set dump_signal true))
+   with Invalid_argument _ -> ());
   let cfg =
     {
       (Ftc_serve.Server.default_config addr) with
@@ -1283,16 +1305,115 @@ let serve socket tcp workers bound timeout_ms grace_ms inject inject_seed teleme
       grace_ms;
       inject;
       recorder;
+      flight;
+      blackbox;
       log = (fun line -> Printf.eprintf "%s\n%!" line);
     }
   in
-  match Ftc_serve.Server.run ~drain cfg with
+  match Ftc_serve.Server.run ~drain ~dump_signal cfg with
   | Error e ->
       Printf.eprintf "serve: %s\n" e;
       1
   | Ok s ->
       print_endline (Ftc_serve.Server.summary_line s);
       Ftc_serve.Server.exit_code s
+
+let top socket tcp interval_ms iterations raw json =
+  let addr = serve_addr ~socket ~tcp ~default:"ftc-serve.sock" in
+  if interval_ms < 1 then begin
+    Printf.eprintf "--interval-ms must be positive (got %d)\n" interval_ms;
+    exit 2
+  end;
+  if iterations < 0 then begin
+    Printf.eprintf "--iterations must be non-negative (got %d)\n" iterations;
+    exit 2
+  end;
+  let mode =
+    if json then Ftc_serve.Top.Json
+    else if raw || not (Unix.isatty Unix.stdout) then Ftc_serve.Top.Raw
+    else Ftc_serve.Top.Ansi
+  in
+  let stop = Atomic.make false in
+  (try Sys.set_signal Sys.sigint (Sys.Signal_handle (fun _ -> Atomic.set stop true))
+   with Invalid_argument _ -> ());
+  let cfg =
+    { (Ftc_serve.Top.default_config addr) with Ftc_serve.Top.interval_ms; iterations; mode }
+  in
+  match Ftc_serve.Top.run ~stop cfg with
+  | Ok _ -> 0
+  | Error e ->
+      Printf.eprintf "top: %s\n" e;
+      1
+
+(* -- blackbox command -- *)
+
+let load_blackbox file =
+  match Ftc_telemetry.Flight.load ~path:file with
+  | Ok d -> d
+  | Error e ->
+      Printf.eprintf "blackbox: %s: %s\n" file e;
+      exit 1
+
+let blackbox_validate file =
+  let d = load_blackbox file in
+  match Ftc_telemetry.Flight.check d with
+  | Ok () ->
+      Printf.printf "blackbox ok: version=%d reason=%s capacity=%d recorded=%d dropped=%d entries=%d\n"
+        d.Ftc_telemetry.Flight.version d.reason d.capacity_ d.recorded d.dropped_
+        (List.length d.entries);
+      0
+  | Error e ->
+      Printf.printf "blackbox INVALID: %s\n" e;
+      1
+
+let blackbox_summary file =
+  let d = load_blackbox file in
+  let open Ftc_telemetry.Flight in
+  Printf.printf "black box %s: reason=%s recorded=%d dropped=%d window=%d\n" file d.reason
+    d.recorded d.dropped_ (List.length d.entries);
+  let kinds = Hashtbl.create 16 in
+  let tickets = Hashtbl.create 64 in
+  List.iter
+    (fun e ->
+      let k = ev_kind e.ev in
+      Hashtbl.replace kinds k (1 + Option.value ~default:0 (Hashtbl.find_opt kinds k));
+      match ticket_of e.ev with
+      | Some t -> Hashtbl.replace tickets t ()
+      | None -> ())
+    d.entries;
+  Printf.printf "events by kind:\n";
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) kinds []
+  |> List.sort compare
+  |> List.iter (fun (k, v) -> Printf.printf "  %-18s %d\n" k v);
+  Printf.printf "tickets in window: %d\n" (Hashtbl.length tickets);
+  let requeued =
+    List.filter_map
+      (fun e -> match e.ev with Requeued { ticket; _ } -> Some ticket | _ -> None)
+      d.entries
+    |> List.sort_uniq compare
+  in
+  if requeued <> [] then
+    Printf.printf "requeued tickets: %s\n"
+      (String.concat " " (List.map string_of_int requeued));
+  0
+
+let blackbox_timeline file ticket =
+  let d = load_blackbox file in
+  let open Ftc_telemetry.Flight in
+  match timeline d.entries ~ticket with
+  | [] ->
+      Printf.printf "ticket %d: no events in the surviving window (dropped=%d)\n" ticket
+        d.dropped_;
+      1
+  | tl ->
+      Printf.printf "ticket %d: %d events\n" ticket (List.length tl);
+      List.iter
+        (fun e ->
+          Printf.printf "  [%6d] %8.1f ms  %s\n" e.seq
+            (Int64.to_float e.at_ns /. 1e6)
+            (pp_ev e.ev))
+        tl;
+      0
 
 let client socket tcp total rate protocol n alpha adversary seed timeout_ms retries =
   let addr = serve_addr ~socket ~tcp ~default:"ftc-serve.sock" in
@@ -1586,10 +1707,114 @@ let serve_cmd =
       & opt int 0
       & info [ "inject-seed" ] ~docv:"SEED" ~doc:"Seed for the injection decision stream.")
   in
+  let blackbox =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "blackbox" ] ~docv:"FILE"
+          ~doc:
+            "Enable the flight recorder and dump its ring to $(docv) (versioned JSONL) on \
+             watchdog fire, worker crash, SIGQUIT, and at drain (reason $(b,ledger-residue) \
+             when replies were lost, $(b,clean-drain) otherwise). Inspect with \
+             $(b,ftc blackbox).")
+  in
+  let flight_capacity =
+    Arg.(
+      value
+      & opt int 4096
+      & info [ "flight-capacity" ] ~docv:"K"
+          ~doc:
+            "Flight-recorder ring capacity in events: memory is preallocated and bounded; \
+             under sustained load the oldest events are overwritten (the dump header counts \
+             them as $(b,dropped)).")
+  in
   Cmd.v (Cmd.info "serve" ~doc)
     Term.(
       const serve $ socket_arg $ tcp_arg $ workers $ bound $ timeout_ms $ grace_ms $ inject
-      $ inject_seed $ telemetry_arg)
+      $ inject_seed $ telemetry_arg $ blackbox $ flight_capacity)
+
+let top_cmd =
+  let doc =
+    "Terminal dashboard over a running $(b,ftc serve): polls $(b,Ping) + $(b,Introspect) at \
+     an interval and renders per-worker state (busy/idle, current ticket and round, respawn \
+     count), queue depth with a sparkline history, terminal-reply throughput, latency \
+     quantiles (p50/p90/p99), and per-kind injection counts. A shrinking server uptime \
+     (mid-session restart) is detected and marked in the display."
+  in
+  let interval_ms =
+    Arg.(
+      value
+      & opt int 1000
+      & info [ "interval-ms" ] ~docv:"MS" ~doc:"Polling interval between samples.")
+  in
+  let iterations =
+    Arg.(
+      value
+      & opt int 0
+      & info [ "iterations"; "n" ] ~docv:"N"
+          ~doc:"Stop after $(docv) samples; 0 = run until interrupted.")
+  in
+  let raw =
+    Arg.(
+      value
+      & flag
+      & info [ "raw" ]
+          ~doc:"Append frames instead of redrawing the terminal (default when stdout is not \
+                a tty).")
+  in
+  let json =
+    Arg.(
+      value
+      & flag
+      & info [ "json" ]
+          ~doc:"Print one line of raw $(b,Introspect) reply JSON per sample — the stable \
+                machine surface (CI diffs its schema).")
+  in
+  Cmd.v (Cmd.info "top" ~doc)
+    Term.(const top $ socket_arg $ tcp_arg $ interval_ms $ iterations $ raw $ json)
+
+let blackbox_cmd =
+  let file_arg =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"A black-box JSONL file dumped by $(b,ftc serve --blackbox) \
+                                   or a $(b,--telemetry) run.")
+  in
+  let validate_cmd =
+    let doc =
+      "Validate a black box: version, header bookkeeping, and sequence-number contiguity \
+       (exactly the events between $(b,dropped) and $(b,recorded), in order, none torn). \
+       Exits 0 when sound, 1 otherwise."
+    in
+    Cmd.v (Cmd.info "validate" ~doc) Term.(const blackbox_validate $ file_arg)
+  in
+  let summary_cmd =
+    let doc =
+      "Event-kind histogram, distinct tickets in the surviving window, and the tickets that \
+       were requeued after worker crashes."
+    in
+    Cmd.v (Cmd.info "summary" ~doc) Term.(const blackbox_summary $ file_arg)
+  in
+  let timeline_cmd =
+    let doc =
+      "Reconstruct the causal timeline of one ticket: admission, every attempt and the \
+       worker that ran it, round heartbeats, injections that hit it, requeues, and its \
+       terminal class. Exits 1 when the ticket has no surviving events."
+    in
+    let ticket =
+      Arg.(
+        required
+        & opt (some int) None
+        & info [ "ticket" ] ~docv:"K" ~doc:"The server-assigned ticket to reconstruct.")
+    in
+    Cmd.v (Cmd.info "timeline" ~doc) Term.(const blackbox_timeline $ file_arg $ ticket)
+  in
+  Cmd.group
+    (Cmd.info "blackbox"
+       ~doc:"Validate, summarise, or reconstruct ticket timelines from a flight-recorder \
+             black box.")
+    [ validate_cmd; summary_cmd; timeline_cmd ]
 
 let client_cmd =
   let doc =
@@ -1654,6 +1879,6 @@ let main =
   let doc = "fault-tolerant leader election and agreement (Kumar & Molla, PODC'21/TPDS'23)" in
   Cmd.group (Cmd.info "ftc" ~version:"1.0.0" ~doc)
     [ election_cmd; agreement_cmd; sweep_cmd; expt_cmd; clouds_cmd; chaos_cmd; verify_cmd;
-      serve_cmd; client_cmd; replay_cmd; trace_cmd; list_cmd ]
+      serve_cmd; client_cmd; top_cmd; blackbox_cmd; replay_cmd; trace_cmd; list_cmd ]
 
 let () = exit (Cmd.eval' main)

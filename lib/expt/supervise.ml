@@ -29,6 +29,7 @@ type config = {
   quarantine : string option;
   trial_timeout : float option;
   recorder : Ftc_telemetry.Recorder.t;
+  flight : Ftc_telemetry.Flight.t;
   stop : unit -> bool;
 }
 
@@ -41,6 +42,7 @@ let default_config =
     quarantine = None;
     trial_timeout = None;
     recorder = Ftc_telemetry.Recorder.disabled;
+    flight = Ftc_telemetry.Flight.disabled;
     stop = (fun () -> false);
   }
 
@@ -140,9 +142,22 @@ let run config ~spec_hash ~encode ~decode ?(replay_doc = fun _ -> None) ~run_tri
            })
     end
   in
+  let record_flight seed outcome =
+    Ftc_telemetry.Flight.record config.flight
+      (Ftc_telemetry.Flight.Trial
+         {
+           seed;
+           class_ =
+             (match outcome with
+             | Completed _ -> "completed"
+             | Failed f -> class_to_string f.class_
+             | Skipped -> "skipped");
+         })
+  in
   let one seed =
     if Atomic.get abort || config.stop () then begin
       heartbeat Skipped;
+      record_flight seed Skipped;
       (seed, Skipped)
     end
     else
@@ -163,6 +178,7 @@ let run config ~spec_hash ~encode ~decode ?(replay_doc = fun _ -> None) ~run_tri
       | Failed _ when not config.keep_going -> Atomic.set abort true
       | _ -> ());
       heartbeat outcome;
+      record_flight seed outcome;
       (seed, outcome)
   in
   let fresh =

@@ -51,6 +51,11 @@ type config = {
       (** Sweep telemetry sink: one [Heartbeat] event and outcome
           counter per finished trial, plus a pool monitor on the
           worker pool. Default: the disabled recorder (zero cost). *)
+  flight : Ftc_telemetry.Flight.t;
+      (** Flight-recorder ring: one [Trial] event per finished trial
+          (outcome class), recorded from the pool workers. The driver
+          dumps the ring as a black box next to the telemetry
+          artifacts. Default: the disabled ring (one bool test). *)
   stop : unit -> bool;
       (** Polled before each queued trial starts; once true, remaining
           trials come back [Skipped] while running ones finish and are

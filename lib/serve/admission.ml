@@ -103,6 +103,8 @@ let drain t =
       Condition.broadcast t.nonempty)
 
 let draining t = locked t (fun () -> t.draining)
+let bound t = t.bound
+let ewma_ms t = locked t (fun () -> t.ewma_ms)
 let pending t = locked t (fun () -> Queue.length t.pending)
 let open_count t = locked t (fun () -> open_unlocked t)
 let peak_open t = locked t (fun () -> t.peak_open)

@@ -66,6 +66,13 @@ val open_count : 'a t -> int
 
 val peak_open : 'a t -> int
 
+val bound : 'a t -> int
+(** The configured open-instance bound (constant). *)
+
+val ewma_ms : 'a t -> float
+(** The current service-time EWMA the retry-after hints are computed
+    from; exposed for the introspection plane. *)
+
 val quiescent : 'a t -> bool
 (** Draining, and every admitted instance has completed. *)
 

@@ -209,7 +209,7 @@ let run cfg =
     inst.state <- st
   in
   let handle_reply = function
-    | Wire.Pong | Wire.Stats_reply _ -> ()
+    | Wire.Pong _ | Wire.Stats_reply _ | Wire.Introspect_reply _ -> ()
     | Wire.Accepted { id; _ } -> (
         match inst_of_id id with
         | Some inst when inst.state = Awaiting_accept ->

@@ -123,3 +123,19 @@ let fire t kind ~salt =
   r > 0. && Rng.below (decision_rng t kind ~salt) r
 
 let delay_ms t ~salt = 1 + Rng.int (decision_rng t Delay_frame ~salt:(salt lxor 0x5f5f)) 50
+
+module Counters = struct
+  type nonrec t = int Atomic.t array
+
+  let create () = Array.init (List.length kinds) (fun _ -> Atomic.make 0)
+
+  let idx kind =
+    let rec go i = function
+      | [] -> 0
+      | k :: rest -> if k = kind then i else go (i + 1) rest
+    in
+    go 0 kinds
+
+  let bump t kind = Atomic.incr t.(idx kind)
+  let snapshot t = List.mapi (fun i k -> (kind_to_string k, Atomic.get t.(i))) kinds
+end

@@ -56,3 +56,16 @@ val delay_ms : t -> salt:int -> int
 
 val describe : t -> string
 (** Round-trips through {!parse}; ["none"] when inactive. *)
+
+(** Per-kind fired counts, shared between the server (frame/connection
+    faults) and the supervisor's workers (kill faults). Domain-safe. *)
+module Counters : sig
+  type t
+
+  val create : unit -> t
+  val bump : t -> kind -> unit
+
+  val snapshot : t -> (string * int) list
+  (** One entry per kind in {!kind_to_string} order, zeroes included —
+      the introspection reply's schema is the same on every server. *)
+end

@@ -1,6 +1,8 @@
 module Json = Ftc_journal.Json
 module Registry = Ftc_telemetry.Registry
 module Recorder = Ftc_telemetry.Recorder
+module Flight = Ftc_telemetry.Flight
+module Hist = Ftc_telemetry.Hist
 
 type addr = Unix_sock of string | Tcp of int
 
@@ -12,6 +14,8 @@ type config = {
   grace_ms : int;
   inject : Inject.t;
   recorder : Recorder.t;
+  flight : Flight.t;
+  blackbox : string option;
   log : string -> unit;
 }
 
@@ -24,6 +28,8 @@ let default_config addr =
     grace_ms = 30_000;
     inject = Inject.none;
     recorder = Recorder.disabled;
+    flight = Flight.disabled;
+    blackbox = None;
     log = ignore;
   }
 
@@ -60,8 +66,12 @@ type delayed = { due_ms : float; dconn : int; bytes : string }
 type st = {
   cfg : config;
   queue : Supervisor.instance Admission.t;
+  sup : Supervisor.t;
   conns : (int, conn) Hashtbl.t;
   ledger : (int, Supervisor.instance) Hashtbl.t;
+  started_ms : float;
+  lat : Hist.t;  (* event-loop domain only *)
+  icounters : Inject.Counters.t;
   mutable delayed : delayed list;
   mutable next_cid : int;
   mutable next_ticket : int;
@@ -79,6 +89,17 @@ let now_ms () = Unix.gettimeofday () *. 1000.
 
 let reg st = Recorder.registry st.cfg.recorder
 let count st name by = Registry.incr (reg st) name by
+let flight st = st.cfg.flight
+
+(* Black-box dump: every trigger rewrites the file with the current
+   window — the newest dump is always the most complete picture. *)
+let dump_blackbox st reason =
+  match st.cfg.blackbox with
+  | None -> ()
+  | Some path ->
+      Flight.record (flight st) (Flight.Note (Printf.sprintf "dump: %s" reason));
+      Flight.dump (flight st) ~path ~reason;
+      st.cfg.log (Printf.sprintf "blackbox: dumped %s (reason %s)" path reason)
 
 (* -- socket plumbing -- *)
 
@@ -155,7 +176,33 @@ let stats_kvs st =
     ("open", Admission.open_count st.queue);
     ("peak_open", Admission.peak_open st.queue);
     ("conns", Hashtbl.length st.conns);
+    (* Appended in v2: same (string * int) shape, so v1 consumers that
+       pick keys by name keep working and never see these. *)
+    ("latency_count", Hist.count st.lat);
+    ("latency_p50_ms", Hist.quantile st.lat 0.5);
+    ("latency_p90_ms", Hist.quantile st.lat 0.9);
+    ("latency_p99_ms", Hist.quantile st.lat 0.99);
   ]
+
+let uptime_ms st = int_of_float (now_ms () -. st.started_ms)
+
+let introspect st =
+  {
+    Wire.uptime_ms = uptime_ms st;
+    version = Wire.protocol_version;
+    pending = Admission.pending st.queue;
+    open_ = Admission.open_count st.queue;
+    peak_open = Admission.peak_open st.queue;
+    bound = Admission.bound st.queue;
+    ewma_ms = Admission.ewma_ms st.queue;
+    lat_count = Hist.count st.lat;
+    p50_ms = Hist.quantile st.lat 0.5;
+    p90_ms = Hist.quantile st.lat 0.9;
+    p99_ms = Hist.quantile st.lat 0.99;
+    workers = Supervisor.views st.sup;
+    injections = Inject.Counters.snapshot st.icounters;
+    counters = stats_kvs st;
+  }
 
 let handle_submit st c (s : Wire.submit) =
   match validate s with
@@ -180,16 +227,22 @@ let handle_submit st c (s : Wire.submit) =
           Hashtbl.replace st.ledger ticket inst;
           st.n_accepted <- st.n_accepted + 1;
           count st "serve/accepted" 1;
+          Flight.record (flight st)
+            (Flight.Admitted { ticket; id = s.id; protocol = s.protocol; n = s.n; seed = s.seed });
           st.cfg.log (Printf.sprintf "admit ticket=%d id=%s protocol=%s" ticket s.id s.protocol);
           send st c (Wire.Accepted { id = s.id; ticket })
       | Admission.Shed_full retry_after_ms ->
           st.n_sheds <- st.n_sheds + 1;
           count st "serve/sheds" 1;
+          Flight.record (flight st)
+            (Flight.Shed { id = s.id; hint_ms = retry_after_ms; draining = false });
           st.cfg.log (Printf.sprintf "shed id=%s retry_after_ms=%d" s.id retry_after_ms);
           send st c (Wire.Shed { id = s.id; retry_after_ms; draining = false })
       | Admission.Shed_draining retry_after_ms ->
           st.n_sheds <- st.n_sheds + 1;
           count st "serve/sheds" 1;
+          Flight.record (flight st)
+            (Flight.Shed { id = s.id; hint_ms = retry_after_ms; draining = true });
           send st c (Wire.Shed { id = s.id; retry_after_ms; draining = true }))
 
 let handle_frame st c json =
@@ -198,8 +251,10 @@ let handle_frame st c json =
       st.n_rejected <- st.n_rejected + 1;
       count st "serve/rejected" 1;
       send st c (Wire.Rejected { id = ""; reason = e })
-  | Ok Wire.Ping -> send st c Wire.Pong
+  | Ok Wire.Ping ->
+      send st c (Wire.Pong { uptime_ms = uptime_ms st; version = Wire.protocol_version })
   | Ok Wire.Stats -> send st c (Wire.Stats_reply (stats_kvs st))
+  | Ok Wire.Introspect -> send st c (Wire.Introspect_reply (introspect st))
   | Ok (Wire.Submit s) -> handle_submit st c s
 
 let read_conn st c =
@@ -263,10 +318,16 @@ let send_terminal st (comp : Supervisor.completion) reply =
       st.n_orphaned <- st.n_orphaned + 1;
       st.cfg.log (Printf.sprintf "ticket %d: reply orphaned (connection gone)" comp.inst.ticket)
   | Some c ->
+      let record_fired kind =
+        Inject.Counters.bump st.icounters kind;
+        Flight.record (flight st)
+          (Flight.Injected { kind = Inject.kind_to_string kind; ticket = comp.inst.ticket })
+      in
       if Inject.fire inj Inject.Drop_conn ~salt then begin
         st.n_injected <- st.n_injected + 1;
         count st "serve/injected" 1;
         st.n_orphaned <- st.n_orphaned + 1;
+        record_fired Inject.Drop_conn;
         st.cfg.log (Printf.sprintf "inject drop-conn conn=%d ticket=%d" c.cid comp.inst.ticket);
         close_conn st c
       end
@@ -274,6 +335,7 @@ let send_terminal st (comp : Supervisor.completion) reply =
         st.n_injected <- st.n_injected + 1;
         count st "serve/injected" 1;
         st.n_orphaned <- st.n_orphaned + 1;
+        record_fired Inject.Truncate_frame;
         st.cfg.log (Printf.sprintf "inject truncate-frame conn=%d ticket=%d" c.cid comp.inst.ticket);
         let bytes = Frame.encode (Wire.reply_to_json reply) in
         (try write_all c.fd (String.sub bytes 0 (String.length bytes / 2))
@@ -283,6 +345,7 @@ let send_terminal st (comp : Supervisor.completion) reply =
       else if Inject.fire inj Inject.Delay_frame ~salt then begin
         st.n_injected <- st.n_injected + 1;
         count st "serve/injected" 1;
+        record_fired Inject.Delay_frame;
         let delay = Inject.delay_ms inj ~salt in
         st.cfg.log
           (Printf.sprintf "inject delay-frame conn=%d ticket=%d ms=%d" c.cid comp.inst.ticket delay);
@@ -300,7 +363,18 @@ let process_completion st (comp : Supervisor.completion) =
   let reply = reply_of_completion comp in
   Hashtbl.remove st.ledger comp.inst.ticket;
   let latency_ms = int_of_float (now_ms () -. (comp.inst.enqueued_at *. 1000.)) in
+  Hist.record st.lat (max 0 latency_ms);
   Registry.observe (reg st) "serve/latency_ms" (max 0 latency_ms);
+  (let class_, ok =
+     match reply with
+     | Wire.Result { ok; _ } -> ("ok", ok)
+     | Wire.Failed { class_; _ } -> (class_, false)
+     | _ -> ("?", false)
+   in
+   Flight.record (flight st) (Flight.Decided { ticket = comp.inst.ticket; class_; ok }));
+  (match comp.outcome with
+  | Supervisor.Watchdog_expired -> dump_blackbox st "watchdog"
+  | _ -> ());
   (match comp.outcome with
   | Supervisor.Finished { ok; rounds; msgs; bits; _ } ->
       st.n_results <- st.n_results + 1;
@@ -352,7 +426,7 @@ let flush_delayed st ~force =
 
 (* -- the event loop -- *)
 
-let run ?(drain = Atomic.make false) cfg =
+let run ?(drain = Atomic.make false) ?(dump_signal = Atomic.make false) cfg =
   (match Sys.signal Sys.sigpipe Sys.Signal_ignore with _ -> ());
   match bind_listen cfg.addr with
   | Error e -> Error e
@@ -361,12 +435,21 @@ let run ?(drain = Atomic.make false) cfg =
       Unix.set_nonblock pipe_r;
       let notify () = try ignore (Unix.write_substring pipe_w "x" 0 1) with Unix.Unix_error _ -> () in
       let queue = Admission.create ~bound:cfg.bound ~workers:cfg.workers () in
+      let icounters = Inject.Counters.create () in
+      let sup =
+        Supervisor.create ~flight:cfg.flight ~counters:icounters ~workers:cfg.workers ~queue
+          ~inject:cfg.inject ~default_timeout_ms:cfg.default_timeout_ms ~notify ()
+      in
       let st =
         {
           cfg;
           queue;
+          sup;
           conns = Hashtbl.create 64;
           ledger = Hashtbl.create 64;
+          started_ms = now_ms ();
+          lat = Hist.create ();
+          icounters;
           delayed = [];
           next_cid = 0;
           next_ticket = 0;
@@ -380,10 +463,7 @@ let run ?(drain = Atomic.make false) cfg =
           n_conns = 0;
         }
       in
-      let sup =
-        Supervisor.create ~workers:cfg.workers ~queue ~inject:cfg.inject
-          ~default_timeout_ms:cfg.default_timeout_ms ~notify ()
-      in
+      Flight.record cfg.flight (Flight.Note "serving");
       cfg.log
         (Printf.sprintf "serving (%s, workers=%d, bound=%d, inject=%s)"
            (match cfg.addr with Unix_sock p -> p | Tcp p -> Printf.sprintf "127.0.0.1:%d" p)
@@ -401,8 +481,10 @@ let run ?(drain = Atomic.make false) cfg =
       let rec loop () =
         if Atomic.get drain && not (Admission.draining queue) then begin
           cfg.log "drain: admission stopped, finishing in-flight instances";
+          Flight.record cfg.flight (Flight.Note "drain");
           Admission.drain queue
         end;
+        if Atomic.exchange dump_signal false then dump_blackbox st "sigquit";
         let draining = Admission.draining queue in
         let restarted = Supervisor.tick sup in
         if restarted > 0 then begin
@@ -410,7 +492,8 @@ let run ?(drain = Atomic.make false) cfg =
           count st "serve/restarts" restarted;
           cfg.log
             (Printf.sprintf "restarted worker x%d after crash (total restarts %d)" restarted
-               (Supervisor.restarts sup))
+               (Supervisor.restarts sup));
+          dump_blackbox st "worker-crash"
         end;
         List.iter (process_completion st) (Supervisor.completions sup);
         flush_delayed st ~force:false;
@@ -486,5 +569,6 @@ let run ?(drain = Atomic.make false) cfg =
         }
       in
       Registry.set_gauge (reg st) "serve/lost" s.lost;
+      dump_blackbox st (if s.lost > 0 then "ledger-residue" else "clean-drain");
       cfg.log (summary_line s);
       Ok s

@@ -32,12 +32,20 @@ type config = {
   grace_ms : int;  (** Drain: how long to wait for workers after quiescence. *)
   inject : Inject.t;
   recorder : Ftc_telemetry.Recorder.t;
+  flight : Ftc_telemetry.Flight.t;
+      (** Flight-recorder ring shared with the supervisor's workers. *)
+  blackbox : string option;
+      (** Where to dump the ring. Triggers: watchdog fire, worker
+          crash, SIGQUIT (via [dump_signal]), and at drain —
+          ["ledger-residue"] when [lost > 0], ["clean-drain"]
+          otherwise. [None] disables dumping (the ring may still
+          record). *)
   log : string -> unit;
 }
 
 val default_config : addr -> config
 (** 4 workers, bound 256, 10 s instance deadline, 30 s grace, no
-    injection, disabled recorder, silent log. *)
+    injection, disabled recorder, disabled flight ring, silent log. *)
 
 type summary = {
   accepted : int;
@@ -60,8 +68,11 @@ val summary_line : summary -> string
 val exit_code : summary -> int
 (** [0] iff the drain was clean: [lost = 0] and the workers joined. *)
 
-val run : ?drain:bool Atomic.t -> config -> (summary, string) result
+val run :
+  ?drain:bool Atomic.t -> ?dump_signal:bool Atomic.t -> config -> (summary, string) result
 (** Bind and serve until [drain] is set (the caller's signal handler or
-    a test sets it), then drain and return the summary. [Error] only
+    a test sets it), then drain and return the summary. Setting
+    [dump_signal] (the caller's SIGQUIT handler) makes the next loop
+    pass dump the black box without disturbing service. [Error] only
     for startup failures (bind/listen); once serving, every outcome is
     a summary. Ignores SIGPIPE. *)

@@ -1,6 +1,7 @@
 module Respawn = Ftc_parallel.Respawn
 module Case = Ftc_chaos.Case
 module Catalog = Ftc_chaos.Catalog
+module Flight = Ftc_telemetry.Flight
 
 type instance = {
   ticket : int;
@@ -27,13 +28,21 @@ let max_attempts = 3
    exception, which takes the same path. *)
 exception Worker_crash of int
 
-type worker = { mutable handle : Respawn.t option; current : instance option Atomic.t }
+type worker = {
+  idx : int;
+  mutable handle : Respawn.t option;
+  current : instance option Atomic.t;
+  round : int Atomic.t;  (* watchdog polls of the running instance *)
+  mutable respawns : int;  (* written by tick, event-loop domain only *)
+}
 
 type t = {
   queue : instance Admission.t;
   inject : Inject.t;
   default_timeout_ms : int;
   notify : unit -> unit;
+  flight : Flight.t;
+  counters : Inject.Counters.t;
   lock : Mutex.t;
   done_q : completion Queue.t;
   mutable restart_count : int;
@@ -57,7 +66,7 @@ let completions t =
 
 (* One instance = one chaos case, fault-free plan, adversary by name,
    inputs regenerated from the case seed exactly as [ftc sweep] does. *)
-let run_instance t inst =
+let run_instance t w inst =
   let s = inst.submit in
   match Catalog.find s.protocol with
   | None -> Exn (Printf.sprintf "unknown protocol %S" s.protocol)
@@ -89,8 +98,21 @@ let run_instance t inst =
       let polls = ref 0 in
       let watchdog () =
         incr polls;
-        if kill_worker && !polls >= 3 then raise (Worker_crash inst.ticket);
+        Atomic.set w.round !polls;
+        Flight.record t.flight (Flight.Round { ticket = inst.ticket; round = !polls });
+        if kill_worker && !polls >= 3 then begin
+          Inject.Counters.bump t.counters Inject.Kill_worker;
+          Flight.record t.flight
+            (Flight.Injected { kind = Inject.kind_to_string Inject.Kill_worker; ticket = inst.ticket });
+          raise (Worker_crash inst.ticket)
+        end;
         if kill_instance && !polls >= 2 then begin
+          if not !killed then begin
+            Inject.Counters.bump t.counters Inject.Kill_instance;
+            Flight.record t.flight
+              (Flight.Injected
+                 { kind = Inject.kind_to_string Inject.Kill_instance; ticket = inst.ticket })
+          end;
           killed := true;
           true
         end
@@ -121,9 +143,12 @@ let worker_body t w () =
     | None -> ()
     | Some inst ->
         inst.attempts <- inst.attempts + 1;
+        Atomic.set w.round 0;
         Atomic.set w.current (Some inst);
+        Flight.record t.flight
+          (Flight.Started { ticket = inst.ticket; attempt = inst.attempts; worker = w.idx });
         let started = now_ms () in
-        let outcome = run_instance t inst in
+        let outcome = run_instance t w inst in
         let service_ms = now_ms () -. started in
         Atomic.set w.current None;
         (* Publish the completion before releasing the in-flight slot:
@@ -135,18 +160,24 @@ let worker_body t w () =
   in
   loop ()
 
-let create ~workers ~queue ~inject ~default_timeout_ms ~notify () =
+let create ?(flight = Flight.disabled) ?counters ~workers ~queue ~inject ~default_timeout_ms
+    ~notify () =
   if workers < 1 then invalid_arg "Supervisor.create: workers must be at least 1";
+  let counters = match counters with Some c -> c | None -> Inject.Counters.create () in
   let t =
     {
       queue;
       inject;
       default_timeout_ms;
       notify;
+      flight;
+      counters;
       lock = Mutex.create ();
       done_q = Queue.create ();
       restart_count = 0;
-      workers = Array.init workers (fun _ -> { handle = None; current = Atomic.make None });
+      workers =
+        Array.init workers (fun idx ->
+            { idx; handle = None; current = Atomic.make None; round = Atomic.make 0; respawns = 0 });
     }
   in
   Array.iteri
@@ -170,10 +201,19 @@ let tick t =
       | Respawn.Running | Respawn.Done -> ()
       | Respawn.Crashed e -> (
           ignore (Respawn.reap h);
-          (match Atomic.exchange w.current None with
+          let victim = Atomic.exchange w.current None in
+          Flight.record t.flight
+            (Flight.Reaped
+               {
+                 worker = w.idx;
+                 ticket = Option.map (fun i -> i.ticket) victim;
+                 detail = exn_to_string e;
+               });
+          (match victim with
           | None -> ()
           | Some inst ->
               if inst.attempts >= max_attempts then begin
+                Flight.record t.flight (Flight.Budget_exhausted { ticket = inst.ticket });
                 push t
                   {
                     inst;
@@ -182,18 +222,49 @@ let tick t =
                   };
                 Admission.complete t.queue ~service_ms:0.
               end
-              else Admission.requeue t.queue inst);
+              else begin
+                Flight.record t.flight
+                  (Flight.Requeued { ticket = inst.ticket; attempt = inst.attempts });
+                Admission.requeue t.queue inst
+              end);
           (* Replace the dead worker unless the drain is already over —
              a worker spawned after quiescence would exit immediately. *)
           if not (Admission.quiescent t.queue) then begin
             Respawn.respawn h;
             t.restart_count <- t.restart_count + 1;
+            w.respawns <- w.respawns + 1;
+            Flight.record t.flight
+              (Flight.Respawned
+                 { worker = w.idx; ticket = Option.map (fun i -> i.ticket) victim });
             incr restarted
           end))
     t.workers;
   !restarted
 
 let restarts t = t.restart_count
+
+let views t =
+  Array.to_list
+    (Array.map
+       (fun w ->
+         match Atomic.get w.current with
+         | Some inst ->
+             {
+               Wire.w_idx = w.idx;
+               w_busy = true;
+               w_ticket = inst.ticket;
+               w_round = Atomic.get w.round;
+               w_respawns = w.respawns;
+             }
+         | None ->
+             {
+               Wire.w_idx = w.idx;
+               w_busy = false;
+               w_ticket = -1;
+               w_round = 0;
+               w_respawns = w.respawns;
+             })
+       t.workers)
 
 let workers_alive t =
   Array.fold_left

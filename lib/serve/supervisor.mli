@@ -59,6 +59,8 @@ val max_attempts : int
 type t
 
 val create :
+  ?flight:Ftc_telemetry.Flight.t ->
+  ?counters:Inject.Counters.t ->
   workers:int ->
   queue:instance Admission.t ->
   inject:Inject.t ->
@@ -69,7 +71,10 @@ val create :
 (** Spawns [workers] supervised domains immediately. [notify] is called
     after each completion is queued — the server's self-pipe kick; it
     runs on the worker domain and must be async-signal-ish (write to a
-    pipe, not take the server's locks). *)
+    pipe, not take the server's locks). [flight] (default disabled)
+    receives started/round/requeue/reap/respawn events; [counters]
+    (default private) is bumped when a kill fault fires — pass the
+    server's so frame faults and kill faults share one tally. *)
 
 val completions : t -> completion list
 (** Drain the completion queue, oldest first. *)
@@ -81,6 +86,12 @@ val tick : t -> int
 
 val restarts : t -> int
 (** Total workers restarted over the supervisor's lifetime. *)
+
+val views : t -> Wire.worker_view list
+(** Live per-worker state for the introspection plane, slot order.
+    Safe from the event-loop domain while workers run: busy/ticket come
+    from the worker's published atomic, round from its watchdog-poll
+    atomic. *)
 
 val workers_alive : t -> int
 

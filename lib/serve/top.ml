@@ -1,0 +1,181 @@
+module Json = Ftc_journal.Json
+
+type mode = Ansi | Raw | Json
+
+type config = {
+  addr : Server.addr;
+  interval_ms : int;
+  iterations : int;
+  mode : mode;
+  out : string -> unit;
+}
+
+let default_config addr =
+  { addr; interval_ms = 1000; iterations = 0; mode = Ansi; out = print_string }
+
+let now_ms () = Unix.gettimeofday () *. 1000.
+
+let connect addr =
+  try
+    let fd =
+      match addr with
+      | Server.Unix_sock path ->
+          let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+          Unix.connect fd (Unix.ADDR_UNIX path);
+          fd
+      | Server.Tcp port ->
+          let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+          Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+          fd
+    in
+    Ok fd
+  with Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+
+let write_all fd s =
+  let len = String.length s in
+  let rec go off = if off < len then go (off + Unix.write_substring fd s off (len - off)) in
+  go 0
+
+let blocks = [| "\xe2\x96\x81"; "\xe2\x96\x82"; "\xe2\x96\x83"; "\xe2\x96\x84";
+                "\xe2\x96\x85"; "\xe2\x96\x86"; "\xe2\x96\x87"; "\xe2\x96\x88" |]
+
+let spark series =
+  match series with
+  | [] -> ""
+  | _ ->
+      let hi = List.fold_left max 1 series in
+      series
+      |> List.map (fun v ->
+             let v = max 0 v in
+             blocks.(min 7 (v * 8 / (hi + 1))))
+      |> String.concat ""
+
+(* One sample = the pair of replies to one Ping + Introspect write. *)
+type sample = { uptime_ms : int; version : int; intro : Wire.introspect; at_ms : float }
+
+let fetch fd decoder ~deadline_ms =
+  let req r = Frame.encode (Wire.request_to_json r) in
+  match write_all fd (req Wire.Ping ^ req Wire.Introspect) with
+  | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+  | () ->
+      let pong = ref None in
+      let intro = ref None in
+      let buf = Bytes.create 4096 in
+      let rec drain_frames () =
+        match Frame.Decoder.next decoder with
+        | Ok (Some json) ->
+            (match Wire.reply_of_json json with
+            | Ok (Wire.Pong { uptime_ms; version }) -> pong := Some (uptime_ms, version)
+            | Ok (Wire.Introspect_reply i) -> intro := Some i
+            | Ok _ | Error _ -> ());
+            drain_frames ()
+        | Ok None -> Ok ()
+        | Error e -> Error ("reply stream: " ^ e)
+      in
+      let rec wait () =
+        match (!pong, !intro) with
+        | Some (uptime_ms, version), Some i ->
+            Ok { uptime_ms; version; intro = i; at_ms = now_ms () }
+        | _ when now_ms () > deadline_ms -> Error "introspect timed out"
+        | _ -> (
+            let timeout = Float.max 0.01 ((deadline_ms -. now_ms ()) /. 1000.) in
+            match Unix.select [ fd ] [] [] timeout with
+            | [], _, _ -> wait ()
+            | _ -> (
+                match Unix.read fd buf 0 4096 with
+                | 0 -> Error "server closed the connection"
+                | n -> (
+                    Frame.Decoder.feed decoder buf 0 n;
+                    match drain_frames () with Ok () -> wait () | Error e -> Error e)
+                | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EINTR), _, _) -> wait ()
+                | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e))
+            | exception Unix.Unix_error (Unix.EINTR, _, _) -> wait ())
+      in
+      wait ()
+
+let addr_label = function
+  | Server.Unix_sock p -> p
+  | Server.Tcp p -> Printf.sprintf "127.0.0.1:%d" p
+
+let counter name kvs = Option.value ~default:0 (List.assoc_opt name kvs)
+
+let render cfg ~history ~restart_gap ~rate (s : sample) =
+  let i = s.intro in
+  let b = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun l -> Buffer.add_string b (l ^ "\n")) fmt in
+  if cfg.mode = Ansi then Buffer.add_string b "\x1b[H\x1b[2J";
+  if restart_gap then line "-- server restart detected: uptime went backwards, new lifetime --";
+  line "ftc top -- %s | uptime %.1f s | protocol v%d" (addr_label cfg.addr)
+    (float_of_int s.uptime_ms /. 1000.)
+    s.version;
+  line "queue   pending %d | open %d/%d | peak %d | ewma %.1f ms" i.pending i.open_ i.bound
+    i.peak_open i.ewma_ms;
+  line "depth   %s" (spark (List.rev history));
+  line "rate    %.1f terminals/s | latency p50 %d ms p90 %d ms p99 %d ms (n=%d)" rate i.p50_ms
+    i.p90_ms i.p99_ms i.lat_count;
+  line "workers";
+  List.iter
+    (fun (w : Wire.worker_view) ->
+      if w.w_busy then
+        line "  w%-3d busy  ticket %-6d round %-5d respawns %d" w.w_idx w.w_ticket w.w_round
+          w.w_respawns
+      else line "  w%-3d idle  %-20s respawns %d" w.w_idx "" w.w_respawns)
+    i.workers;
+  line "inject  %s"
+    (String.concat " " (List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v) i.injections));
+  line "counts  %s"
+    (String.concat " " (List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v) i.counters));
+  Buffer.contents b
+
+let terminals kvs = counter "results" kvs + counter "failed" kvs
+
+let run ?(stop = Atomic.make false) cfg =
+  match connect cfg.addr with
+  | Error e -> Error (Printf.sprintf "connect %s: %s" (addr_label cfg.addr) e)
+  | Ok fd ->
+      let decoder = Frame.Decoder.create () in
+      let finally () = try Unix.close fd with Unix.Unix_error _ -> () in
+      Fun.protect ~finally (fun () ->
+          let history = ref [] in
+          let prev = ref None in
+          let samples = ref 0 in
+          let rec loop () =
+            if Atomic.get stop || (cfg.iterations > 0 && !samples >= cfg.iterations) then
+              Ok !samples
+            else
+              let deadline_ms =
+                now_ms () +. Float.max 2000. (float_of_int cfg.interval_ms)
+              in
+              match fetch fd decoder ~deadline_ms with
+              | Error e -> if !samples = 0 then Error e else Error (e ^ " (connection lost)")
+              | Ok s ->
+                  incr samples;
+                  (match cfg.mode with
+                  | Json ->
+                      cfg.out
+                        (Json.to_string (Wire.reply_to_json (Wire.Introspect_reply s.intro))
+                        ^ "\n")
+                  | Ansi | Raw ->
+                      let restart_gap, rate =
+                        match !prev with
+                        | None -> (false, 0.)
+                        | Some p ->
+                            let dt = Float.max 1. (s.at_ms -. p.at_ms) /. 1000. in
+                            ( s.uptime_ms < p.uptime_ms,
+                              float_of_int
+                                (max 0 (terminals s.intro.counters - terminals p.intro.counters))
+                              /. dt )
+                      in
+                      history := s.intro.pending :: (if restart_gap then [] else !history);
+                      if List.length !history > 32 then
+                        history := List.filteri (fun i _ -> i < 32) !history;
+                      cfg.out (render cfg ~history:!history ~restart_gap ~rate s));
+                  prev := Some s;
+                  if Atomic.get stop || (cfg.iterations > 0 && !samples >= cfg.iterations) then
+                    Ok !samples
+                  else begin
+                    Unix.sleepf (float_of_int (max 1 cfg.interval_ms) /. 1000.);
+                    loop ()
+                  end
+          in
+          loop ())

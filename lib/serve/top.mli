@@ -1,0 +1,36 @@
+(** [ftc top]: a polling terminal dashboard over a running server.
+
+    Each sample is one [Ping] + one [Introspect] on a persistent
+    connection; the rendering shows per-worker state, a queue-depth
+    sparkline over the recent samples, throughput (terminal replies per
+    second, from counter deltas), and latency quantiles. A shrinking
+    pong uptime means the server restarted between samples — the gap is
+    marked in the display rather than silently blending two lifetimes.
+
+    Output goes through [config.out] so tests can capture frames; modes:
+
+    - [Ansi] — clears the terminal before each frame (the live view).
+    - [Raw] — frames appended verbatim (pipes, tests, transcripts).
+    - [Json] — one line per sample: the raw [Introspect_reply] wire
+      JSON, for schema diffing and scripting. *)
+
+type mode = Ansi | Raw | Json
+
+type config = {
+  addr : Server.addr;
+  interval_ms : int;
+  iterations : int;  (** Samples to take; [0] = until [stop] is set. *)
+  mode : mode;
+  out : string -> unit;
+}
+
+val default_config : Server.addr -> config
+(** 1000 ms interval, run forever, [Ansi], stdout. *)
+
+val spark : int list -> string
+(** Unicode block sparkline of the series, scaled to its own max. *)
+
+val run : ?stop:bool Atomic.t -> config -> (int, string) result
+(** Poll until [iterations] samples are rendered or [stop] is set;
+    returns the number of samples taken. [Error] when the server can't
+    be reached or the connection dies and can't be re-established. *)

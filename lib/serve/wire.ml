@@ -10,7 +10,32 @@ type submit = {
   timeout_ms : int option;
 }
 
-type request = Submit of submit | Ping | Stats
+type request = Submit of submit | Ping | Stats | Introspect
+
+type worker_view = {
+  w_idx : int;
+  w_busy : bool;
+  w_ticket : int;
+  w_round : int;
+  w_respawns : int;
+}
+
+type introspect = {
+  uptime_ms : int;
+  version : int;
+  pending : int;
+  open_ : int;
+  peak_open : int;
+  bound : int;
+  ewma_ms : float;
+  lat_count : int;
+  p50_ms : int;
+  p90_ms : int;
+  p99_ms : int;
+  workers : worker_view list;
+  injections : (string * int) list;
+  counters : (string * int) list;
+}
 
 type reply =
   | Accepted of { id : string; ticket : int }
@@ -27,9 +52,11 @@ type reply =
       attempts : int;
     }
   | Failed of { id : string; ticket : int; class_ : string; detail : string }
-  | Pong
+  | Pong of { uptime_ms : int; version : int }
   | Stats_reply of (string * int) list
+  | Introspect_reply of introspect
 
+let protocol_version = 2
 let failed_watchdog = "watchdog"
 let failed_killed = "killed"
 let failed_crashed = "crashed"
@@ -40,6 +67,7 @@ let failed_exception = "exception"
 let request_to_json = function
   | Ping -> Json.Obj [ ("op", Json.String "ping") ]
   | Stats -> Json.Obj [ ("op", Json.String "stats") ]
+  | Introspect -> Json.Obj [ ("op", Json.String "introspect") ]
   | Submit s ->
       Json.Obj
         ([
@@ -53,8 +81,26 @@ let request_to_json = function
          ]
         @ match s.timeout_ms with None -> [] | Some t -> [ ("timeout_ms", Json.Int t) ])
 
+let worker_view_to_json w =
+  Json.Obj
+    [
+      ("idx", Json.Int w.w_idx);
+      ("busy", Json.Bool w.w_busy);
+      ("ticket", Json.Int w.w_ticket);
+      ("round", Json.Int w.w_round);
+      ("respawns", Json.Int w.w_respawns);
+    ]
+
+let kvs_to_json kvs = Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) kvs)
+
 let reply_to_json = function
-  | Pong -> Json.Obj [ ("op", Json.String "pong") ]
+  | Pong { uptime_ms; version } ->
+      Json.Obj
+        [
+          ("op", Json.String "pong");
+          ("uptime_ms", Json.Int uptime_ms);
+          ("version", Json.Int version);
+        ]
   | Accepted { id; ticket } ->
       Json.Obj [ ("op", Json.String "accepted"); ("id", Json.String id); ("ticket", Json.Int ticket) ]
   | Shed { id; retry_after_ms; draining } ->
@@ -96,6 +142,33 @@ let reply_to_json = function
           ("op", Json.String "stats");
           ("metrics", Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) kvs));
         ]
+  | Introspect_reply i ->
+      Json.Obj
+        [
+          ("op", Json.String "introspect");
+          ("uptime_ms", Json.Int i.uptime_ms);
+          ("version", Json.Int i.version);
+          ( "queue",
+            Json.Obj
+              [
+                ("pending", Json.Int i.pending);
+                ("open", Json.Int i.open_);
+                ("peak_open", Json.Int i.peak_open);
+                ("bound", Json.Int i.bound);
+                ("ewma_ms", Json.Float i.ewma_ms);
+              ] );
+          ( "latency",
+            Json.Obj
+              [
+                ("count", Json.Int i.lat_count);
+                ("p50_ms", Json.Int i.p50_ms);
+                ("p90_ms", Json.Int i.p90_ms);
+                ("p99_ms", Json.Int i.p99_ms);
+              ] );
+          ("workers", Json.List (List.map worker_view_to_json i.workers));
+          ("injections", kvs_to_json i.injections);
+          ("counters", kvs_to_json i.counters);
+        ]
 
 (* -- decoding -- *)
 
@@ -116,6 +189,7 @@ let request_of_json j =
   match op with
   | "ping" -> Ok Ping
   | "stats" -> Ok Stats
+  | "introspect" -> Ok Introspect
   | "submit" ->
       let* id = field "id" Json.to_str j in
       let* protocol = field "protocol" Json.to_str j in
@@ -127,10 +201,31 @@ let request_of_json j =
       Ok (Submit { id; protocol; n; alpha; seed; adversary; timeout_ms })
   | op -> Error (Printf.sprintf "unknown request op %S" op)
 
+let int_kvs name j =
+  match Json.member name j with
+  | Some (Json.Obj kvs) ->
+      Ok
+        (List.filter_map
+           (fun (k, v) -> match Json.to_int v with Some i -> Some (k, i) | None -> None)
+           kvs)
+  | _ -> Error (Printf.sprintf "missing or malformed field %S" name)
+
+let worker_view_of_json j =
+  let* w_idx = field "idx" Json.to_int j in
+  let* w_busy = field "busy" Json.to_bool j in
+  let* w_ticket = field "ticket" Json.to_int j in
+  let* w_round = field "round" Json.to_int j in
+  let* w_respawns = field "respawns" Json.to_int j in
+  Ok { w_idx; w_busy; w_ticket; w_round; w_respawns }
+
 let reply_of_json j =
   let* op = op j in
   match op with
-  | "pong" -> Ok Pong
+  | "pong" ->
+      (* Version-1 peers send a bare pong: read the newer fields
+         defensively so old captures and old servers still decode. *)
+      let opt name = Option.value ~default:0 (Option.bind (Json.member name j) Json.to_int) in
+      Ok (Pong { uptime_ms = opt "uptime_ms"; version = opt "version" })
   | "accepted" ->
       let* id = field "id" Json.to_str j in
       let* ticket = field "ticket" Json.to_int j in
@@ -170,14 +265,60 @@ let reply_of_json j =
           in
           Ok (Stats_reply ints)
       | _ -> Error "missing or malformed field \"metrics\"")
+  | "introspect" ->
+      let* uptime_ms = field "uptime_ms" Json.to_int j in
+      let* version = field "version" Json.to_int j in
+      let* queue = Option.to_result ~none:"missing queue" (Json.member "queue" j) in
+      let* pending = field "pending" Json.to_int queue in
+      let* open_ = field "open" Json.to_int queue in
+      let* peak_open = field "peak_open" Json.to_int queue in
+      let* bound = field "bound" Json.to_int queue in
+      let* ewma_ms = field "ewma_ms" Json.to_float queue in
+      let* latency = Option.to_result ~none:"missing latency" (Json.member "latency" j) in
+      let* lat_count = field "count" Json.to_int latency in
+      let* p50_ms = field "p50_ms" Json.to_int latency in
+      let* p90_ms = field "p90_ms" Json.to_int latency in
+      let* p99_ms = field "p99_ms" Json.to_int latency in
+      let* workers =
+        match Json.member "workers" j with
+        | Some (Json.List ws) ->
+            List.fold_left
+              (fun acc w ->
+                let* acc = acc in
+                let* v = worker_view_of_json w in
+                Ok (v :: acc))
+              (Ok []) ws
+            |> Result.map List.rev
+        | _ -> Error "missing or malformed field \"workers\""
+      in
+      let* injections = int_kvs "injections" j in
+      let* counters = int_kvs "counters" j in
+      Ok
+        (Introspect_reply
+           {
+             uptime_ms;
+             version;
+             pending;
+             open_;
+             peak_open;
+             bound;
+             ewma_ms;
+             lat_count;
+             p50_ms;
+             p90_ms;
+             p99_ms;
+             workers;
+             injections;
+             counters;
+           })
   | op -> Error (Printf.sprintf "unknown reply op %S" op)
 
 let reply_id = function
   | Accepted { id; _ } | Shed { id; _ } | Rejected { id; _ } | Result { id; _ } | Failed { id; _ }
     ->
       Some id
-  | Pong | Stats_reply _ -> None
+  | Pong _ | Stats_reply _ | Introspect_reply _ -> None
 
 let is_terminal = function
   | Shed _ | Rejected _ | Result _ | Failed _ -> true
-  | Accepted _ | Pong | Stats_reply _ -> false
+  | Accepted _ | Pong _ | Stats_reply _ | Introspect_reply _ -> false

@@ -27,7 +27,36 @@ type submit = {
   timeout_ms : int option;  (** Per-instance deadline override. *)
 }
 
-type request = Submit of submit | Ping | Stats
+type request = Submit of submit | Ping | Stats | Introspect
+
+type worker_view = {
+  w_idx : int;  (** Pool slot index. *)
+  w_busy : bool;
+  w_ticket : int;  (** Ticket being executed; [-1] when idle. *)
+  w_round : int;  (** Watchdog-poll count of the running instance. *)
+  w_respawns : int;  (** Crash-restarts this slot has absorbed. *)
+}
+
+(** Deep live snapshot returned for {!Introspect}: queue state,
+    latency quantiles from the server's log-scale histogram,
+    per-worker execution state, per-kind injection counts, and the
+    same counter list [Stats] returns. *)
+type introspect = {
+  uptime_ms : int;
+  version : int;  (** {!protocol_version} of the replying server. *)
+  pending : int;
+  open_ : int;
+  peak_open : int;
+  bound : int;
+  ewma_ms : float;  (** Admission's service-time EWMA. *)
+  lat_count : int;
+  p50_ms : int;
+  p90_ms : int;
+  p99_ms : int;
+  workers : worker_view list;
+  injections : (string * int) list;  (** Fired count per {!Inject} kind. *)
+  counters : (string * int) list;
+}
 
 type reply =
   | Accepted of { id : string; ticket : int }
@@ -45,8 +74,20 @@ type reply =
       attempts : int;  (** 1 + how many worker crashes this instance survived. *)
     }
   | Failed of { id : string; ticket : int; class_ : string; detail : string }
-  | Pong
-  | Stats_reply of (string * int) list  (** Registry counter/gauge snapshot. *)
+  | Pong of { uptime_ms : int; version : int }
+      (** [uptime_ms]/[version] decode as [0] from version-1 peers that
+          send a bare pong — [ftc top] uses a shrinking uptime to detect
+          server restarts. *)
+  | Stats_reply of (string * int) list
+      (** Registry counter/gauge snapshot, now including latency
+          quantile keys ([latency_p50_ms] …). The shape is unchanged
+          from version 1 — old parsers see extra keys, new parsers
+          tolerate their absence. *)
+  | Introspect_reply of introspect
+
+val protocol_version : int
+(** Wire schema generation, echoed in [Pong] and [Introspect_reply].
+    Version 2 added [Introspect], pong uptime, and stats quantiles. *)
 
 val failed_watchdog : string
 val failed_killed : string
@@ -65,4 +106,5 @@ val reply_id : reply -> string option
 (** The correlation id, when the reply carries one. *)
 
 val is_terminal : reply -> bool
-(** Ends a submission attempt: anything but [Accepted]/[Pong]/[Stats_reply]. *)
+(** Ends a submission attempt: anything but
+    [Accepted]/[Pong]/[Stats_reply]/[Introspect_reply]. *)

@@ -11,6 +11,7 @@ module Inject = Ftc_serve.Inject
 module Supervisor = Ftc_serve.Supervisor
 module Server = Ftc_serve.Server
 module Client = Ftc_serve.Client
+module Top = Ftc_serve.Top
 module Transport = Ftc_transport.Transport
 
 (* ---- framing ---- *)
@@ -134,6 +135,7 @@ let test_wire_request_roundtrip () =
       ("submit no timeout", Wire.Submit { submit_fixture with timeout_ms = None });
       ("ping", Wire.Ping);
       ("stats", Wire.Stats);
+      ("introspect", Wire.Introspect);
     ]
 
 let test_wire_reply_roundtrip () =
@@ -150,9 +152,41 @@ let test_wire_reply_roundtrip () =
         Wire.Result
           { id = "d"; ticket = 3; ok = false; detail = "leader\tdisagrees"; rounds = 12; msgs = 480; bits = 9600; attempts = 2 } );
       ("failed", Wire.Failed { id = "e"; ticket = 4; class_ = Wire.failed_crashed; detail = "3 attempts" });
-      ("pong", Wire.Pong);
+      ("pong", Wire.Pong { uptime_ms = 123456; version = Wire.protocol_version });
       ("stats reply", Wire.Stats_reply [ ("serve/accepted", 10); ("serve/sheds", 2) ]);
+      ( "introspect reply",
+        Wire.Introspect_reply
+          {
+            uptime_ms = 987;
+            version = Wire.protocol_version;
+            pending = 3;
+            open_ = 5;
+            peak_open = 9;
+            bound = 64;
+            ewma_ms = 42.5;
+            lat_count = 17;
+            p50_ms = 12;
+            p90_ms = 60;
+            p99_ms = 110;
+            workers =
+              [
+                { w_idx = 0; w_busy = true; w_ticket = 7; w_round = 4; w_respawns = 1 };
+                { w_idx = 1; w_busy = false; w_ticket = -1; w_round = 0; w_respawns = 0 };
+              ];
+            injections = [ ("kill-worker", 2); ("delay-frame", 1) ];
+            counters = [ ("accepted", 10); ("results", 8) ];
+          } );
     ]
+
+let test_wire_pong_backward_compat () =
+  (* A version-1 server sends a bare pong; the newer fields decode as 0
+     so old captures and mixed fleets keep working. *)
+  match Wire.reply_of_json (Json.Obj [ ("op", Json.String "pong") ]) with
+  | Ok (Wire.Pong { uptime_ms; version }) ->
+      Alcotest.(check int) "uptime defaults" 0 uptime_ms;
+      Alcotest.(check int) "version defaults" 0 version
+  | Ok _ -> Alcotest.fail "bare pong decoded as something else"
+  | Error e -> Alcotest.failf "bare pong rejected: %s" e
 
 let test_wire_rejects_unknown () =
   (match Wire.request_of_json (Json.Obj [ ("op", Json.String "evict") ]) with
@@ -397,6 +431,94 @@ let test_end_to_end () =
   Alcotest.(check int) "server exit 0" 0 (Server.exit_code summary);
   if Sys.file_exists path then Sys.remove path
 
+(* ---- ftc top ---- *)
+
+let test_top_spark () =
+  Alcotest.(check string) "empty series" "" (Top.spark []);
+  Alcotest.(check string) "flat zero floors" "\xe2\x96\x81\xe2\x96\x81" (Top.spark [ 0; 0 ]);
+  (* Monotone series renders monotone glyphs, max hits the tallest block. *)
+  let s = Top.spark [ 0; 2; 4; 8 ] in
+  Alcotest.(check int) "one glyph per point" (4 * 3) (String.length s);
+  Alcotest.(check string) "max is the full block" "\xe2\x96\x88"
+    (String.sub s (String.length s - 3) 3)
+
+let test_top_against_live_server () =
+  (* The acceptance e2e: a real server in its own domain, [ftc top]'s
+     engine polling it over the socket, frames captured through
+     [config.out]. Two samples so the second has a rate/restart
+     baseline; the client load in between gives the counters motion. *)
+  let path = Filename.temp_file "ftc-top-test" ".sock" in
+  Sys.remove path;
+  let drain = Atomic.make false in
+  let cfg =
+    { (Server.default_config (Server.Unix_sock path)) with workers = 2; bound = 32; default_timeout_ms = 10_000; grace_ms = 10_000 }
+  in
+  let server = Domain.spawn (fun () -> Server.run ~drain cfg) in
+  let rec wait_bind tries =
+    if not (Sys.file_exists path) then
+      if tries = 0 then Alcotest.fail "server never bound its socket"
+      else begin
+        Unix.sleepf 0.02;
+        wait_bind (tries - 1)
+      end
+  in
+  wait_bind 250;
+  let ccfg =
+    { (Client.default_config (Server.Unix_sock path)) with total = 4; n = 16; base_seed = 7; overall_timeout_ms = 60_000 }
+  in
+  (match Client.run ccfg with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "client: %s" e);
+  let frames = Buffer.create 1024 in
+  let tcfg =
+    {
+      (Top.default_config (Server.Unix_sock path)) with
+      Top.interval_ms = 50;
+      iterations = 2;
+      mode = Top.Raw;
+      out = Buffer.add_string frames;
+    }
+  in
+  (match Top.run tcfg with
+  | Ok n -> Alcotest.(check int) "two samples" 2 n
+  | Error e -> Alcotest.failf "top: %s" e);
+  let out = Buffer.contents frames in
+  let has needle =
+    Alcotest.(check bool) (Printf.sprintf "dashboard mentions %S" needle) true
+      (Astring.String.is_infix ~affix:needle out)
+  in
+  has "ftc top -- ";
+  has (Printf.sprintf "protocol v%d" Wire.protocol_version);
+  (* Both workers are listed with live state, and the 4 terminal replies
+     the client collected show up in the counters. *)
+  has "w0";
+  has "w1";
+  has "results=4";
+  has "inject  ";
+  has "latency p50";
+  (* JSON mode emits the raw introspect reply — the stable machine
+     surface — one line per sample, and it must decode back. *)
+  let json_lines = Buffer.create 1024 in
+  let jcfg =
+    { tcfg with Top.iterations = 1; mode = Top.Json; out = Buffer.add_string json_lines }
+  in
+  (match Top.run jcfg with
+  | Ok n -> Alcotest.(check int) "one json sample" 1 n
+  | Error e -> Alcotest.failf "top --json: %s" e);
+  (match Json.of_string (String.trim (Buffer.contents json_lines)) with
+  | Error e -> Alcotest.failf "top --json emitted bad JSON: %s" e
+  | Ok j -> (
+      match Wire.reply_of_json j with
+      | Ok (Wire.Introspect_reply i) ->
+          Alcotest.(check int) "two workers in view" 2 (List.length i.Wire.workers)
+      | Ok _ -> Alcotest.fail "top --json line is not an introspect reply"
+      | Error e -> Alcotest.failf "top --json line does not decode: %s" e));
+  Atomic.set drain true;
+  (match Domain.join server with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "server: %s" e);
+  if Sys.file_exists path then Sys.remove path
+
 let () =
   Alcotest.run "serve"
     [
@@ -413,6 +535,7 @@ let () =
         [
           Alcotest.test_case "requests round-trip" `Quick test_wire_request_roundtrip;
           Alcotest.test_case "replies round-trip" `Quick test_wire_reply_roundtrip;
+          Alcotest.test_case "bare pong decodes (v1 compat)" `Quick test_wire_pong_backward_compat;
           Alcotest.test_case "unknown ops rejected" `Quick test_wire_rejects_unknown;
           Alcotest.test_case "reply through a frame" `Quick test_wire_through_frame;
         ] );
@@ -434,4 +557,9 @@ let () =
         ] );
       ("backoff", [ Alcotest.test_case "transport ladder" `Quick test_transport_ladder ]);
       ("end-to-end", [ Alcotest.test_case "serve + client over a unix socket" `Quick test_end_to_end ]);
+      ( "top",
+        [
+          Alcotest.test_case "sparkline rendering" `Quick test_top_spark;
+          Alcotest.test_case "dashboard against a live server" `Quick test_top_against_live_server;
+        ] );
     ]
